@@ -1,0 +1,54 @@
+//! Criterion bench for E2 (Figure 8): sweep with and without fingerprints.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::{Demand, Overload};
+use jigsaw_blackbox::{ParamDecl, ParamSpace};
+use jigsaw_core::{JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+fn demand_sweep(c: &mut Criterion) {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 51, 1),
+        ParamDecl::set("feature", vec![12, 36, 44]),
+    ]);
+    let sim =
+        BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(3));
+    let cfg = JigsawConfig::paper().with_n_samples(200);
+
+    let mut group = c.benchmark_group("baseline/demand_156pts");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("full"), |b| {
+        b.iter(|| SweepRunner::naive(cfg).run(&sim).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
+        b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+    });
+    group.finish();
+}
+
+fn overload_sweep(c: &mut Criterion) {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 25, 1),
+        ParamDecl::range("p1", 0, 48, 16),
+        ParamDecl::range("p2", 0, 48, 16),
+    ]);
+    let sim =
+        BlackBoxSim::new(Arc::new(Overload::enterprise()), space, SeedSet::new(3));
+    let cfg = JigsawConfig::paper().with_n_samples(200);
+
+    let mut group = c.benchmark_group("baseline/overload_416pts");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("full"), |b| {
+        b.iter(|| SweepRunner::naive(cfg).run(&sim).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
+        b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, demand_sweep, overload_sweep);
+criterion_main!(benches);

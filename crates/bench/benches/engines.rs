@@ -1,0 +1,91 @@
+//! Criterion bench for E1 (Figure 7): per-point cost of the two engines.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_bench::experiments::user_catalog;
+use jigsaw_blackbox::models::Demand;
+use jigsaw_blackbox::{ParamDecl, ParamSpace};
+use jigsaw_pdb::{
+    AggFunc, AggSpec, Catalog, DbmsEngine, DirectEngine, Expr, Plan, PlanSim, Simulation,
+};
+use jigsaw_prng::SeedSet;
+
+fn model_bound(c: &mut Criterion) {
+    let seeds = SeedSet::new(7);
+    let mut catalog = Catalog::new();
+    catalog.add_function(Arc::new(Demand::enterprise()));
+    let catalog = Arc::new(catalog);
+    let plan = Plan::OneRow
+        .project(vec![(
+            "out",
+            Expr::call("Demand", vec![Expr::param("week"), Expr::lit_f(36.0)]),
+        )])
+        .bind(&catalog, &["week".to_string()])
+        .unwrap();
+    let space = ParamSpace::new(vec![ParamDecl::range("week", 0, 51, 1)]);
+
+    let mut group = c.benchmark_group("engines/model_bound_demand");
+    for (name, sim) in [
+        (
+            "direct",
+            PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+        ),
+        (
+            "dbms",
+            PlanSim::new(Arc::new(DbmsEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| sim.eval_worlds(&[26.0], 0, 100).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn data_bound(c: &mut Criterion) {
+    let seeds = SeedSet::new(7);
+    let catalog = Arc::new(user_catalog(500));
+    let plan = Plan::Scan { table: "users".into() }
+        .project(vec![(
+            "req",
+            Expr::call(
+                "UserReq",
+                vec![
+                    Expr::col("id"),
+                    Expr::col("base"),
+                    Expr::col("growth"),
+                    Expr::col("shape"),
+                    Expr::param("week"),
+                ],
+            ),
+        )])
+        .aggregate(
+            vec![],
+            vec![AggSpec { name: "total".into(), func: AggFunc::Sum, arg: Some(Expr::col("req")) }],
+        )
+        .bind(&catalog, &["week".to_string()])
+        .unwrap();
+    let space = ParamSpace::new(vec![ParamDecl::range("week", 0, 51, 1)]);
+
+    let mut group = c.benchmark_group("engines/data_bound_userselect");
+    group.sample_size(10);
+    for (name, sim) in [
+        (
+            "direct",
+            PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+        ),
+        (
+            "dbms",
+            PlanSim::new(Arc::new(DbmsEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| sim.eval_worlds(&[26.0], 0, 50).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model_bound, data_bound);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E4/E5 (Figures 10/11): index lookup strategies.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::SynthBasis;
+use jigsaw_blackbox::BlackBox;
+use jigsaw_core::basis::BasisStore;
+use jigsaw_core::{AffineFamily, Fingerprint, IndexStrategy};
+use jigsaw_pdb::OutputMetrics;
+use jigsaw_prng::SeedSet;
+
+fn fingerprint_of(bb: &SynthBasis, point: f64, m: usize, seeds: &SeedSet) -> Fingerprint {
+    Fingerprint::new((0..m).map(|k| bb.eval(&[point], seeds.seed(k))).collect())
+}
+
+fn lookup(c: &mut Criterion) {
+    let seeds = SeedSet::new(9);
+    let n_bases = 200;
+    let bb = SynthBasis::new(n_bases);
+
+    let mut group = c.benchmark_group("indexing/lookup_200_bases");
+    for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+        let mut store = BasisStore::with_strategy(strat, 1e-9, Arc::new(AffineFamily));
+        for b in 0..n_bases {
+            let fp = fingerprint_of(&bb, b as f64, 10, &seeds);
+            store.insert(fp.clone(), OutputMetrics::from_samples(fp.entries().to_vec()));
+        }
+        // Probe with affine images of every class (all hits).
+        let probes: Vec<Fingerprint> =
+            (0..n_bases).map(|p| fingerprint_of(&bb, (p + n_bases) as f64, 10, &seeds)).collect();
+        group.bench_function(BenchmarkId::from_parameter(format!("{strat:?}")), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for fp in &probes {
+                    if store.find_match(fp).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for E6 (Figure 12): Markov jumps vs naive stepping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::MarkovBranch;
+use jigsaw_core::markov::{run_naive, BasisRetention, MarkovJumpConfig, MarkovJumpRunner};
+use jigsaw_prng::Seed;
+
+fn branching_sweep(c: &mut Criterion) {
+    let steps = 64;
+    let n = 400;
+    let cfg = MarkovJumpConfig::paper().with_n(n).with_m(10);
+
+    let mut group = c.benchmark_group("markov/64_steps_400_instances");
+    group.sample_size(10);
+    for p in [1e-4f64, 1e-2] {
+        let model = MarkovBranch::new(p);
+        group.bench_function(BenchmarkId::from_parameter(format!("naive_p{p:.0e}")), |b| {
+            b.iter(|| run_naive(&model, Seed(1), n, steps))
+        });
+        group.bench_function(BenchmarkId::from_parameter(format!("jigsaw_p{p:.0e}")), |b| {
+            b.iter(|| MarkovJumpRunner::new(cfg).run(&model, Seed(1), steps))
+        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("jigsaw_keeplast_p{p:.0e}")),
+            |b| {
+                b.iter(|| {
+                    MarkovJumpRunner::new(cfg.with_retention(BasisRetention::KeepLast))
+                        .run(&model, Seed(1), steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, branching_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for E3 (Figure 9): Capacity structure-size sensitivity.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::Capacity;
+use jigsaw_blackbox::{ParamDecl, ParamSpace};
+use jigsaw_core::{JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+fn structure_sizes(c: &mut Criterion) {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 25, 1),
+        ParamDecl::range("p1", 0, 48, 16),
+        ParamDecl::range("p2", 0, 48, 16),
+    ]);
+    let cfg = JigsawConfig::paper().with_n_samples(200);
+
+    let mut group = c.benchmark_group("structure/capacity_sweep");
+    group.sample_size(10);
+    for size in [0.0f64, 5.0, 20.0] {
+        let sim = BlackBoxSim::new(
+            Arc::new(Capacity::enterprise().with_delay_scale(size)),
+            space.clone(),
+            SeedSet::new(5),
+        );
+        group.bench_function(BenchmarkId::from_parameter(format!("delay{size}")), |b| {
+            b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, structure_sizes);
+criterion_main!(benches);

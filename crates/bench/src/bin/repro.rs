@@ -1,0 +1,64 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--exp e1,e2,...]
+//! ```
+//!
+//! Default runs all experiments at paper scale; `--quick` shrinks workloads
+//! for smoke runs. Output is markdown, suitable for pasting into
+//! `EXPERIMENTS.md`.
+
+use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7};
+use jigsaw_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let selected: Vec<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect())
+        .unwrap_or_default();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    println!(
+        "# Jigsaw reproduction run ({} scale: n={}, m={}, space ÷{})\n",
+        if quick { "quick" } else { "full" },
+        scale.n_samples,
+        scale.m,
+        scale.space_divisor
+    );
+
+    if want("e1") {
+        eprintln!("[repro] E1: engine comparison (Figure 7)…");
+        println!("{}", e1::report(&e1::run(scale)).to_markdown());
+    }
+    if want("e2") {
+        eprintln!("[repro] E2: Jigsaw vs full evaluation (Figure 8)…");
+        println!("{}", e2::report(&e2::run(scale)).to_markdown());
+    }
+    if want("e3") {
+        eprintln!("[repro] E3: structure size (Figure 9)…");
+        println!("{}", e3::report(&e3::run(scale)).to_markdown());
+    }
+    if want("e4") {
+        eprintln!("[repro] E4: static-space indexing (Figure 10)…");
+        println!("{}", e4::report(&e4::run(scale)).to_markdown());
+    }
+    if want("e5") {
+        eprintln!("[repro] E5: growing-space indexing (Figure 11)…");
+        println!("{}", e5::report(&e5::run(scale)).to_markdown());
+    }
+    if want("e6") {
+        eprintln!("[repro] E6: Markov branching (Figure 12)…");
+        println!("{}", e6::report(&e6::run(scale)).to_markdown());
+    }
+    if want("e7") {
+        eprintln!("[repro] E7: accuracy (§6.2)…");
+        println!("{}", e7::report_fingerprint(&e7::run_fingerprint(scale)).to_markdown());
+        println!("{}", e7::report_markov(&e7::run_markov(scale)).to_markdown());
+    }
+    eprintln!("[repro] done.");
+}

@@ -1,0 +1,113 @@
+//! E3 — Figure 9: computation time vs structure size (Capacity model).
+//!
+//! The *structure size* is the span of weeks over which a purchase's online
+//! delay keeps worlds mixed (our `Capacity::delay_scale`). Paper findings:
+//! time per point grows with structure size; both indexes beat the array
+//! scan; and the number of basis distributions grows **sub-linearly** with
+//! structure size (it saturates near `m + 1` distinct fingerprint patterns
+//! per structure).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_blackbox::models::Capacity;
+use jigsaw_blackbox::{ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{IndexStrategy, JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+use crate::table::Table;
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One structure-size measurement.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Structure size (mean online-delay in weeks).
+    pub structure_size: f64,
+    /// ms/point per strategy, ordered Array / Normalization / SortedSid.
+    pub ms_per_point: [f64; 3],
+    /// Basis count (identical across strategies).
+    pub bases: usize,
+}
+
+/// Sweep structure sizes 0..=20 (paper's x-axis).
+pub fn run(scale: Scale) -> Vec<E3Row> {
+    let sizes: Vec<f64> = if scale.space_divisor > 1 {
+        vec![0.0, 2.0, 5.0, 10.0, 20.0]
+    } else {
+        (0..=20).map(|s| s as f64).collect()
+    };
+    let div = scale.space_divisor as i64;
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 51 / div, 1),
+        ParamDecl::range("p1", 0, 48, 8),
+        ParamDecl::range("p2", 0, 48, 8),
+    ]);
+    let strategies =
+        [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
+
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let bb = Arc::new(
+            Capacity::enterprise().with_delay_scale(size).with_work(Workload(300)),
+        );
+        let sim = BlackBoxSim::new(bb, space.clone(), SeedSet::new(MASTER_SEED));
+        let mut ms = [0.0f64; 3];
+        let mut bases = 0usize;
+        for (i, strat) in strategies.iter().enumerate() {
+            let cfg = JigsawConfig::paper()
+                .with_n_samples(scale.n_samples)
+                .with_fingerprint_len(scale.m)
+                .with_index(*strat);
+            let t0 = Instant::now();
+            let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
+            ms[i] = t0.elapsed().as_secs_f64() * 1e3 / sweep.points.len() as f64;
+            bases = sweep.stats.bases_per_column[0];
+        }
+        rows.push(E3Row { structure_size: size, ms_per_point: ms, bases });
+    }
+    rows
+}
+
+/// Render the Figure 9 series.
+pub fn report(rows: &[E3Row]) -> Table {
+    let mut t = Table::new(
+        "E3 / Figure 9 — time per point vs structure size (Capacity)",
+        &["Structure size", "Array ms/pt", "Normalization ms/pt", "Sorted-SID ms/pt", "Bases"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}", r.structure_size),
+            format!("{:.3}", r.ms_per_point[0]),
+            format!("{:.3}", r.ms_per_point[1]),
+            format!("{:.3}", r.ms_per_point[2]),
+            r.bases.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_count_grows_sublinearly() {
+        let rows = run(Scale { n_samples: 100, m: 10, space_divisor: 4 });
+        let b0 = rows.first().unwrap().bases;
+        let b_last = rows.last().unwrap().bases;
+        assert!(b_last >= b0, "bases should not shrink with structure size");
+        // Sub-linear: structure grew 20×/5×, bases must grow far less.
+        let size_ratio = rows.last().unwrap().structure_size.max(1.0)
+            / rows.first().unwrap().structure_size.max(1.0);
+        let basis_ratio = b_last as f64 / b0.max(1) as f64;
+        assert!(
+            basis_ratio < size_ratio,
+            "bases {b0} -> {b_last} vs size ratio {size_ratio}"
+        );
+        // And saturation: with m = 10, patterns per structure are bounded.
+        assert!(b_last < 60, "basis count {b_last} should saturate");
+    }
+}

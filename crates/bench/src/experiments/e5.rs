@@ -1,0 +1,106 @@
+//! E5 — Figure 11: indexing when the parameter space grows with the basis.
+//!
+//! The basis is pinned at 10% of the parameter space and both grow together.
+//! Paper finding: the naive array scan scales linearly with basis size while
+//! both indexing strategies scale sub-linearly (near-flat time per point).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_blackbox::models::SynthBasis;
+use jigsaw_blackbox::{ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{IndexStrategy, JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+use crate::table::Table;
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One space-size measurement.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Number of basis distributions (= points / 10).
+    pub n_bases: usize,
+    /// Parameter-space size.
+    pub points: usize,
+    /// Seconds per point, ordered Array / Normalization / Sorted-SID.
+    pub s_per_point: [f64; 3],
+}
+
+/// Run the growing-space indexing comparison.
+pub fn run(scale: Scale) -> Vec<E5Row> {
+    let sizes: &[usize] = if scale.space_divisor > 1 {
+        &[500, 1500, 3000]
+    } else {
+        &[500, 1000, 2000, 3000, 4000, 5000]
+    };
+    let strategies =
+        [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
+
+    let mut rows = Vec::new();
+    for &points in sizes {
+        let n_bases = points / 10;
+        let bb = Arc::new(SynthBasis::new(n_bases).with_work(Workload(100)));
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
+        let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
+        let mut s = [0.0f64; 3];
+        for (i, strat) in strategies.iter().enumerate() {
+            let cfg = JigsawConfig::paper()
+                .with_n_samples(scale.n_samples)
+                .with_fingerprint_len(scale.m)
+                .with_index(*strat);
+            let t0 = Instant::now();
+            let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
+            s[i] = t0.elapsed().as_secs_f64() / sweep.points.len() as f64;
+        }
+        rows.push(E5Row { n_bases, points, s_per_point: s });
+    }
+    rows
+}
+
+/// Render the Figure 11 series.
+pub fn report(rows: &[E5Row]) -> Table {
+    let mut t = Table::new(
+        "E5 / Figure 11 — indexing with basis at 10% of a growing space",
+        &["# Bases", "Points", "Array s/pt", "Normalization s/pt", "Sorted-SID s/pt"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n_bases.to_string(),
+            r.points.to_string(),
+            format!("{:.6}", r.s_per_point[0]),
+            format!("{:.6}", r.s_per_point[1]),
+            format!("{:.6}", r.s_per_point[2]),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_scales_worse_than_indexes() {
+        let rows = run(Scale { n_samples: 60, m: 10, space_divisor: 4 });
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // Array growth factor across the sweep must exceed the index
+        // strategies' growth factors.
+        let growth = |i: usize| last.s_per_point[i] / first.s_per_point[i];
+        assert!(
+            growth(0) > growth(1),
+            "array growth {:.2} vs normalization {:.2}",
+            growth(0),
+            growth(1)
+        );
+        assert!(
+            growth(0) > growth(2),
+            "array growth {:.2} vs sorted-sid {:.2}",
+            growth(0),
+            growth(2)
+        );
+    }
+}

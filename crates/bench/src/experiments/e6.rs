@@ -1,0 +1,130 @@
+//! E6 — Figure 12: Markov-jump performance vs branching factor.
+//!
+//! `MarkovBranch` diverges at a configurable per-step probability; the chain
+//! is run for 128 steps and naive stepping is compared to the Markov-jump
+//! algorithm. Paper findings: Jigsaw wins while branching is below roughly
+//! one-in-twenty steps and degrades to naive beyond that.
+//!
+//! Also measures the §6.4 retention ablation (`KeepAll` vs `KeepLast`).
+
+use std::time::Instant;
+
+use jigsaw_blackbox::models::MarkovBranch;
+use jigsaw_blackbox::Workload;
+use jigsaw_core::markov::{run_naive, BasisRetention, MarkovJumpConfig, MarkovJumpRunner};
+use jigsaw_prng::Seed;
+
+use crate::table::Table;
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One branching-factor measurement.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Per-step divergence probability.
+    pub branching: f64,
+    /// Naive ms/step.
+    pub naive_ms: f64,
+    /// Jigsaw (KeepAll) ms/step.
+    pub jigsaw_ms: f64,
+    /// Jigsaw (KeepLast retention) ms/step.
+    pub keep_last_ms: f64,
+    /// Naive model invocations.
+    pub naive_invocations: u64,
+    /// Jigsaw model invocations.
+    pub jigsaw_invocations: u64,
+}
+
+/// Chain length (paper: 128 steps).
+pub const STEPS: usize = 128;
+
+/// Run the branching sweep.
+pub fn run(scale: Scale) -> Vec<E6Row> {
+    let branchings: &[f64] = if scale.space_divisor > 1 {
+        &[1e-5, 1e-3, 1e-2, 0.1]
+    } else {
+        &[1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1]
+    };
+    let n = scale.n_samples.max(100);
+    let m = scale.m;
+    let master = Seed(MASTER_SEED);
+
+    let mut rows = Vec::new();
+    for &p in branchings {
+        let model = MarkovBranch::new(p).with_work(Workload(2000));
+        let t0 = Instant::now();
+        let (_, naive_stats) = run_naive(&model, master, n, STEPS);
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3 / STEPS as f64;
+
+        let cfg = MarkovJumpConfig::paper().with_n(n).with_m(m);
+        let t1 = Instant::now();
+        let jump = MarkovJumpRunner::new(cfg).run(&model, master, STEPS);
+        let jigsaw_ms = t1.elapsed().as_secs_f64() * 1e3 / STEPS as f64;
+
+        let t2 = Instant::now();
+        let _ = MarkovJumpRunner::new(cfg.with_retention(BasisRetention::KeepLast))
+            .run(&model, master, STEPS);
+        let keep_last_ms = t2.elapsed().as_secs_f64() * 1e3 / STEPS as f64;
+
+        rows.push(E6Row {
+            branching: p,
+            naive_ms,
+            jigsaw_ms,
+            keep_last_ms,
+            naive_invocations: naive_stats.model_invocations,
+            jigsaw_invocations: jump.stats.model_invocations,
+        });
+    }
+    rows
+}
+
+/// Render the Figure 12 series.
+pub fn report(rows: &[E6Row]) -> Table {
+    let mut t = Table::new(
+        "E6 / Figure 12 — Markov process performance (128 steps)",
+        &["Branching", "Naive ms/step", "Jigsaw ms/step", "KeepLast ms/step", "Invocations naive/jigsaw"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0e}", r.branching),
+            format!("{:.3}", r.naive_ms),
+            format!("{:.3}", r.jigsaw_ms),
+            format!("{:.3}", r.keep_last_ms),
+            format!("{}/{}", r.naive_invocations, r.jigsaw_invocations),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure12() {
+        let rows = run(Scale { n_samples: 200, m: 10, space_divisor: 4 });
+        // Low branching: Jigsaw saves most invocations.
+        let low = &rows[0];
+        assert!(
+            low.naive_invocations as f64 / low.jigsaw_invocations as f64 > 4.0,
+            "low-branching savings missing: {low:?}"
+        );
+        // Savings monotonically shrink with branching.
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| r.naive_invocations as f64 / r.jigsaw_invocations as f64)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(
+                w[0] >= w[1] * 0.8,
+                "savings should shrink with branching: {ratios:?}"
+            );
+        }
+        // High branching: little or no advantage (the crossover).
+        assert!(
+            *ratios.last().unwrap() < ratios[0] / 2.0,
+            "no crossover trend: {ratios:?}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! E7 — §6.2 accuracy: fingerprint length and Markov-jump error.
+//!
+//! The paper identifies two potential error sources and reports observing
+//! neither at `m = 10`:
+//!
+//! 1. **False reuse** — a fingerprint too short to distinguish two genuinely
+//!    different distributions. We sweep `m` on `SynthBasis(50)`: at `m = 2`
+//!    any two fingerprints fit an affine map (two points determine a line,
+//!    zero residuals to validate) and everything collapses onto one basis;
+//!    by `m = 10` the basis count and all metrics are exact.
+//! 2. **Markov-jump drift** — per-instance divergence outside the
+//!    fingerprint set between checkpoints (§4.1). We sweep the branching
+//!    factor and report the mean/max relative error of the final-step
+//!    outputs versus naive stepping.
+
+use std::sync::Arc;
+
+use jigsaw_blackbox::models::{MarkovBranch, SynthBasis};
+use jigsaw_blackbox::{ParamDecl, ParamSpace};
+use jigsaw_core::markov::{run_naive, MarkovJumpConfig, MarkovJumpRunner};
+use jigsaw_core::{JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::{Seed, SeedSet};
+
+use crate::table::Table;
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One fingerprint-length measurement.
+#[derive(Debug, Clone)]
+pub struct E7FingerprintRow {
+    /// Fingerprint length.
+    pub m: usize,
+    /// Bases discovered (50 expected when accurate).
+    pub bases: usize,
+    /// Fraction of reused points whose expectation differs from the naive
+    /// run by more than 1e-9 relative.
+    pub false_reuse_rate: f64,
+    /// Worst relative expectation error across the sweep.
+    pub max_rel_err: f64,
+}
+
+/// One Markov accuracy measurement.
+#[derive(Debug, Clone)]
+pub struct E7MarkovRow {
+    /// Branching factor.
+    pub branching: f64,
+    /// Mean relative error of final-step outputs.
+    pub mean_rel_err: f64,
+    /// Max relative error of final-step outputs.
+    pub max_rel_err: f64,
+}
+
+/// Sweep fingerprint lengths on a 50-basis synthetic workload.
+pub fn run_fingerprint(scale: Scale) -> Vec<E7FingerprintRow> {
+    let n_points = 400 / scale.space_divisor;
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, n_points as i64 - 1, 1)]);
+    let bb = Arc::new(SynthBasis::new(50));
+    let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
+
+    let naive = SweepRunner::naive(
+        JigsawConfig::paper().with_n_samples(scale.n_samples).with_fingerprint_len(10),
+    )
+    .run(&sim)
+    .expect("naive sweep");
+
+    let mut rows = Vec::new();
+    for m in [2usize, 3, 5, 10, 20] {
+        let cfg = JigsawConfig::paper().with_n_samples(scale.n_samples).with_fingerprint_len(m);
+        let fast = SweepRunner::new(cfg).run(&sim).expect("sweep");
+        let mut false_reuse = 0usize;
+        let mut reused = 0usize;
+        let mut max_rel = 0.0f64;
+        for (a, b) in naive.points.iter().zip(&fast.points) {
+            let (x, y) = (a.metrics[0].expectation(), b.metrics[0].expectation());
+            let rel = (x - y).abs() / x.abs().max(1.0);
+            max_rel = max_rel.max(rel);
+            if b.reused_from[0].is_some() {
+                reused += 1;
+                if rel > 1e-9 {
+                    false_reuse += 1;
+                }
+            }
+        }
+        rows.push(E7FingerprintRow {
+            m,
+            bases: fast.stats.bases_per_column[0],
+            false_reuse_rate: if reused == 0 { 0.0 } else { false_reuse as f64 / reused as f64 },
+            max_rel_err: max_rel,
+        });
+    }
+    rows
+}
+
+/// Sweep branching factors for Markov-jump accuracy.
+pub fn run_markov(scale: Scale) -> Vec<E7MarkovRow> {
+    let n = scale.n_samples.max(100);
+    let steps = 128;
+    let mut rows = Vec::new();
+    for &p in &[0.0, 1e-3, 1e-2, 0.05] {
+        let model = MarkovBranch::new(p);
+        let (naive, _) = run_naive(&model, Seed(MASTER_SEED), n, steps);
+        let cfg = MarkovJumpConfig::paper().with_n(n).with_m(scale.m);
+        let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(MASTER_SEED), steps);
+        let scale_ref =
+            naive.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+        let mut mean = 0.0;
+        let mut max = 0.0f64;
+        for (a, b) in jump.outputs.iter().zip(&naive) {
+            let rel = (a - b).abs() / scale_ref;
+            mean += rel;
+            max = max.max(rel);
+        }
+        rows.push(E7MarkovRow {
+            branching: p,
+            mean_rel_err: mean / n as f64,
+            max_rel_err: max,
+        });
+    }
+    rows
+}
+
+/// Render the fingerprint-length table.
+pub fn report_fingerprint(rows: &[E7FingerprintRow]) -> Table {
+    let mut t = Table::new(
+        "E7a / §6.2 — fingerprint length vs accuracy (SynthBasis(50), 50 true bases)",
+        &["m", "Bases found", "False-reuse rate", "Max rel. error"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.m.to_string(),
+            r.bases.to_string(),
+            format!("{:.3}", r.false_reuse_rate),
+            format!("{:.2e}", r.max_rel_err),
+        ]);
+    }
+    t
+}
+
+/// Render the Markov accuracy table.
+pub fn report_markov(rows: &[E7MarkovRow]) -> Table {
+    let mut t = Table::new(
+        "E7b / §6.2 — Markov-jump accuracy vs branching factor (128 steps)",
+        &["Branching", "Mean rel. error", "Max rel. error"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0e}", r.branching),
+            format!("{:.2e}", r.mean_rel_err),
+            format!("{:.2e}", r.max_rel_err),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_fingerprints_cause_false_reuse_long_ones_do_not() {
+        let rows = run_fingerprint(Scale { n_samples: 60, m: 10, space_divisor: 4 });
+        let at = |m: usize| rows.iter().find(|r| r.m == m).unwrap();
+        // m = 2 merges everything: one basis, rampant false reuse.
+        assert_eq!(at(2).bases, 1);
+        assert!(at(2).false_reuse_rate > 0.5);
+        // m = 10 (the paper's default): exact.
+        assert_eq!(at(10).bases, 50);
+        assert!(at(10).false_reuse_rate == 0.0, "{:?}", at(10));
+        assert!(at(10).max_rel_err < 1e-9);
+        // m = 20 stays exact.
+        assert_eq!(at(20).bases, 50);
+    }
+
+    #[test]
+    fn markov_error_grows_with_branching_but_stays_bounded() {
+        let rows = run_markov(Scale { n_samples: 150, m: 10, space_divisor: 4 });
+        assert_eq!(rows[0].mean_rel_err, 0.0, "p=0 must be exact");
+        let last = rows.last().unwrap();
+        assert!(last.mean_rel_err < 0.2, "error unexpectedly large: {last:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal text-table rendering for experiment reports.
+
+/// A text table with a title, header, and rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-style markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = format!("### {}\n\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = *w))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Format a dimensionless ratio.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["model", "time"]);
+        t.row(vec!["Demand".into(), "0.1 s".into()]);
+        t.row(vec!["C".into(), "2 s".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("| model  | time  |"));
+        assert!(md.contains("| Demand | 0.1 s |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0021), "2.10 ms");
+        assert_eq!(fmt_secs(3e-7), "0.3 µs");
+        assert_eq!(fmt_ratio(102.4), "102.40×");
+    }
+}

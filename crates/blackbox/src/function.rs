@@ -1,0 +1,168 @@
+//! The black-box function traits.
+
+use jigsaw_prng::Seed;
+
+/// A parameterized stochastic black-box function (a scalar VG-function).
+///
+/// The engine interacts with implementations *only* through
+/// [`eval`](BlackBox::eval): no continuity, monotonicity, or distributional
+/// assumptions are made (paper §1). Determinism contract: `eval(p, σ)` must
+/// return the same value for the same `(p, σ)` — all randomness must come
+/// from a generator seeded with `σ` (usually via
+/// [`jigsaw_prng::Xoshiro256pp::seeded`]).
+pub trait BlackBox: Send + Sync {
+    /// Human-readable name, used in catalogs, plans and reports.
+    fn name(&self) -> &str;
+
+    /// Number of parameters the function expects.
+    fn arity(&self) -> usize;
+
+    /// Evaluate the function at parameter point `params` under seed `seed`.
+    ///
+    /// `params.len()` must equal [`arity`](BlackBox::arity); implementations
+    /// may assert this.
+    fn eval(&self, params: &[f64], seed: Seed) -> f64;
+}
+
+/// Blanket implementation so engines can hold `Box<dyn BlackBox>` behind
+/// shared references.
+impl<B: BlackBox + ?Sized> BlackBox for &B {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        (**self).eval(params, seed)
+    }
+}
+
+impl<B: BlackBox + ?Sized> BlackBox for std::sync::Arc<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        (**self).eval(params, seed)
+    }
+}
+
+/// A black-box model evaluated as a Markov process (paper §4).
+///
+/// Each sample instance carries a scalar *chain state* (the paper's `CHAIN`
+/// parameter — e.g. a feature-release week driven by past demand). At step
+/// `t` the model produces an output given the chain state, and the chain
+/// state then evolves as a function of that output.
+///
+/// Seeds are derived statelessly per `(instance, step)` by the engine
+/// ([`jigsaw_prng::stream_seed`]) so that evaluation order cannot perturb
+/// the randomness — a requirement for Markov jumps to be comparable with
+/// stepwise simulation.
+pub trait MarkovModel: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// The chain state every instance starts from (`INITIAL VALUE` in the
+    /// query language).
+    fn initial_chain(&self) -> f64;
+
+    /// The model output at `step` for an instance with chain state `chain`.
+    fn output(&self, step: usize, chain: f64, seed: Seed) -> f64;
+
+    /// Evolve the chain state after observing `output` at `step`.
+    ///
+    /// Receives its own seed (derived from the step seed) so that stochastic
+    /// transitions (e.g. `MarkovBranch`) stay reproducible.
+    fn next_chain(&self, step: usize, chain: f64, output: f64, seed: Seed) -> f64;
+}
+
+impl<M: MarkovModel + ?Sized> MarkovModel for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn initial_chain(&self) -> f64 {
+        (**self).initial_chain()
+    }
+    fn output(&self, step: usize, chain: f64, seed: Seed) -> f64 {
+        (**self).output(step, chain, seed)
+    }
+    fn next_chain(&self, step: usize, chain: f64, output: f64, seed: Seed) -> f64 {
+        (**self).next_chain(step, chain, output, seed)
+    }
+}
+
+impl<M: MarkovModel + ?Sized> MarkovModel for std::sync::Arc<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn initial_chain(&self) -> f64 {
+        (**self).initial_chain()
+    }
+    fn output(&self, step: usize, chain: f64, seed: Seed) -> f64 {
+        (**self).output(step, chain, seed)
+    }
+    fn next_chain(&self, step: usize, chain: f64, output: f64, seed: Seed) -> f64 {
+        (**self).next_chain(step, chain, output, seed)
+    }
+}
+
+/// Adapter exposing a plain closure as a [`BlackBox`] — handy in tests and
+/// for users prototyping models inline.
+pub struct FnBlackBox<F> {
+    name: String,
+    arity: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], Seed) -> f64 + Send + Sync> FnBlackBox<F> {
+    /// Wrap a closure. The closure must obey the determinism contract.
+    pub fn new(name: impl Into<String>, arity: usize, f: F) -> Self {
+        FnBlackBox { name: name.into(), arity, f }
+    }
+}
+
+impl<F: Fn(&[f64], Seed) -> f64 + Send + Sync> BlackBox for FnBlackBox<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn arity(&self) -> usize {
+        self.arity
+    }
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        assert_eq!(params.len(), self.arity, "{}: arity mismatch", self.name);
+        (self.f)(params, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_blackbox_delegates() {
+        let bb = FnBlackBox::new("sum", 2, |p: &[f64], _s| p[0] + p[1]);
+        assert_eq!(bb.name(), "sum");
+        assert_eq!(bb.arity(), 2);
+        assert_eq!(bb.eval(&[1.0, 2.0], Seed(0)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn fn_blackbox_checks_arity() {
+        let bb = FnBlackBox::new("one", 1, |p: &[f64], _s| p[0]);
+        let _ = bb.eval(&[1.0, 2.0], Seed(0));
+    }
+
+    #[test]
+    fn reference_and_arc_forward() {
+        let bb = FnBlackBox::new("id", 1, |p: &[f64], _s| p[0]);
+        let r: &dyn BlackBox = &bb;
+        assert_eq!((&r).eval(&[5.0], Seed(1)), 5.0);
+        let a = std::sync::Arc::new(FnBlackBox::new("id2", 1, |p: &[f64], _s| p[0] * 2.0));
+        assert_eq!(a.eval(&[5.0], Seed(1)), 10.0);
+        assert_eq!(a.name(), "id2");
+    }
+}

@@ -1,0 +1,214 @@
+//! `Capacity(current_date, purchase1, purchase2)` — paper Figure 6.
+//!
+//! "The Capacity black box simulates a series of purchases. Each purchase
+//! increases the capacity of the server cluster after an exponentially
+//! distributed delay." Viewed as a time series, the expectation is a step
+//! function with a *structure* after each purchase date: a window in which
+//! the hardware is online in only an (exponentially shrinking) fraction of
+//! the sampled worlds (paper §6.2, Figure 9).
+//!
+//! ## Correlation structure
+//!
+//! The per-instance online delay is drawn once from the instance seed and
+//! shared by both purchases. Consequently the output at offset `o` after a
+//! purchase depends only on `o` and on how many *other* purchases are fully
+//! online — which makes points in different structures exact affine images
+//! of one another (e.g. "four weeks after one purchase" maps onto "four
+//! weeks after the other", as the paper reports observing). Setting
+//! [`Capacity::independent_delays`] gives each purchase its own delay draw
+//! instead, which breaks cross-structure reuse; the ablation benchmark uses
+//! it to show how much that sharing is worth.
+
+use jigsaw_prng::dist::{Distribution, Exponential};
+use jigsaw_prng::{Seed, Xoshiro256pp};
+
+use crate::function::BlackBox;
+use crate::work::Workload;
+
+/// Seed-derivation keys: one shared delay stream, plus per-purchase streams
+/// for the `independent_delays` mode.
+const K_SHARED_DELAY: u64 = 0xCA11_0000;
+const K_PURCHASE_BASE: u64 = 0xCA11_1000;
+
+/// Cluster-capacity model. Parameters: `[current_date, purchase1, purchase2]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacity {
+    /// Capacity already online at date 0 (CPU cores).
+    pub base: f64,
+    /// Cores added by each purchase once online.
+    pub volume: f64,
+    /// Mean of the exponential online-delay, in weeks. This is the
+    /// *structure size* knob of Figure 9; `0.0` means instantly online.
+    pub delay_scale: f64,
+    /// Draw an independent delay per purchase instead of one shared delay
+    /// per instance (ablation mode; see module docs).
+    pub independent_delays: bool,
+    /// Synthetic per-invocation cost.
+    pub work: Workload,
+}
+
+impl Capacity {
+    /// Defaults sized to pair with [`crate::models::Demand::enterprise`]:
+    /// a 500-core cluster buying 400-core batches, ~2-week online delays.
+    pub fn enterprise() -> Self {
+        Capacity {
+            base: 500.0,
+            volume: 400.0,
+            delay_scale: 2.0,
+            independent_delays: false,
+            work: Workload::NONE,
+        }
+    }
+
+    /// Set the structure size (mean online delay in weeks).
+    pub fn with_delay_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "delay scale must be >= 0");
+        self.delay_scale = scale;
+        self
+    }
+
+    /// Use an independent delay draw per purchase (ablation mode).
+    pub fn with_independent_delays(mut self, on: bool) -> Self {
+        self.independent_delays = on;
+        self
+    }
+
+    /// Set the synthetic workload.
+    pub fn with_work(mut self, work: Workload) -> Self {
+        self.work = work;
+        self
+    }
+
+    fn delay(&self, seed: Seed, purchase_idx: usize) -> f64 {
+        if self.delay_scale == 0.0 {
+            return 0.0;
+        }
+        let key = if self.independent_delays {
+            K_PURCHASE_BASE + purchase_idx as u64
+        } else {
+            K_SHARED_DELAY
+        };
+        let mut rng = Xoshiro256pp::seeded(seed.derive(key));
+        Exponential::from_mean(self.delay_scale).sample(&mut rng)
+    }
+}
+
+impl Default for Capacity {
+    fn default() -> Self {
+        Capacity::enterprise()
+    }
+}
+
+impl BlackBox for Capacity {
+    fn name(&self) -> &str {
+        "Capacity"
+    }
+
+    fn arity(&self) -> usize {
+        3
+    }
+
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        assert_eq!(params.len(), 3, "Capacity expects [current_date, purchase1, purchase2]");
+        self.work.burn();
+        let date = params[0];
+        let mut cap = self.base;
+        for (i, &p) in params[1..].iter().enumerate() {
+            if date >= p && (date - p) >= self.delay(seed, i) {
+                cap += self.volume;
+            }
+        }
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_prng::SeedSet;
+
+    fn expectation(c: &Capacity, params: &[f64], n: usize) -> f64 {
+        let seeds = SeedSet::new(7);
+        (0..n).map(|k| c.eval(params, seeds.seed(k))).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn before_any_purchase_capacity_is_base() {
+        let c = Capacity::enterprise();
+        let seeds = SeedSet::new(7);
+        for k in 0..50 {
+            assert_eq!(c.eval(&[5.0, 20.0, 40.0], seeds.seed(k)), 500.0);
+        }
+    }
+
+    #[test]
+    fn long_after_both_purchases_everything_is_online() {
+        let c = Capacity::enterprise();
+        // 30+ weeks past both purchases with mean delay 2: P(offline) ~ e^-15.
+        let e = expectation(&c, &[52.0, 10.0, 20.0], 2000);
+        assert_eq!(e, 500.0 + 2.0 * 400.0);
+    }
+
+    #[test]
+    fn structure_region_is_a_mixture() {
+        let c = Capacity::enterprise();
+        // 1 week after purchase 1: online fraction = 1 - e^(-1/2) ≈ 0.39.
+        let e = expectation(&c, &[11.0, 10.0, 40.0], 20_000);
+        let want = 500.0 + 400.0 * (1.0 - (-0.5f64).exp());
+        assert!((e - want).abs() < 10.0, "E={e} want≈{want}");
+    }
+
+    #[test]
+    fn zero_delay_scale_is_deterministic_step() {
+        let c = Capacity::enterprise().with_delay_scale(0.0);
+        let seeds = SeedSet::new(7);
+        for k in 0..20 {
+            assert_eq!(c.eval(&[10.0, 10.0, 40.0], seeds.seed(k)), 900.0);
+            assert_eq!(c.eval(&[9.0, 10.0, 40.0], seeds.seed(k)), 500.0);
+        }
+    }
+
+    #[test]
+    fn shared_delay_makes_structures_congruent() {
+        // Offset o after purchase 1 (other far away) must equal offset o
+        // after purchase 2 (other fully online) minus the constant volume —
+        // the cross-structure reuse the paper observed.
+        let c = Capacity::enterprise();
+        let seeds = SeedSet::new(11);
+        for k in 0..100 {
+            let s = seeds.seed(k);
+            // Purchase 1 at 30, offset 3, purchase 2 far in the future.
+            let a = c.eval(&[33.0, 30.0, 520.0], s);
+            // Purchase 2 at 30, offset 3, purchase 1 long online.
+            let b = c.eval(&[33.0, 0.0, 30.0], s);
+            assert_eq!(b - a, 400.0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn independent_delays_break_congruence() {
+        let c = Capacity::enterprise().with_independent_delays(true);
+        let seeds = SeedSet::new(11);
+        let diffs: Vec<f64> = (0..200)
+            .map(|k| {
+                let s = seeds.seed(k);
+                let a = c.eval(&[31.0, 30.0, 520.0], s);
+                let b = c.eval(&[31.0, 0.0, 30.0], s);
+                b - a
+            })
+            .collect();
+        // With independent delays the two structures disagree on some
+        // instances (one online, the other not).
+        assert!(
+            diffs.iter().any(|&d| d != 400.0),
+            "expected at least one divergent instance"
+        );
+    }
+
+    #[test]
+    fn simultaneous_purchases_stack() {
+        let c = Capacity::enterprise();
+        let e = expectation(&c, &[52.0, 10.0, 10.0], 1000);
+        assert_eq!(e, 1300.0);
+    }
+}

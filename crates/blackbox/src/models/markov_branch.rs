@@ -1,0 +1,143 @@
+//! `MarkovBranch(prior_state)` — paper Figure 6.
+//!
+//! "A synthetic black box where at each step, a state counter is
+//! incremented by one with a predefined probability. The states diverge at
+//! some specified rate." This is the stress model of Figure 12: the
+//! *branching factor* (per-step increment probability) controls how often
+//! the non-Markovian estimator breaks, sweeping Jigsaw from a ~`n/m`
+//! speedup (rare branches) to worse-than-naive (branches every few steps).
+//!
+//! Per-instance counters increment independently, so a branch in *any*
+//! fingerprint instance invalidates the estimator. Branches in instances
+//! outside the fingerprint are invisible until the next full rebuild — the
+//! approximation inherent to Algorithm 4 that experiment E7 quantifies.
+
+use jigsaw_prng::dist::Normal;
+use jigsaw_prng::{Seed, Xoshiro256pp};
+
+use crate::function::MarkovModel;
+use crate::work::Workload;
+
+/// Divergence stress model. Chain state = integer event counter (as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovBranch {
+    /// Per-step probability that an instance's counter increments.
+    pub branching: f64,
+    /// Output shift per counter increment (the discontinuity magnitude).
+    pub jump: f64,
+    /// Deterministic drift per step.
+    pub drift: f64,
+    /// Gaussian observation noise.
+    pub noise_sd: f64,
+    /// Synthetic per-step cost.
+    pub work: Workload,
+}
+
+impl MarkovBranch {
+    /// Create with the given branching factor and default shape constants.
+    pub fn new(branching: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&branching),
+            "branching factor must be in [0,1], got {branching}"
+        );
+        MarkovBranch { branching, jump: 10.0, drift: 0.5, noise_sd: 1.0, work: Workload::NONE }
+    }
+
+    /// Set the synthetic workload.
+    pub fn with_work(mut self, work: Workload) -> Self {
+        self.work = work;
+        self
+    }
+}
+
+impl MarkovModel for MarkovBranch {
+    fn name(&self) -> &str {
+        "MarkovBranch"
+    }
+
+    fn initial_chain(&self) -> f64 {
+        0.0
+    }
+
+    fn output(&self, step: usize, chain: f64, seed: Seed) -> f64 {
+        self.work.burn();
+        let mut rng = Xoshiro256pp::seeded(seed);
+        self.drift * step as f64 + self.jump * chain + self.noise_sd * Normal::standard(&mut rng)
+    }
+
+    fn next_chain(&self, _step: usize, chain: f64, _output: f64, seed: Seed) -> f64 {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        use jigsaw_prng::Rng;
+        if rng.bernoulli(self.branching) {
+            chain + 1.0
+        } else {
+            chain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_prng::stream_seed;
+
+    fn final_counter(b: &MarkovBranch, instance: usize, steps: usize) -> f64 {
+        let master = Seed(777);
+        let mut chain = b.initial_chain();
+        for t in 0..steps {
+            let s = stream_seed(master, instance, t);
+            let out = b.output(t, chain, s);
+            chain = b.next_chain(t, chain, out, s.derive(1));
+        }
+        chain
+    }
+
+    #[test]
+    fn zero_branching_never_increments() {
+        let b = MarkovBranch::new(0.0);
+        assert_eq!(final_counter(&b, 0, 200), 0.0);
+    }
+
+    #[test]
+    fn certain_branching_increments_every_step() {
+        let b = MarkovBranch::new(1.0);
+        assert_eq!(final_counter(&b, 0, 50), 50.0);
+    }
+
+    #[test]
+    fn increment_rate_matches_branching_factor() {
+        let b = MarkovBranch::new(0.05);
+        let steps = 400;
+        let n = 50;
+        let total: f64 = (0..n).map(|i| final_counter(&b, i, steps)).sum();
+        let rate = total / (n * steps) as f64;
+        assert!(
+            (rate - 0.05).abs() < 0.01,
+            "empirical increment rate {rate} vs 0.05"
+        );
+    }
+
+    #[test]
+    fn output_reflects_counter_jumps() {
+        let b = MarkovBranch::new(0.0);
+        // counter 0 vs counter 3 at same step/seed: difference exactly 3*jump.
+        let s = Seed(5);
+        let lo = b.output(10, 0.0, s);
+        let hi = b.output(10, 3.0, s);
+        assert!((hi - lo - 3.0 * b.jump).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_diverge_across_instances() {
+        let b = MarkovBranch::new(0.1);
+        let finals: Vec<f64> = (0..20).map(|i| final_counter(&b, i, 100)).collect();
+        let first = finals[0];
+        assert!(finals.iter().any(|&f| f != first), "all instances identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_branching_rejected() {
+        let _ = MarkovBranch::new(1.5);
+    }
+}

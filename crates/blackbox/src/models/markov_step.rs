@@ -1,0 +1,166 @@
+//! `MarkovStep(current_date, before_or_after)` — paper Figure 6.
+//!
+//! "A simple Markovian process simulating the behavior of Demand with a
+//! Markovian dependency introduced between feature release and the prior
+//! date's demand." This is the cyclical dependency of paper §4 / Figure 5:
+//! demand drives the feature-release decision, and the release in turn
+//! boosts demand.
+//!
+//! The chain state is the (per-instance) release week, `+inf` while the
+//! feature is unreleased. The discontinuity is *narrow*: demand grows
+//! roughly linearly, so all instances cross the release threshold within a
+//! few steps of each other — the "infrequent, closely correlated
+//! discontinuities in an otherwise non-Markovian process" that make Markov
+//! jumps profitable (§4).
+
+use jigsaw_prng::dist::Normal;
+use jigsaw_prng::{Seed, Xoshiro256pp};
+
+use crate::function::MarkovModel;
+use crate::models::Demand;
+use crate::work::Workload;
+
+/// Demand-driven feature-release Markov process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovStep {
+    /// The demand model (with the release week fed from the chain).
+    pub demand: Demand,
+    /// Demand level that triggers the release decision.
+    pub threshold: f64,
+    /// Steps between the decision and the actual release.
+    pub lag: usize,
+    /// Synthetic per-step cost.
+    pub work: Workload,
+}
+
+impl MarkovStep {
+    /// Paper-scale constants: growth 1/step, threshold crossing near step
+    /// `threshold / growth`.
+    pub fn paper(threshold: f64, lag: usize) -> Self {
+        MarkovStep { demand: Demand::paper(), threshold, lag, work: Workload::NONE }
+    }
+
+    /// Enterprise-scale variant pairing with [`Demand::enterprise`].
+    pub fn enterprise() -> Self {
+        MarkovStep { demand: Demand::enterprise(), threshold: 600.0, lag: 4, work: Workload::NONE }
+    }
+
+    /// Set the synthetic workload.
+    pub fn with_work(mut self, work: Workload) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// The step at which the *mean* demand crosses the threshold — the
+    /// center of the discontinuity region, useful for sizing experiments.
+    pub fn expected_crossing_step(&self) -> usize {
+        (self.threshold / self.demand.growth).ceil() as usize
+    }
+}
+
+impl MarkovModel for MarkovStep {
+    fn name(&self) -> &str {
+        "MarkovStep"
+    }
+
+    fn initial_chain(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn output(&self, step: usize, chain: f64, seed: Seed) -> f64 {
+        self.work.burn();
+        let (mu, var) = self.demand.moments_at(step as f64, chain);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        mu + var.max(0.0).sqrt() * Normal::standard(&mut rng)
+    }
+
+    fn next_chain(&self, step: usize, chain: f64, output: f64, _seed: Seed) -> f64 {
+        if chain.is_infinite() && output >= self.threshold {
+            (step + self.lag) as f64
+        } else {
+            chain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_prng::{stream_seed, Seed};
+
+    /// Step one instance through the chain naively.
+    fn run_instance(m: &MarkovStep, instance: usize, steps: usize) -> (Vec<f64>, f64) {
+        let master = Seed(1234);
+        let mut chain = m.initial_chain();
+        let mut outputs = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let s = stream_seed(master, instance, t);
+            let out = m.output(t, chain, s);
+            chain = m.next_chain(t, chain, out, s.derive(1));
+            outputs.push(out);
+        }
+        (outputs, chain)
+    }
+
+    #[test]
+    fn release_eventually_happens() {
+        let m = MarkovStep::paper(30.0, 2);
+        let (_, chain) = run_instance(&m, 0, 100);
+        assert!(chain.is_finite(), "release never triggered");
+        // Release decision near step 30 (growth 1/step), plus lag 2.
+        assert!((25.0..45.0).contains(&chain), "release week {chain}");
+    }
+
+    #[test]
+    fn chain_is_absorbing_after_release() {
+        let m = MarkovStep::paper(30.0, 2);
+        let master = Seed(99);
+        let mut chain = m.initial_chain();
+        let mut release_seen = None;
+        for t in 0..100 {
+            let s = stream_seed(master, 3, t);
+            let out = m.output(t, chain, s);
+            chain = m.next_chain(t, chain, out, s.derive(1));
+            if chain.is_finite() {
+                if let Some(prev) = release_seen {
+                    assert_eq!(chain, prev, "release week changed after being set");
+                }
+                release_seen = Some(chain);
+            }
+        }
+        assert!(release_seen.is_some());
+    }
+
+    #[test]
+    fn crossing_is_tightly_clustered_across_instances() {
+        // The paper's premise: discontinuities are closely correlated, so
+        // the Markovian region is narrow.
+        let m = MarkovStep::paper(30.0, 2);
+        let releases: Vec<f64> = (0..50).map(|i| run_instance(&m, i, 100).1).collect();
+        let lo = releases.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = releases.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo < 20.0, "crossing spread too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn boosted_after_release() {
+        let m = MarkovStep::paper(30.0, 0);
+        // With chain = release at week 10, output at week 40 should be drawn
+        // from the boosted distribution (mean 40 + 0.2*30 = 46).
+        let mut acc = 0.0;
+        let n = 20_000;
+        for k in 0..n {
+            acc += m.output(40, 10.0, Seed(k as u64));
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 46.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn expected_crossing_step_formula() {
+        let m = MarkovStep::paper(30.0, 2);
+        assert_eq!(m.expected_crossing_step(), 30);
+        let e = MarkovStep::enterprise();
+        assert_eq!(e.expected_crossing_step(), 30);
+    }
+}

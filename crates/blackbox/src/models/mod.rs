@@ -1,0 +1,29 @@
+//! The paper's Figure 6 black-box catalog.
+//!
+//! > "Though several synthetic black-boxes are used to identify specific
+//! > performance characteristics, the Capacity, Demand, Overload, User
+//! > Selection and Markov Step black boxes are permutations of actual
+//! > Jigsaw use cases in real cloud infrastructure management scenarios.
+//! > Specific numbers (i.e., the mean and standard deviation of a normal
+//! > distribution) have been replaced by ad-hoc values, but the structure
+//! > of these models remains intact." — paper §6
+//!
+//! We reproduce the same structures with our own ad-hoc constants. Each
+//! module documents the structural properties (code paths, correlation
+//! regimes, expected basis counts) that the experiments rely on.
+
+mod capacity;
+mod demand;
+mod markov_branch;
+mod markov_step;
+mod overload;
+mod synth_basis;
+mod user_selection;
+
+pub use capacity::Capacity;
+pub use demand::{Demand, DemandTwoDraw};
+pub use markov_branch::MarkovBranch;
+pub use markov_step::MarkovStep;
+pub use overload::Overload;
+pub use synth_basis::SynthBasis;
+pub use user_selection::{UserProfile, UserSelection};

@@ -1,0 +1,148 @@
+//! `Overload(current_date, purchase1, purchase2)` — paper Figure 6.
+//!
+//! "A black box synthesized from Capacity and Demand. Demand's feature
+//! release is ignored, and this black box returns 1 if Demand is greater
+//! than Capacity, and 0 otherwise."
+//!
+//! Overload is the paper's cautionary example (§6.2): although both
+//! constituent models enjoy heavy basis reuse, the boolean comparison
+//! destroys the magnitude information that affine mappings transport, so
+//! only fingerprints with *identical* 0/1 patterns merge and the speedup
+//! drops to about 2×. (The suggested fix — symbolic composition of the
+//! constituents' mapping functions — is implemented in
+//! `jigsaw-core::mapping::compose` and evaluated as an ablation.)
+
+use jigsaw_prng::Seed;
+
+use crate::function::BlackBox;
+use crate::models::{Capacity, Demand};
+use crate::work::Workload;
+
+/// Sub-seed keys so Demand and Capacity consume independent randomness.
+const K_DEMAND: u64 = 0x0D0D_0001;
+const K_CAPACITY: u64 = 0x0D0D_0002;
+
+/// Boolean overload indicator. Parameters: `[current_date, purchase1, purchase2]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overload {
+    /// The demand constituent (feature release forced to +inf).
+    pub demand: Demand,
+    /// The capacity constituent.
+    pub capacity: Capacity,
+}
+
+impl Overload {
+    /// Enterprise-scale pairing: demand crosses the un-expanded cluster
+    /// around week 25, so purchase timing genuinely matters.
+    pub fn enterprise() -> Self {
+        Overload { demand: Demand::enterprise(), capacity: Capacity::enterprise() }
+    }
+
+    /// Apply the same synthetic workload to both constituents.
+    pub fn with_work(mut self, work: Workload) -> Self {
+        self.demand.work = work;
+        self.capacity.work = work;
+        self
+    }
+
+    /// Evaluate the two constituents separately (used by the symbolic
+    /// composition ablation, which needs the raw magnitudes).
+    pub fn constituents(&self, params: &[f64], seed: Seed) -> (f64, f64) {
+        let demand = self.demand.eval(&[params[0], f64::INFINITY], seed.derive(K_DEMAND));
+        let capacity = self.capacity.eval(params, seed.derive(K_CAPACITY));
+        (demand, capacity)
+    }
+}
+
+impl Default for Overload {
+    fn default() -> Self {
+        Overload::enterprise()
+    }
+}
+
+impl BlackBox for Overload {
+    fn name(&self) -> &str {
+        "Overload"
+    }
+
+    fn arity(&self) -> usize {
+        3
+    }
+
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        assert_eq!(params.len(), 3, "Overload expects [current_date, purchase1, purchase2]");
+        let (demand, capacity) = self.constituents(params, seed);
+        if capacity < demand {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_prng::SeedSet;
+
+    fn risk(o: &Overload, params: &[f64], n: usize) -> f64 {
+        let seeds = SeedSet::new(3);
+        (0..n).map(|k| o.eval(params, seeds.seed(k))).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn output_is_boolean() {
+        let o = Overload::enterprise();
+        let seeds = SeedSet::new(3);
+        for k in 0..100 {
+            let x = o.eval(&[30.0, 10.0, 20.0], seeds.seed(k));
+            assert!(x == 0.0 || x == 1.0);
+        }
+    }
+
+    #[test]
+    fn early_weeks_have_negligible_risk() {
+        let o = Overload::enterprise();
+        // Week 5: demand ~ N(100, 80), capacity >= 500.
+        assert!(risk(&o, &[5.0, 10.0, 20.0], 2000) < 0.01);
+    }
+
+    #[test]
+    fn late_weeks_without_purchases_overload() {
+        let o = Overload::enterprise();
+        // Week 50 with purchases that never happened (week 200+): demand
+        // ~N(1000, 800) vs capacity 500.
+        assert!(risk(&o, &[50.0, 200.0, 220.0], 2000) > 0.95);
+    }
+
+    #[test]
+    fn timely_purchases_remove_risk() {
+        let o = Overload::enterprise();
+        // Both purchases online well before demand reaches 1300.
+        let r = risk(&o, &[50.0, 10.0, 20.0], 2000);
+        assert!(r < 0.05, "risk {r}");
+    }
+
+    #[test]
+    fn feature_release_is_ignored() {
+        // Demand is called with feature = +inf; the boost branch must never
+        // fire, so moments_at with any feature must not matter. We verify by
+        // checking determinism of constituents against the direct formula.
+        let o = Overload::enterprise();
+        let (d, _) = o.constituents(&[40.0, 10.0, 20.0], Seed(9));
+        // d must come from the un-boosted distribution: reproduce manually.
+        let demand_model = Demand::enterprise();
+        let expect = demand_model.eval(&[40.0, f64::INFINITY], Seed(9).derive(K_DEMAND));
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn constituents_use_independent_seed_streams() {
+        let o = Overload::enterprise();
+        let (d1, c1) = o.constituents(&[30.0, 5.0, 10.0], Seed(1));
+        let (d2, c2) = o.constituents(&[30.0, 5.0, 10.0], Seed(2));
+        assert_ne!(d1, d2);
+        // capacity can coincide (discrete values) but the pair should differ
+        assert!(c1 == c2 || c1 != c2); // structural smoke; main check is d
+    }
+}

@@ -1,0 +1,178 @@
+//! `UserSelection(current_date)` — paper Figure 6.
+//!
+//! "The UserSim black box simulates the per-user requirements of each of a
+//! set of users." This is the *data-dependent* workload of the engine
+//! comparison (paper Figure 7): its cost scales with the size of a user
+//! table, not with model complexity, which is why the paper's SQL-Server-
+//! backed prototype beat the lightweight Ruby engine on it (252 s vs 34 s
+//! per parameter combination — the inversion our E1 experiment reproduces).
+//!
+//! Each user has a per-user gamma-distributed weekly requirement whose
+//! scale grows with the user's individual growth rate. The model output is
+//! the total requirement across the population.
+
+use jigsaw_prng::dist::{Categorical, Distribution, Gamma, Uniform};
+use jigsaw_prng::{Seed, SeedSet, Xoshiro256pp};
+
+use crate::function::BlackBox;
+use crate::work::Workload;
+
+/// A synthetic tenant profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserProfile {
+    /// Baseline weekly core requirement.
+    pub base: f64,
+    /// Weekly fractional growth of the requirement.
+    pub growth: f64,
+    /// Gamma shape of the week-to-week noise (higher = steadier).
+    pub shape: f64,
+}
+
+/// Population model. Parameter: `[current_date]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSelection {
+    users: Vec<UserProfile>,
+    /// Synthetic per-*user* cost (the per-invocation total scales with the
+    /// population, as a real per-user model evaluation would).
+    pub per_user_work: Workload,
+}
+
+impl UserSelection {
+    /// Build from an explicit population.
+    pub fn new(users: Vec<UserProfile>) -> Self {
+        assert!(!users.is_empty(), "UserSelection requires at least one user");
+        UserSelection { users, per_user_work: Workload::NONE }
+    }
+
+    /// Generate a deterministic synthetic population of `n` users from a
+    /// master seed. Three tenant classes (small / medium / whale) with
+    /// weights 80/18/2 give the heavy-tailed shape of real multi-tenant
+    /// clusters.
+    pub fn synthetic(n: usize, master: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let seeds = SeedSet::new(master);
+        let classes = Categorical::new(&[0.80, 0.18, 0.02]);
+        let mut users = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut rng = Xoshiro256pp::seeded(seeds.seed(u).derive(0x05E7));
+            let class = classes.sample_index(&mut rng);
+            let (base_lo, base_hi, growth_hi) = match class {
+                0 => (0.1, 2.0, 0.01),
+                1 => (2.0, 20.0, 0.03),
+                _ => (20.0, 200.0, 0.08),
+            };
+            users.push(UserProfile {
+                base: Uniform::new(base_lo, base_hi).sample(&mut rng),
+                growth: Uniform::new(0.0, growth_hi).sample(&mut rng),
+                shape: Uniform::new(1.0, 4.0).sample(&mut rng),
+            });
+        }
+        UserSelection { users, per_user_work: Workload::NONE }
+    }
+
+    /// The population.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Set the synthetic per-user workload.
+    pub fn with_per_user_work(mut self, work: Workload) -> Self {
+        self.per_user_work = work;
+        self
+    }
+
+    /// One user's requirement draw — exposed so the PDB engine can evaluate
+    /// the same model tuple-at-a-time over a users table (experiment E1).
+    pub fn user_requirement(profile: &UserProfile, week: f64, seed: Seed) -> f64 {
+        let mean = profile.base * (1.0 + profile.growth * week);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        Gamma::new(profile.shape, mean / profile.shape).sample(&mut rng)
+    }
+}
+
+impl BlackBox for UserSelection {
+    fn name(&self) -> &str {
+        "UserSelection"
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn eval(&self, params: &[f64], seed: Seed) -> f64 {
+        assert_eq!(params.len(), 1, "UserSelection expects [current_date]");
+        let week = params[0];
+        let mut total = 0.0;
+        for (u, profile) in self.users.iter().enumerate() {
+            self.per_user_work.burn();
+            total += Self::user_requirement(profile, week, seed.derive(u as u64));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_population_is_deterministic() {
+        let a = UserSelection::synthetic(100, 42);
+        let b = UserSelection::synthetic(100, 42);
+        assert_eq!(a.users(), b.users());
+        let c = UserSelection::synthetic(100, 43);
+        assert_ne!(a.users(), c.users());
+    }
+
+    #[test]
+    fn total_grows_with_week() {
+        let us = UserSelection::synthetic(500, 1);
+        let seeds = SeedSet::new(9);
+        let total = |week: f64| -> f64 {
+            (0..200).map(|k| us.eval(&[week], seeds.seed(k))).sum::<f64>() / 200.0
+        };
+        let early = total(0.0);
+        let late = total(52.0);
+        assert!(late > early, "expected growth: {early} -> {late}");
+    }
+
+    #[test]
+    fn output_is_positive() {
+        let us = UserSelection::synthetic(50, 2);
+        let seeds = SeedSet::new(10);
+        for k in 0..50 {
+            assert!(us.eval(&[26.0], seeds.seed(k)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn expectation_matches_sum_of_user_means() {
+        let us = UserSelection::synthetic(200, 3);
+        let week = 10.0;
+        let want: f64 =
+            us.users().iter().map(|u| u.base * (1.0 + u.growth * week)).sum();
+        let seeds = SeedSet::new(11);
+        let n = 3000;
+        let got = (0..n).map(|k| us.eval(&[week], seeds.seed(k))).sum::<f64>() / n as f64;
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "empirical {got} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn per_user_streams_are_independent() {
+        // Same instance seed, different users must draw differently.
+        let p = UserProfile { base: 1.0, growth: 0.0, shape: 2.0 };
+        let s = Seed(77);
+        let a = UserSelection::user_requirement(&p, 0.0, s.derive(0));
+        let b = UserSelection::user_requirement(&p, 0.0, s.derive(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_population_rejected() {
+        let _ = UserSelection::new(vec![]);
+    }
+}

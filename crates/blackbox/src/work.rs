@@ -1,0 +1,74 @@
+//! Synthetic per-invocation work.
+//!
+//! The paper's motivating VG-functions wrap externally fitted models whose
+//! evaluation is expensive — "even relatively simple scenarios taking tens
+//! of minutes, or even hours to evaluate" (§1). Our re-implemented models
+//! are cheap Rust, which would understate the value of invocation reuse in
+//! wall-clock benches. [`Workload`] restores realistic per-call cost with a
+//! deterministic, optimizer-proof busy loop whose magnitude is configurable
+//! per experiment.
+
+use std::hint::black_box;
+
+use jigsaw_prng::splitmix::mix64;
+
+/// A busy-work knob: `units` rounds of 64-bit mixing per invocation.
+///
+/// `Workload(0)` is free (no loop, no call overhead worth measuring).
+/// Each unit is ~1ns-scale; experiments use values around 10³–10⁴ to emulate
+/// a model that costs microseconds per sample, as external models do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Workload(pub u64);
+
+impl Workload {
+    /// No synthetic work.
+    pub const NONE: Workload = Workload(0);
+
+    /// Burn the configured number of mix rounds. The result is fed through
+    /// [`black_box`] so the loop cannot be elided in release builds.
+    #[inline]
+    pub fn burn(&self) {
+        if self.0 == 0 {
+            return;
+        }
+        let mut acc = 0x5EED_u64;
+        for i in 0..self.0 {
+            acc = mix64(acc ^ i);
+        }
+        black_box(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workload_is_noop() {
+        Workload::NONE.burn(); // must not panic or spin
+    }
+
+    #[test]
+    fn larger_workload_takes_longer() {
+        use std::time::Instant;
+        let small = Workload(1_000);
+        let large = Workload(1_000_000);
+        // Warm up.
+        small.burn();
+        large.burn();
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            small.burn();
+        }
+        let t_small = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..10 {
+            large.burn();
+        }
+        let t_large = t1.elapsed();
+        assert!(
+            t_large > t_small,
+            "1e6 units ({t_large:?}) should outlast 1e3 units ({t_small:?})"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Basis distributions and the basis store.
+//!
+//! "During execution, Jigsaw incrementally maintains a set of basis
+//! distributions. Each basis distribution is a tuple (θ_i, o_i), implying
+//! that Jigsaw has already computed the output metrics o_i for some F(P_i)
+//! with fingerprint θ_i." (paper §3.1)
+//!
+//! [`BasisStore::find_match`] is the paper's Algorithm 3 (`FindMatch`): the
+//! index proposes candidates, the mapping family validates them, and the
+//! first validated mapping wins.
+
+use std::sync::Arc;
+
+use jigsaw_pdb::OutputMetrics;
+
+use crate::config::{IndexStrategy, JigsawConfig};
+use crate::fingerprint::Fingerprint;
+use crate::index::{make_index, FingerprintIndex};
+use crate::mapping::{AffineMap, MappingFamily};
+
+/// Identifier of a basis distribution within a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BasisId(pub usize);
+
+/// One memoized simulation: fingerprint plus computed output metrics.
+#[derive(Debug, Clone)]
+pub struct BasisDistribution {
+    /// Store-local id.
+    pub id: BasisId,
+    /// The fingerprint `θ_i`.
+    pub fingerprint: Fingerprint,
+    /// The output metrics `o_i`.
+    pub metrics: OutputMetrics,
+}
+
+/// The incrementally-maintained set of basis distributions for one output
+/// column of one simulation.
+pub struct BasisStore {
+    bases: Vec<BasisDistribution>,
+    index: Box<dyn FingerprintIndex>,
+    family: Arc<dyn MappingFamily>,
+    tolerance: f64,
+    /// Mapping validations attempted (candidate pairings tested) — the
+    /// quantity indexing exists to minimize (Figures 10/11).
+    pub pairings_tested: u64,
+}
+
+impl BasisStore {
+    /// Create a store with the configured index strategy and mapping family.
+    pub fn new(cfg: &JigsawConfig, family: Arc<dyn MappingFamily>) -> Self {
+        BasisStore {
+            bases: Vec::new(),
+            index: make_index(cfg.index, cfg.tolerance),
+            family,
+            tolerance: cfg.tolerance,
+            pairings_tested: 0,
+        }
+    }
+
+    /// Convenience constructor with explicit strategy.
+    pub fn with_strategy(
+        strategy: IndexStrategy,
+        tolerance: f64,
+        family: Arc<dyn MappingFamily>,
+    ) -> Self {
+        BasisStore {
+            bases: Vec::new(),
+            index: make_index(strategy, tolerance),
+            family,
+            tolerance,
+            pairings_tested: 0,
+        }
+    }
+
+    /// Number of basis distributions.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True when no basis has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The bases (for reporting).
+    pub fn bases(&self) -> &[BasisDistribution] {
+        &self.bases
+    }
+
+    /// Fetch a basis by id.
+    pub fn get(&self, id: BasisId) -> &BasisDistribution {
+        &self.bases[id.0]
+    }
+
+    /// Algorithm 3: find a basis and mapping such that
+    /// `M(basis.fingerprint) ≈ fp`.
+    pub fn find_match(&mut self, fp: &Fingerprint) -> Option<(BasisId, AffineMap)> {
+        let candidates = self.index.candidates(fp);
+        for cid in candidates {
+            self.pairings_tested += 1;
+            let basis = &self.bases[cid];
+            if let Some(m) = self.family.find(&basis.fingerprint, fp, self.tolerance) {
+                return Some((basis.id, m));
+            }
+        }
+        None
+    }
+
+    /// Record a new basis distribution (after a full simulation).
+    pub fn insert(&mut self, fingerprint: Fingerprint, metrics: OutputMetrics) -> BasisId {
+        let id = BasisId(self.bases.len());
+        self.index.insert(id.0, &fingerprint);
+        self.bases.push(BasisDistribution { id, fingerprint, metrics });
+        id
+    }
+
+    /// Resolve metrics for a fingerprint: reuse through a mapping when one
+    /// exists. Returns `(metrics, Some(basis))` on reuse, `None` on miss.
+    pub fn resolve(&mut self, fp: &Fingerprint) -> Option<(OutputMetrics, BasisId)> {
+        let (id, m) = self.find_match(fp)?;
+        Some((m.apply_metrics(&self.get(id).metrics), id))
+    }
+
+    /// Fold additional samples into a basis (interactive refinement).
+    pub fn refine(&mut self, id: BasisId, samples: &[f64]) {
+        self.bases[id.0].metrics.extend(samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AffineFamily;
+
+    fn store(strategy: IndexStrategy) -> BasisStore {
+        BasisStore::with_strategy(strategy, 1e-9, Arc::new(AffineFamily))
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    fn metrics(v: &[f64]) -> OutputMetrics {
+        OutputMetrics::from_samples(v.to_vec())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut s = store(IndexStrategy::Normalization);
+        let base_fp = fp(&[1.0, 2.0, 3.0, 1.5]);
+        assert!(s.find_match(&base_fp).is_none());
+        let id = s.insert(base_fp.clone(), metrics(&[1.0, 2.0, 3.0, 1.5]));
+        // An affine image must match with the recovered map.
+        let image = fp(&[3.0, 5.0, 7.0, 4.0]); // 2x + 1
+        let (got, m) = s.find_match(&image).expect("hit");
+        assert_eq!(got, id);
+        assert!((m.alpha - 2.0).abs() < 1e-9);
+        assert!((m.beta - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_maps_metrics() {
+        let mut s = store(IndexStrategy::Array);
+        s.insert(fp(&[0.0, 1.0, 2.0]), metrics(&[0.0, 1.0, 2.0, 0.5, 1.5]));
+        let (m, _) = s.resolve(&fp(&[10.0, 12.0, 14.0])).expect("reuse");
+        // 2x + 10 applied to mean 1.0 → 12.0.
+        assert!((m.expectation() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_shapes_accumulate_bases() {
+        let mut s = store(IndexStrategy::Normalization);
+        s.insert(fp(&[0.0, 1.0, 2.0, 3.0]), metrics(&[0.0]));
+        assert!(s.find_match(&fp(&[0.0, 1.0, 4.0, 9.0])).is_none());
+        s.insert(fp(&[0.0, 1.0, 4.0, 9.0]), metrics(&[0.0]));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_affine_hits() {
+        let base = fp(&[0.3, 1.7, 0.9, 2.4, -0.5]);
+        let image = fp([0.3f64, 1.7, 0.9, 2.4, -0.5].map(|x| -1.5 * x + 2.0).as_ref());
+        for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid]
+        {
+            let mut s = store(strat);
+            let id = s.insert(base.clone(), metrics(&[1.0, 2.0]));
+            let (got, _) = s
+                .find_match(&image)
+                .unwrap_or_else(|| panic!("{strat:?} missed an affine image"));
+            assert_eq!(got, id);
+        }
+    }
+
+    #[test]
+    fn pairings_tested_reflects_index_quality() {
+        // With 20 non-mappable bases, the array index tests every pairing;
+        // normalization tests none (different buckets).
+        let shapes: Vec<Fingerprint> = (0..20)
+            .map(|c| {
+                fp(&(0..6)
+                    .map(|k| {
+                        let z = k as f64 - 2.5;
+                        z + c as f64 * z * z
+                    })
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        let probe = fp(&(0..6)
+            .map(|k| {
+                let z = k as f64 - 2.5;
+                z + 99.0 * z * z * z // unrelated shape
+            })
+            .collect::<Vec<_>>());
+
+        let mut arr = store(IndexStrategy::Array);
+        let mut norm = store(IndexStrategy::Normalization);
+        for (i, s) in shapes.iter().enumerate() {
+            arr.insert(s.clone(), metrics(&[i as f64]));
+            norm.insert(s.clone(), metrics(&[i as f64]));
+        }
+        assert!(arr.find_match(&probe).is_none());
+        assert!(norm.find_match(&probe).is_none());
+        assert_eq!(arr.pairings_tested, 20);
+        assert_eq!(norm.pairings_tested, 0);
+    }
+
+    #[test]
+    fn refine_grows_basis_metrics() {
+        let mut s = store(IndexStrategy::Array);
+        let id = s.insert(fp(&[1.0, 2.0]), metrics(&[1.0, 2.0]));
+        s.refine(id, &[3.0, 4.0]);
+        assert_eq!(s.get(id).metrics.n(), 4);
+    }
+}

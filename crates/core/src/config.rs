@@ -1,0 +1,126 @@
+//! Session configuration.
+
+/// Which candidate-lookup strategy the basis store uses (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexStrategy {
+    /// Compare against every basis fingerprint (the paper's baseline
+    /// "Array" strategy in Figures 10/11).
+    Array,
+    /// Hash on the affine-invariant normal form (first two distinct entries
+    /// mapped to 0 and 1).
+    #[default]
+    Normalization,
+    /// Hash on the sorted sample-identifier permutation (covers any
+    /// monotone mapping family; both orientations are probed).
+    SortedSid,
+}
+
+/// Tunables for a Jigsaw session.
+///
+/// Defaults follow the paper's experimental setup (§6): 1000 sample
+/// instances per parameter point and fingerprints of size 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JigsawConfig {
+    /// Fingerprint length `m`.
+    pub fingerprint_len: usize,
+    /// Total Monte Carlo samples `n` per parameter point (`n >= m`).
+    pub n_samples: usize,
+    /// Relative tolerance for fingerprint-entry matching. Floating-point
+    /// evaluation makes algebraically-exact affine relations only
+    /// approximately exact; this bounds the accepted residual.
+    pub tolerance: f64,
+    /// Candidate-lookup strategy.
+    pub index: IndexStrategy,
+}
+
+impl JigsawConfig {
+    /// The paper's defaults: `m = 10`, `n = 1000`, relative tolerance 1e-9,
+    /// normalization index.
+    pub fn paper() -> Self {
+        JigsawConfig {
+            fingerprint_len: 10,
+            n_samples: 1000,
+            tolerance: 1e-9,
+            index: IndexStrategy::Normalization,
+        }
+    }
+
+    /// Override the fingerprint length.
+    pub fn with_fingerprint_len(mut self, m: usize) -> Self {
+        self.fingerprint_len = m;
+        self
+    }
+
+    /// Override the sample count.
+    pub fn with_n_samples(mut self, n: usize) -> Self {
+        self.n_samples = n;
+        self
+    }
+
+    /// Override the index strategy.
+    pub fn with_index(mut self, index: IndexStrategy) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Override the matching tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Panic unless the configuration is internally consistent.
+    pub fn validate(&self) {
+        assert!(self.fingerprint_len >= 2, "fingerprints need >= 2 entries to fit a mapping");
+        assert!(
+            self.n_samples >= self.fingerprint_len,
+            "n_samples ({}) must be >= fingerprint_len ({})",
+            self.n_samples,
+            self.fingerprint_len
+        );
+        assert!(self.tolerance >= 0.0 && self.tolerance.is_finite());
+    }
+}
+
+impl Default for JigsawConfig {
+    fn default() -> Self {
+        JigsawConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = JigsawConfig::paper();
+        assert_eq!(c.fingerprint_len, 10);
+        assert_eq!(c.n_samples, 1000);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = JigsawConfig::paper()
+            .with_fingerprint_len(4)
+            .with_n_samples(100)
+            .with_index(IndexStrategy::SortedSid)
+            .with_tolerance(1e-6);
+        assert_eq!(c.fingerprint_len, 4);
+        assert_eq!(c.index, IndexStrategy::SortedSid);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= fingerprint_len")]
+    fn n_less_than_m_rejected() {
+        JigsawConfig::paper().with_n_samples(5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 entries")]
+    fn tiny_fingerprint_rejected() {
+        JigsawConfig::paper().with_fingerprint_len(1).validate();
+    }
+}

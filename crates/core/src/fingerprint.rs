@@ -1,0 +1,139 @@
+//! Fingerprints of stochastic functions.
+//!
+//! "The fingerprint of a parameterized stochastic function `F(P_i)`, with
+//! respect to a vector of `m` seed values `{σ_k}`, is the vector of size `m`
+//! where the k'th entry is the output of `F(P_i)` with `σ_k` as the random
+//! seed." (paper §3.1)
+//!
+//! Because the seed set is global and fixed, a fingerprint is a
+//! *deterministic* signature of the function's output distribution: two
+//! parameter points whose distributions are related by a mapping function
+//! produce fingerprints related by the same mapping, entry by entry.
+
+use std::fmt;
+
+/// A fingerprint: the function's outputs under the global seed vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint(Vec<f64>);
+
+impl Fingerprint {
+    /// Wrap raw outputs (entry `k` must correspond to seed `σ_k`).
+    pub fn new(entries: Vec<f64>) -> Self {
+        assert!(!entries.is_empty(), "fingerprints must be non-empty");
+        assert!(
+            entries.iter().all(|x| x.is_finite()),
+            "fingerprint entries must be finite"
+        );
+        Fingerprint(entries)
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Fingerprint length `m`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Never true (constructor rejects empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the first entry distinct from entry `i0` under relative
+    /// tolerance `tol`, scanning forward.
+    pub fn first_distinct_pair(&self, tol: f64) -> Option<(usize, usize)> {
+        let a = self.0[0];
+        for (j, &b) in self.0.iter().enumerate().skip(1) {
+            if !approx_eq(a, b, tol) {
+                return Some((0, j));
+            }
+        }
+        None
+    }
+
+    /// True when every entry equals every other within tolerance.
+    pub fn is_constant(&self, tol: f64) -> bool {
+        self.first_distinct_pair(tol).is_none()
+    }
+
+    /// Elementwise approximate equality.
+    pub fn approx_eq(&self, other: &Fingerprint, tol: f64) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(&a, &b)| approx_eq(a, b, tol))
+    }
+}
+
+/// Relative-tolerance scalar comparison: `|a − b| ≤ tol · max(1, |a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_pair_detection() {
+        let fp = Fingerprint::new(vec![2.0, 2.0, 2.0, 5.0, 7.0]);
+        assert_eq!(fp.first_distinct_pair(1e-9), Some((0, 3)));
+        let c = Fingerprint::new(vec![3.0; 4]);
+        assert_eq!(c.first_distinct_pair(1e-9), None);
+        assert!(c.is_constant(1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_scaling() {
+        // Near zero, tolerance is absolute.
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        // At magnitude 1e9, the same relative tolerance admits ~1 absolute.
+        assert!(approx_eq(1e9, 1e9 + 0.5, 1e-9));
+        assert!(!approx_eq(1e9, 1e9 + 10.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.001, 1e-9));
+    }
+
+    #[test]
+    fn fingerprint_approx_eq() {
+        let a = Fingerprint::new(vec![1.0, 2.0, 3.0]);
+        let b = Fingerprint::new(vec![1.0 + 1e-12, 2.0, 3.0 - 1e-12]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = Fingerprint::new(vec![1.0, 2.0]);
+        assert!(!a.approx_eq(&c, 1e-9), "length mismatch");
+        let d = Fingerprint::new(vec![1.0, 2.0, 4.0]);
+        assert!(!a.approx_eq(&d, 1e-9));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let fp = Fingerprint::new(vec![1.0, 2.5]);
+        assert_eq!(fp.to_string(), "[1.000000, 2.500000]");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        let _ = Fingerprint::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Fingerprint::new(vec![1.0, f64::NAN]);
+    }
+}

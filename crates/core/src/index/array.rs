@@ -1,0 +1,52 @@
+//! Naive array scan — the baseline of Figures 10 and 11.
+
+use crate::fingerprint::Fingerprint;
+
+use super::FingerprintIndex;
+
+/// Returns every registered basis as a candidate; the caller's mapping
+/// validation does all the work. O(#bases) mapping attempts per lookup.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayIndex {
+    ids: Vec<usize>,
+}
+
+impl ArrayIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FingerprintIndex for ArrayIndex {
+    fn name(&self) -> &str {
+        "array"
+    }
+
+    fn insert(&mut self, id: usize, _fp: &Fingerprint) {
+        self.ids.push(id);
+    }
+
+    fn candidates(&self, _fp: &Fingerprint) -> Vec<usize> {
+        self.ids.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_everything() {
+        let mut idx = ArrayIndex::new();
+        let fp = Fingerprint::new(vec![1.0, 2.0]);
+        idx.insert(7, &fp);
+        idx.insert(9, &fp);
+        assert_eq!(idx.candidates(&Fingerprint::new(vec![5.0, 5.0])), vec![7, 9]);
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fingerprint indexing (paper §3.2).
+//!
+//! "Instead of naively scanning every basis distribution, Jigsaw builds an
+//! index over the basis fingerprints. The goal of indexing is to quickly
+//! find a set of candidate basis fingerprints that are similar to a given
+//! fingerprint … The set of fingerprints returned by the index must contain
+//! all similar fingerprints \[and\] may contain few fingerprints that are not
+//! similar"; false positives are discarded by mapping validation.
+//!
+//! In this implementation an index *miss* is also harmless for
+//! correctness — it merely forfeits a reuse opportunity and triggers a full
+//! simulation — so quantization may be tuned for hash robustness rather
+//! than perfect recall.
+
+mod array;
+mod normal;
+mod sorted_sid;
+
+pub use array::ArrayIndex;
+pub use normal::NormalizationIndex;
+pub use sorted_sid::SortedSidIndex;
+
+use crate::config::IndexStrategy;
+use crate::fingerprint::Fingerprint;
+
+/// A candidate-lookup structure over basis fingerprints.
+pub trait FingerprintIndex: Send + Sync {
+    /// Strategy name for reports.
+    fn name(&self) -> &str;
+
+    /// Register a basis fingerprint under `id`.
+    fn insert(&mut self, id: usize, fp: &Fingerprint);
+
+    /// Ids of bases that may map onto `fp`; superset semantics are
+    /// best-effort (see module docs), and every candidate is re-validated
+    /// by the caller.
+    fn candidates(&self, fp: &Fingerprint) -> Vec<usize>;
+
+    /// Number of registered fingerprints.
+    fn len(&self) -> usize;
+
+    /// True when nothing is registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Instantiate the index for a configured strategy.
+pub fn make_index(strategy: IndexStrategy, tolerance: f64) -> Box<dyn FingerprintIndex> {
+    match strategy {
+        IndexStrategy::Array => Box::new(ArrayIndex::new()),
+        IndexStrategy::Normalization => Box::new(NormalizationIndex::new(tolerance)),
+        IndexStrategy::SortedSid => Box::new(SortedSidIndex::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_dispatches() {
+        assert_eq!(make_index(IndexStrategy::Array, 1e-9).name(), "array");
+        assert_eq!(make_index(IndexStrategy::Normalization, 1e-9).name(), "normalization");
+        assert_eq!(make_index(IndexStrategy::SortedSid, 1e-9).name(), "sorted-sid");
+    }
+
+    #[test]
+    fn empty_index_has_no_candidates() {
+        for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+            let idx = make_index(strat, 1e-9);
+            assert!(idx.is_empty());
+            assert!(idx.candidates(&Fingerprint::new(vec![1.0, 2.0])).is_empty());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Normalization index (paper §3.2, "Normalization").
+//!
+//! "Translate the fingerprints to their normal forms so that two similar
+//! fingerprints have the same normal form (and hence can be retrieved by a
+//! hash lookup) … a fingerprint's normal form can be produced by taking the
+//! first two distinct sample values and identifying the linear translation
+//! that maps them to 0 and 1."
+//!
+//! The normal form is invariant under *any* affine map `αx + β` (α ≠ 0):
+//! if `θ' = αθ + β` then `(θ'_k − θ'_{i0}) / (θ'_{i1} − θ'_{i0})` equals the
+//! same expression over `θ`. Constant fingerprints (no distinct pair) get a
+//! dedicated bucket.
+//!
+//! Normal-form entries are quantized to a grid (1e-6 by default, coarser
+//! than the mapping tolerance) before hashing; values within tolerance land
+//! in the same cell except at cell boundaries, where the resulting index
+//! miss costs a redundant simulation but never an incorrect answer.
+
+use std::collections::HashMap;
+
+use crate::fingerprint::Fingerprint;
+
+use super::FingerprintIndex;
+
+/// Quantization grid for normal-form hashing.
+const QUANTUM: f64 = 1e-6;
+
+/// Hash index on affine-invariant normal forms.
+#[derive(Debug, Clone)]
+pub struct NormalizationIndex {
+    tolerance: f64,
+    buckets: HashMap<Vec<i64>, Vec<usize>>,
+    len: usize,
+}
+
+impl NormalizationIndex {
+    /// Create with the session's matching tolerance (used to detect the
+    /// "first two distinct values").
+    pub fn new(tolerance: f64) -> Self {
+        NormalizationIndex { tolerance, buckets: HashMap::new(), len: 0 }
+    }
+
+    fn key(&self, fp: &Fingerprint) -> Vec<i64> {
+        match fp.first_distinct_pair(self.tolerance) {
+            // Constant fingerprint: canonical all-constant bucket.
+            None => Vec::new(),
+            Some((i0, i1)) => {
+                let a = fp.entries()[i0];
+                let span = fp.entries()[i1] - a;
+                fp.entries()
+                    .iter()
+                    .map(|&x| {
+                        let n = (x - a) / span;
+                        // Round to the grid; normal forms of mappable
+                        // fingerprints agree to ~tolerance, far below QUANTUM.
+                        (n / QUANTUM).round() as i64
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl FingerprintIndex for NormalizationIndex {
+    fn name(&self) -> &str {
+        "normalization"
+    }
+
+    fn insert(&mut self, id: usize, fp: &Fingerprint) {
+        self.buckets.entry(self.key(fp)).or_default().push(id);
+        self.len += 1;
+    }
+
+    fn candidates(&self, fp: &Fingerprint) -> Vec<usize> {
+        self.buckets.get(&self.key(fp)).cloned().unwrap_or_default()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AffineMap;
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    #[test]
+    fn affine_images_collide() {
+        let mut idx = NormalizationIndex::new(1e-9);
+        let base = fp(&[0.3, 1.7, 0.9, 2.4, -0.5]);
+        idx.insert(0, &base);
+        for (i, map) in [
+            AffineMap::new(2.0, 0.0),
+            AffineMap::new(1.0, 5.0),
+            AffineMap::new(-3.0, 1.0),
+            AffineMap::new(0.001, -9.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let image = map.apply_fingerprint(&base);
+            assert_eq!(
+                idx.candidates(&image),
+                vec![0],
+                "map {i} should hash to the same bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_shapes_do_not_collide() {
+        let mut idx = NormalizationIndex::new(1e-9);
+        idx.insert(0, &fp(&[0.0, 1.0, 2.0, 3.0]));
+        assert!(idx.candidates(&fp(&[0.0, 1.0, 4.0, 9.0])).is_empty());
+    }
+
+    #[test]
+    fn constant_fingerprints_share_a_bucket() {
+        let mut idx = NormalizationIndex::new(1e-9);
+        idx.insert(3, &fp(&[5.0, 5.0, 5.0]));
+        assert_eq!(idx.candidates(&fp(&[-2.0, -2.0, -2.0])), vec![3]);
+        assert!(idx.candidates(&fp(&[1.0, 2.0, 3.0])).is_empty());
+    }
+
+    #[test]
+    fn leading_ties_normalize_consistently() {
+        let mut idx = NormalizationIndex::new(1e-9);
+        let a = fp(&[4.0, 4.0, 6.0, 8.0]);
+        idx.insert(1, &a);
+        let image = AffineMap::new(3.0, -1.0).apply_fingerprint(&a);
+        assert_eq!(idx.candidates(&image), vec![1]);
+    }
+
+    #[test]
+    fn multiple_bases_in_one_bucket() {
+        let mut idx = NormalizationIndex::new(1e-9);
+        let a = fp(&[0.0, 1.0, 2.0]);
+        let b = fp(&[10.0, 11.0, 12.0]); // same normal form as a
+        idx.insert(0, &a);
+        idx.insert(1, &b);
+        assert_eq!(idx.candidates(&a), vec![0, 1]);
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sorted-SID index (paper §3.2, "Sorted SID").
+//!
+//! "We assign each sample value in a fingerprint an identifier (e.g., its
+//! index position in the fingerprint) … We then sort the sample values in a
+//! fingerprint, and take the resulting sequence of sample identifiers (or,
+//! SIDs) as the hash key … As long as the mapping function is monotonically
+//! increasing, the resultant ordering of SIDs will be consistent across all
+//! mappable distributions. Even if the mapping function is only monotonic, a
+//! similar effect can be achieved by comparing both the SID sequence and its
+//! inverse."
+//!
+//! Unlike normalization, this strategy needs no normal form — it works for
+//! any monotone mapping family (including nonlinear ones) — at the price of
+//! coarser buckets: fingerprints with the same value *ordering* but
+//! different shapes collide and are later rejected by validation.
+
+use std::collections::HashMap;
+
+use crate::fingerprint::Fingerprint;
+
+use super::FingerprintIndex;
+
+/// Hash index on the permutation that sorts the fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct SortedSidIndex {
+    buckets: HashMap<Vec<u32>, Vec<usize>>,
+    len: usize,
+}
+
+impl SortedSidIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(fp: &Fingerprint) -> Vec<u32> {
+        let mut sids: Vec<u32> = (0..fp.len() as u32).collect();
+        // Stable order: by value, ties by SID, so equal values cannot
+        // scramble the permutation.
+        sids.sort_by(|&a, &b| {
+            fp.entries()[a as usize]
+                .partial_cmp(&fp.entries()[b as usize])
+                .expect("fingerprints are finite")
+                .then(a.cmp(&b))
+        });
+        sids
+    }
+}
+
+impl FingerprintIndex for SortedSidIndex {
+    fn name(&self) -> &str {
+        "sorted-sid"
+    }
+
+    fn insert(&mut self, id: usize, fp: &Fingerprint) {
+        self.buckets.entry(Self::key(fp)).or_default().push(id);
+        self.len += 1;
+    }
+
+    fn candidates(&self, fp: &Fingerprint) -> Vec<usize> {
+        let key = Self::key(fp);
+        let mut out = self.buckets.get(&key).cloned().unwrap_or_default();
+        // Decreasing mappings reverse the order: probe the mirror key too.
+        let reversed: Vec<u32> = key.into_iter().rev().collect();
+        if let Some(more) = self.buckets.get(&reversed) {
+            for id in more {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AffineMap;
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    #[test]
+    fn increasing_maps_collide() {
+        let mut idx = SortedSidIndex::new();
+        let base = fp(&[0.3, 1.7, 0.9, 2.4, -0.5]);
+        idx.insert(0, &base);
+        let image = AffineMap::new(2.0, 7.0).apply_fingerprint(&base);
+        assert_eq!(idx.candidates(&image), vec![0]);
+    }
+
+    #[test]
+    fn decreasing_maps_found_via_reversed_key() {
+        let mut idx = SortedSidIndex::new();
+        let base = fp(&[0.3, 1.7, 0.9, 2.4, -0.5]);
+        idx.insert(0, &base);
+        let image = AffineMap::new(-1.0, 0.0).apply_fingerprint(&base);
+        assert_eq!(idx.candidates(&image), vec![0]);
+    }
+
+    #[test]
+    fn nonlinear_monotone_maps_still_collide() {
+        // The advertised advantage over normalization: x³ is monotone but
+        // not affine, yet the SID permutation is preserved.
+        let mut idx = SortedSidIndex::new();
+        let base = fp(&[0.3, 1.7, 0.9, 2.4, -0.5]);
+        idx.insert(0, &base);
+        let cubed = Fingerprint::new(base.entries().iter().map(|&x| x.powi(3)).collect());
+        assert_eq!(idx.candidates(&cubed), vec![0]);
+    }
+
+    #[test]
+    fn different_orderings_do_not_collide() {
+        let mut idx = SortedSidIndex::new();
+        idx.insert(0, &fp(&[1.0, 2.0, 3.0]));
+        assert!(idx.candidates(&fp(&[2.0, 1.0, 3.0])).is_empty());
+    }
+
+    #[test]
+    fn false_positives_allowed_same_order_different_shape() {
+        // Same ordering, non-affine shape: the index returns it (validation
+        // will discard it), exactly as the paper permits.
+        let mut idx = SortedSidIndex::new();
+        idx.insert(0, &fp(&[1.0, 2.0, 3.0]));
+        assert_eq!(idx.candidates(&fp(&[1.0, 10.0, 100.0])), vec![0]);
+    }
+
+    #[test]
+    fn palindromic_key_no_duplicate_candidates() {
+        // A 1-element... need key == reversed key: single entry.
+        let mut idx = SortedSidIndex::new();
+        idx.insert(4, &fp(&[42.0]));
+        assert_eq!(idx.candidates(&fp(&[7.0])), vec![4]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Terminal rendering of `GRAPH OVER` output (paper §2.2, Figure 2).
+//!
+//! The interactive query names an X-axis parameter and styles per series:
+//!
+//! ```sql
+//! GRAPH OVER @current_week
+//!     EXPECT overload WITH bold red,
+//!     EXPECT capacity WITH blue y2;
+//! ```
+//!
+//! The GUI of the original is a dashboard; here the same specification is
+//! rendered as an ASCII chart, which the `interactive_dashboard` example
+//! animates as estimates refine.
+
+/// Visual style tokens accepted after `WITH` (rendering hints; the ASCII
+/// backend maps each series to a distinct glyph and notes the hints in the
+/// legend).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesStyle {
+    /// Style words (`bold`, `red`, `y2`, …) in query order.
+    pub hints: Vec<String>,
+}
+
+/// One series of a `GRAPH OVER` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Series label (e.g. `EXPECT overload`).
+    pub label: String,
+    /// Y values, aligned with the X axis points (NaN = not yet estimated).
+    pub values: Vec<f64>,
+    /// Style hints.
+    pub style: SeriesStyle,
+}
+
+/// Render series as a fixed-size ASCII chart with a legend.
+///
+/// All series share one Y scale (min..max over finite values). Returns the
+/// chart as a string; callers print or diff it.
+pub fn render_series(x_label: &str, series: &[GraphSpec], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3, "chart too small");
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return format!("(no data yet over {x_label})\n");
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let n_points = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (i, &v) in s.values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let x = if n_points <= 1 { 0 } else { i * (width - 1) / (n_points - 1) };
+            let y_frac = (v - lo) / span;
+            let y = ((1.0 - y_frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{hi:>10.2} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{lo:>10.2} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!("           └{}\n", "─".repeat(width)));
+    out.push_str(&format!("            {x_label}\n"));
+    for (si, s) in series.iter().enumerate() {
+        let hints = if s.style.hints.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", s.style.hints.join(" "))
+        };
+        out.push_str(&format!("            {} {}{}\n", glyphs[si % glyphs.len()], s.label, hints));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(label: &str, values: Vec<f64>) -> GraphSpec {
+        GraphSpec { label: label.into(), values, style: SeriesStyle::default() }
+    }
+
+    #[test]
+    fn renders_legend_and_bounds() {
+        let g = render_series(
+            "week",
+            &[spec("EXPECT demand", vec![0.0, 5.0, 10.0])],
+            24,
+            6,
+        );
+        assert!(g.contains("EXPECT demand"));
+        assert!(g.contains("10.00"));
+        assert!(g.contains("0.00"));
+        assert!(g.contains("week"));
+    }
+
+    #[test]
+    fn empty_series_have_placeholder() {
+        let g = render_series("week", &[spec("a", vec![f64::NAN, f64::NAN])], 24, 6);
+        assert!(g.contains("no data yet"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let g = render_series(
+            "week",
+            &[spec("a", vec![0.0, 1.0]), spec("b", vec![1.0, 0.0])],
+            16,
+            5,
+        );
+        assert!(g.contains('*'));
+        assert!(g.contains('+'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let g = render_series("week", &[spec("flat", vec![3.0, 3.0, 3.0])], 16, 4);
+        assert!(g.contains("flat"));
+    }
+
+    #[test]
+    fn style_hints_in_legend() {
+        let s = GraphSpec {
+            label: "EXPECT overload".into(),
+            values: vec![0.1, 0.2],
+            style: SeriesStyle { hints: vec!["bold".into(), "red".into()] },
+        };
+        let g = render_series("week", &[s], 16, 4);
+        assert!(g.contains("(bold red)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        let _ = render_series("x", &[], 2, 2);
+    }
+}

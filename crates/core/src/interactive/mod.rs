@@ -1,0 +1,20 @@
+//! Interactive what-if exploration (paper §5 — the "Fuzzy Prophet" engine).
+//!
+//! "Unlike its offline counterpart, the goal of online Jigsaw is to rapidly
+//! produce accurate metrics for a small set of points in the parameter
+//! space. Fingerprinting is used primarily to improve the accuracy of
+//! Jigsaw's initial guesses; a very small and quickly generated (e.g., of
+//! size 10) fingerprint allows Jigsaw to identify a matching basis
+//! distribution and reuse metrics precomputed for it."
+//!
+//! The event loop (Algorithm 5) interleaves three task kinds:
+//! * **Refinement** — more samples for the point of interest;
+//! * **Validation** — regenerate samples already covered by the basis to
+//!   progressively extend the fingerprint and confirm the mapping;
+//! * **Exploration** — pre-warm points the user is likely to visit next.
+
+mod graph;
+mod session;
+
+pub use graph::{render_series, GraphSpec, SeriesStyle};
+pub use session::{Estimate, EstimateSource, InteractiveSession, SessionConfig, TaskKind};

@@ -1,0 +1,409 @@
+//! The interactive event loop (paper Algorithm 5).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use jigsaw_pdb::{OutputMetrics, Result, Simulation};
+
+use crate::basis::{BasisId, BasisStore};
+use crate::config::JigsawConfig;
+use crate::fingerprint::Fingerprint;
+use crate::mapping::{AffineFamily, AffineMap};
+
+/// Which processing task a tick performed (paper §5's three categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// More samples for the focused point.
+    Refinement,
+    /// Re-generate fingerprint-extending samples to validate the mapping.
+    Validation,
+    /// Pre-warm a neighboring point.
+    Exploration,
+}
+
+/// Tunables for an interactive session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Samples generated per tick (paper: `PickAtRandom(10, …)`).
+    pub batch: usize,
+    /// Initial fingerprint size for first contact with a point.
+    pub fingerprint_len: usize,
+    /// Matching tolerance.
+    pub tolerance: f64,
+    /// Cap on samples per point (refinement stops there).
+    pub n_target: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { batch: 10, fingerprint_len: 10, tolerance: 1e-9, n_target: 1000 }
+    }
+}
+
+/// Where an estimate's numbers come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateSource {
+    /// Mapped from a matched basis distribution (cheap, immediate).
+    MappedBasis,
+    /// Directly simulated samples only.
+    Direct,
+}
+
+/// A progressively-refined estimate for one point and column.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Point index in the parameter space.
+    pub point_idx: usize,
+    /// Expectation of the output column.
+    pub expectation: f64,
+    /// Standard deviation of the output column.
+    pub std_dev: f64,
+    /// Samples backing the estimate.
+    pub n_samples: usize,
+    /// Provenance.
+    pub source: EstimateSource,
+}
+
+/// Per-(point, column) progress.
+struct PointColState {
+    /// Samples generated directly at this point (sample ids `0..n_direct`).
+    n_direct: usize,
+    /// Direct samples (for metric extraction and basis refinement).
+    metrics: OutputMetrics,
+    /// Matched basis and mapping, if any.
+    basis: Option<(BasisId, AffineMap)>,
+}
+
+/// State for one point across all output columns.
+struct PointState {
+    cols: Vec<PointColState>,
+}
+
+/// An interactive what-if session over one simulation.
+pub struct InteractiveSession<'a> {
+    sim: &'a dyn Simulation,
+    cfg: SessionConfig,
+    stores: Vec<Mutex<BasisStore>>,
+    points: HashMap<usize, PointState>,
+    focus: usize,
+    tick: u64,
+    /// Worlds evaluated so far (the online cost metric).
+    pub worlds_evaluated: u64,
+}
+
+impl<'a> InteractiveSession<'a> {
+    /// Start a session focused on point 0.
+    pub fn new(sim: &'a dyn Simulation, cfg: SessionConfig) -> Self {
+        assert!(cfg.batch > 0 && cfg.fingerprint_len >= 2);
+        let jcfg = JigsawConfig::paper()
+            .with_fingerprint_len(cfg.fingerprint_len)
+            .with_n_samples(cfg.n_target.max(cfg.fingerprint_len))
+            .with_tolerance(cfg.tolerance);
+        let stores = (0..sim.columns().len())
+            .map(|_| Mutex::new(BasisStore::new(&jcfg, std::sync::Arc::new(AffineFamily))))
+            .collect();
+        InteractiveSession {
+            sim,
+            cfg,
+            stores,
+            points: HashMap::new(),
+            focus: 0,
+            tick: 0,
+            worlds_evaluated: 0,
+        }
+    }
+
+    /// Move the user's focus to a new point (e.g. a slider change).
+    pub fn set_focus(&mut self, point_idx: usize) {
+        assert!(point_idx < self.sim.space().len(), "focus out of range");
+        self.focus = point_idx;
+    }
+
+    /// The current focus.
+    pub fn focus(&self) -> usize {
+        self.focus
+    }
+
+    /// The paper's `TaskHeuristic`: rotate refinement / validation /
+    /// exploration, weighted toward refinement of the focused point.
+    fn task_heuristic(&self) -> TaskKind {
+        match self.tick % 4 {
+            0 | 1 => TaskKind::Refinement,
+            2 => TaskKind::Validation,
+            _ => TaskKind::Exploration,
+        }
+    }
+
+    /// The paper's `ExploreHeuristic`: nearest unexplored neighbor of the
+    /// focus (alternating sides, growing radius).
+    fn explore_heuristic(&self) -> usize {
+        let len = self.sim.space().len();
+        for radius in 1..len {
+            for candidate in [
+                self.focus.checked_add(radius).filter(|&c| c < len),
+                self.focus.checked_sub(radius),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let unexplored = self
+                    .points
+                    .get(&candidate)
+                    .map(|p| p.cols.iter().all(|c| c.n_direct == 0))
+                    .unwrap_or(true);
+                if unexplored {
+                    return candidate;
+                }
+            }
+        }
+        self.focus
+    }
+
+    /// First contact with a point: generate its fingerprint and try to match
+    /// a basis; on miss, seed a new basis with the fingerprint samples.
+    fn touch(&mut self, point_idx: usize) -> Result<()> {
+        if self.points.contains_key(&point_idx) {
+            return Ok(());
+        }
+        let m = self.cfg.fingerprint_len;
+        let point = self.sim.space().point_at(point_idx);
+        let head = self.sim.eval_worlds(&point, 0, m)?;
+        self.worlds_evaluated += m as u64;
+        let mut cols = Vec::with_capacity(head.len());
+        for (c, samples) in head.iter().enumerate() {
+            let fp = Fingerprint::new(samples.clone());
+            let mut store = self.stores[c].lock();
+            // On a miss the point seeds a new basis and keeps an identity
+            // mapping to it, so its own refinements grow the shared basis
+            // (paper §5: refinement "improves the accuracy of the basis
+            // distribution's precomputed metrics").
+            let basis = store.find_match(&fp).or_else(|| {
+                let id = store.insert(fp, OutputMetrics::from_samples(samples.clone()));
+                Some((id, AffineMap::IDENTITY))
+            });
+            cols.push(PointColState {
+                n_direct: m,
+                metrics: OutputMetrics::from_samples(samples.clone()),
+                basis,
+            });
+        }
+        self.points.insert(point_idx, PointState { cols });
+        Ok(())
+    }
+
+    /// Generate `batch` fresh samples for a point and fold them into its
+    /// direct metrics, its basis (through the inverse mapping, paper §5),
+    /// and the progressive fingerprint validation.
+    fn generate_batch(&mut self, point_idx: usize) -> Result<()> {
+        let point = self.sim.space().point_at(point_idx);
+        let batch = self.cfg.batch;
+        let state = self.points.get_mut(&point_idx).expect("touched");
+        let start = state.cols.iter().map(|c| c.n_direct).min().unwrap_or(0);
+        if start >= self.cfg.n_target {
+            return Ok(());
+        }
+        let out = self.sim.eval_worlds(&point, start, batch)?;
+        self.worlds_evaluated += batch as u64;
+        for (c, samples) in out.iter().enumerate() {
+            let col = &mut state.cols[c];
+            col.metrics.extend(samples);
+            col.n_direct = start + batch;
+            if let Some((id, map)) = col.basis {
+                // Validate the mapping on the fresh samples: the basis
+                // predicts M(basis_sample_k) for the same sample ids.
+                let mut store = self.stores[c].lock();
+                let basis_samples = store.get(id).metrics.samples();
+                let consistent = samples.iter().enumerate().all(|(i, &x)| {
+                    let k = start + i;
+                    basis_samples
+                        .get(k)
+                        .map(|&b| crate::fingerprint::approx_eq(map.apply(b), x, self.cfg.tolerance))
+                        // Sample id beyond basis coverage: fold it back
+                        // through the inverse mapping instead.
+                        .unwrap_or(true)
+                });
+                if consistent {
+                    if let Some(inv) = map.invert() {
+                        let back: Vec<f64> = samples
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| start + i >= basis_samples.len())
+                            .map(|(_, &x)| inv.apply(x))
+                            .collect();
+                        if !back.is_empty() {
+                            store.refine(id, &back);
+                        }
+                    }
+                } else {
+                    // Mapping refuted by new evidence: detach and fall
+                    // back to direct estimation (Algorithm 5's
+                    // FindMatch-on-mismatch).
+                    col.basis = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one event-loop iteration. Returns the task performed.
+    pub fn tick(&mut self) -> Result<TaskKind> {
+        let task = self.task_heuristic();
+        self.tick += 1;
+        let target = match task {
+            TaskKind::Refinement | TaskKind::Validation => self.focus,
+            TaskKind::Exploration => self.explore_heuristic(),
+        };
+        self.touch(target)?;
+        match task {
+            TaskKind::Refinement | TaskKind::Exploration => self.generate_batch(target)?,
+            TaskKind::Validation => self.generate_batch(target)?,
+        }
+        Ok(task)
+    }
+
+    /// The current estimate for a column of a point, if the point has been
+    /// touched. Prefers the richer of (mapped basis, direct samples).
+    pub fn estimate(&self, point_idx: usize, col: usize) -> Option<Estimate> {
+        let state = self.points.get(&point_idx)?;
+        let c = &state.cols[col];
+        if let Some((id, map)) = c.basis {
+            let store = self.stores[col].lock();
+            let basis = store.get(id);
+            if basis.metrics.n() > c.metrics.n() {
+                let mapped = map.apply_metrics(&basis.metrics);
+                return Some(Estimate {
+                    point_idx,
+                    expectation: mapped.expectation(),
+                    std_dev: mapped.std_dev(),
+                    n_samples: mapped.n(),
+                    source: EstimateSource::MappedBasis,
+                });
+            }
+        }
+        Some(Estimate {
+            point_idx,
+            expectation: c.metrics.expectation(),
+            std_dev: c.metrics.std_dev(),
+            n_samples: c.metrics.n(),
+            source: EstimateSource::Direct,
+        })
+    }
+
+    /// Number of basis distributions per column.
+    pub fn basis_counts(&self) -> Vec<usize> {
+        self.stores.iter().map(|s| s.lock().len()).collect()
+    }
+
+    /// Number of touched points.
+    pub fn touched_points(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_blackbox::models::Demand;
+    use jigsaw_blackbox::{ParamDecl, ParamSpace};
+    use jigsaw_pdb::BlackBoxSim;
+    use jigsaw_prng::SeedSet;
+    use std::sync::Arc;
+
+    fn sim() -> BlackBoxSim {
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 1, 30, 1),
+            ParamDecl::set("feature", vec![50]),
+        ]);
+        BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(77))
+    }
+
+    #[test]
+    fn ticks_rotate_tasks() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let tasks: Vec<TaskKind> = (0..8).map(|_| session.tick().unwrap()).collect();
+        assert_eq!(
+            tasks,
+            vec![
+                TaskKind::Refinement,
+                TaskKind::Refinement,
+                TaskKind::Validation,
+                TaskKind::Exploration,
+                TaskKind::Refinement,
+                TaskKind::Refinement,
+                TaskKind::Validation,
+                TaskKind::Exploration,
+            ]
+        );
+    }
+
+    #[test]
+    fn estimates_improve_with_ticks() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        session.set_focus(9); // week 10
+        session.tick().unwrap();
+        let early = session.estimate(9, 0).expect("touched");
+        for _ in 0..40 {
+            session.tick().unwrap();
+        }
+        let late = session.estimate(9, 0).unwrap();
+        assert!(late.n_samples > early.n_samples);
+        // Week 10 demand has mean 10.
+        assert!((late.expectation - 10.0).abs() < 1.0, "estimate {}", late.expectation);
+    }
+
+    #[test]
+    fn second_point_starts_from_mapped_basis() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        session.set_focus(9);
+        for _ in 0..30 {
+            session.tick().unwrap();
+        }
+        // Move focus to a fresh affine-related point: its very first
+        // estimate should already carry the basis's sample mass.
+        session.set_focus(19); // week 20
+        session.tick().unwrap();
+        let est = session.estimate(19, 0).expect("touched");
+        assert_eq!(est.source, EstimateSource::MappedBasis);
+        assert!(est.n_samples > SessionConfig::default().fingerprint_len);
+        assert!((est.expectation - 20.0).abs() < 2.0, "estimate {}", est.expectation);
+    }
+
+    #[test]
+    fn exploration_prewarms_neighbors() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        session.set_focus(10);
+        for _ in 0..12 {
+            session.tick().unwrap();
+        }
+        assert!(session.touched_points() >= 3, "focus plus explored neighbors");
+        // Neighbors of the focus must be among the touched points.
+        assert!(session.estimate(11, 0).is_some() || session.estimate(9, 0).is_some());
+    }
+
+    #[test]
+    fn basis_store_stays_small_for_affine_model() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        for f in [5usize, 10, 15, 20, 25] {
+            session.set_focus(f);
+            for _ in 0..8 {
+                session.tick().unwrap();
+            }
+        }
+        let bases = session.basis_counts();
+        assert!(bases[0] <= 2, "affine Demand should share bases, got {bases:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "focus out of range")]
+    fn focus_bounds_checked() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        session.set_focus(10_000);
+    }
+}

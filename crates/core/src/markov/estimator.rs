@@ -1,0 +1,115 @@
+//! Synthesized non-Markovian estimators (paper §4.2).
+//!
+//! "A function `F_mkv` defining a Markov process with per-step state `P_i`
+//! generates the next step's state … We can define a rudimentary estimator
+//! function `F_est,i` by fixing `F_mkv`'s input state at one point in time.
+//! Even this rudimentary estimator function can be quite powerful when
+//! combined with fingerprints; any uniform changes in state are absorbed by
+//! the mapping function."
+
+use jigsaw_blackbox::MarkovModel;
+use jigsaw_prng::{stream_seed, Seed};
+
+/// An estimator that predicts instance outputs at arbitrary future steps by
+/// holding each instance's chain state frozen at a reference step.
+#[derive(Debug, Clone)]
+pub struct FrozenEstimator {
+    /// Chain values captured at the reference step.
+    frozen_chains: Vec<f64>,
+    /// The step the chains were captured at (diagnostics only).
+    ref_step: usize,
+}
+
+impl FrozenEstimator {
+    /// Freeze the given chain values (typically the full state at the start
+    /// of a quiet region).
+    pub fn new(frozen_chains: Vec<f64>, ref_step: usize) -> Self {
+        assert!(!frozen_chains.is_empty(), "estimator needs at least one instance");
+        FrozenEstimator { frozen_chains, ref_step }
+    }
+
+    /// Reference step.
+    pub fn ref_step(&self) -> usize {
+        self.ref_step
+    }
+
+    /// Number of instances covered.
+    pub fn n(&self) -> usize {
+        self.frozen_chains.len()
+    }
+
+    /// Predict the output of instance `i` at `step`, non-Markovianly.
+    ///
+    /// Uses the *same* `(instance, step)` seed the true process would use —
+    /// the property that makes estimator/process fingerprints comparable.
+    #[inline]
+    pub fn predict(&self, model: &dyn MarkovModel, master: Seed, i: usize, step: usize) -> f64 {
+        model.output(step, self.frozen_chains[i], stream_seed(master, i, step))
+    }
+
+    /// Predict outputs of the first `m` instances (the estimator
+    /// fingerprint at `step`).
+    pub fn fingerprint(
+        &self,
+        model: &dyn MarkovModel,
+        master: Seed,
+        m: usize,
+        step: usize,
+    ) -> Vec<f64> {
+        (0..m).map(|i| self.predict(model, master, i, step)).collect()
+    }
+
+    /// The frozen chain of instance `i`.
+    pub fn chain(&self, i: usize) -> f64 {
+        self.frozen_chains[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_blackbox::models::{MarkovBranch, MarkovStep};
+    use jigsaw_blackbox::MarkovModel;
+
+    #[test]
+    fn matches_truth_while_chains_static() {
+        // With branching 0 the chain never changes, so the estimator is
+        // exact at every horizon.
+        let model = MarkovBranch::new(0.0);
+        let est = FrozenEstimator::new(vec![0.0; 8], 0);
+        let master = Seed(3);
+        // True process outputs at step 5 (chains still 0).
+        for i in 0..8 {
+            let truth = model.output(5, 0.0, stream_seed(master, i, 5));
+            assert_eq!(est.predict(&model, master, i, 5), truth);
+        }
+    }
+
+    #[test]
+    fn diverges_after_chain_change() {
+        let model = MarkovBranch::new(0.0); // jump=10 per counter unit
+        let est = FrozenEstimator::new(vec![0.0; 4], 0);
+        let master = Seed(3);
+        // Truth with counter = 2 differs from frozen counter = 0 by 2*jump.
+        let truth = model.output(7, 2.0, stream_seed(master, 1, 7));
+        let pred = est.predict(&model, master, 1, 7);
+        assert!((truth - pred - 2.0 * model.jump).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_is_prefix_of_predictions() {
+        let model = MarkovStep::paper(30.0, 2);
+        let est = FrozenEstimator::new(vec![f64::INFINITY; 6], 0);
+        let master = Seed(8);
+        let fp = est.fingerprint(&model, master, 4, 10);
+        for (i, &v) in fp.iter().enumerate() {
+            assert_eq!(v, est.predict(&model, master, i, 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_rejected() {
+        let _ = FrozenEstimator::new(vec![], 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Markov-process acceleration (paper §4).
+//!
+//! Cyclically-dependent models must be evaluated step by step — but in the
+//! paper's domain the Markovian dependency only *matters* near infrequent
+//! discontinuities. Between discontinuities, a non-Markovian estimator
+//! (synthesized by freezing the chain state, §4.2) predicts every instance's
+//! output, and fingerprints detect exactly when that estimator stops being
+//! valid. Advancing only the `m` fingerprint instances through quiet regions
+//! cuts the per-step cost from `O(n)` to `O(m)`.
+
+mod chain;
+mod estimator;
+mod jump;
+
+pub use chain::{run_naive, ChainState};
+pub use estimator::FrozenEstimator;
+pub use jump::{BasisRetention, MarkovJumpConfig, MarkovJumpResult, MarkovJumpRunner};

@@ -1,0 +1,325 @@
+//! The batch optimizer: Figure 3's pipeline with fingerprint memoization.
+//!
+//! `Parameter Enumerator → [fingerprint → FindMatch → (reuse | complete
+//! simulation)] → Estimator → Selector`.
+//!
+//! [`SweepRunner`] evaluates a [`Simulation`] over its whole parameter
+//! space. At every point it first computes the fingerprint (the first `m`
+//! Monte Carlo rounds), probes the per-column [`BasisStore`]s, and either
+//! reuses a mapped basis or completes the remaining `n − m` rounds. The
+//! [`selector`] module then applies the `OPTIMIZE` goal to the sweep
+//! results.
+
+pub mod selector;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_pdb::{OutputMetrics, Result, Simulation};
+
+use crate::basis::{BasisId, BasisStore};
+use crate::config::JigsawConfig;
+use crate::fingerprint::Fingerprint;
+use crate::mapping::{AffineFamily, MappingFamily};
+use crate::telemetry::SweepStats;
+
+pub use selector::{Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection};
+
+/// Result for one parameter point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Point index within the parameter space.
+    pub point_idx: usize,
+    /// The materialized parameter values.
+    pub point: Vec<f64>,
+    /// Per-output-column metrics, aligned with `Simulation::columns()`.
+    pub metrics: Vec<OutputMetrics>,
+    /// Bases reused per column (`None` = full simulation for that column).
+    pub reused_from: Vec<Option<BasisId>>,
+}
+
+/// Outcome of a full parameter-space sweep.
+pub struct SweepResult {
+    /// Per-point results, in enumeration order.
+    pub points: Vec<PointResult>,
+    /// Execution statistics.
+    pub stats: SweepStats,
+}
+
+impl SweepResult {
+    /// Look up the metrics of column `col` at point `idx`.
+    pub fn metrics_at(&self, idx: usize, col: usize) -> &OutputMetrics {
+        &self.points[idx].metrics[col]
+    }
+}
+
+/// Sweep executor.
+pub struct SweepRunner {
+    cfg: JigsawConfig,
+    family: Arc<dyn MappingFamily>,
+    /// Disable fingerprint reuse entirely (the "Full Evaluation" baseline of
+    /// Figure 8).
+    pub disable_reuse: bool,
+}
+
+impl SweepRunner {
+    /// Runner with the paper's affine mapping family.
+    pub fn new(cfg: JigsawConfig) -> Self {
+        cfg.validate();
+        SweepRunner { cfg, family: Arc::new(AffineFamily), disable_reuse: false }
+    }
+
+    /// Runner with a custom mapping family.
+    pub fn with_family(cfg: JigsawConfig, family: Arc<dyn MappingFamily>) -> Self {
+        cfg.validate();
+        SweepRunner { cfg, family, disable_reuse: false }
+    }
+
+    /// The naive baseline: every point fully simulated.
+    pub fn naive(cfg: JigsawConfig) -> Self {
+        let mut r = Self::new(cfg);
+        r.disable_reuse = true;
+        r
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JigsawConfig {
+        &self.cfg
+    }
+
+    /// Run the sweep over the simulation's entire parameter space.
+    pub fn run(&self, sim: &dyn Simulation) -> Result<SweepResult> {
+        let space = sim.space().clone();
+        let n_cols = sim.columns().len();
+        let m = self.cfg.fingerprint_len;
+        let n = self.cfg.n_samples;
+        let start = Instant::now();
+
+        let mut stores: Vec<BasisStore> =
+            (0..n_cols).map(|_| BasisStore::new(&self.cfg, self.family.clone())).collect();
+        let mut points = Vec::with_capacity(space.len());
+        let mut stats = SweepStats::default();
+
+        for (idx, point) in space.iter() {
+            stats.points += 1;
+            // Rounds 0..m — the fingerprint — are always evaluated.
+            let head = sim.eval_worlds(&point, 0, m)?;
+            stats.worlds_evaluated += m as u64;
+
+            let fps: Vec<Fingerprint> =
+                head.iter().map(|col| Fingerprint::new(col.clone())).collect();
+
+            // Try to reuse every column through an existing basis.
+            let mut resolved: Vec<Option<(OutputMetrics, BasisId)>> = Vec::with_capacity(n_cols);
+            if self.disable_reuse {
+                resolved.resize_with(n_cols, || None);
+            } else {
+                for (c, fp) in fps.iter().enumerate() {
+                    resolved.push(stores[c].resolve(fp));
+                }
+            }
+
+            if resolved.iter().all(Option::is_some) {
+                // Complete reuse: no further simulation for this point.
+                stats.reused += 1;
+                let mut metrics = Vec::with_capacity(n_cols);
+                let mut reused_from = Vec::with_capacity(n_cols);
+                for r in resolved {
+                    let (m, id) = r.expect("checked above");
+                    metrics.push(m);
+                    reused_from.push(Some(id));
+                }
+                points.push(PointResult { point_idx: idx, point, metrics, reused_from });
+                continue;
+            }
+
+            // At least one column missed: complete the simulation once for
+            // all columns (worlds m..n), then combine with the fingerprint
+            // prefix so samples 0..n are exactly the seeded rounds.
+            let tail = sim.eval_worlds(&point, m, n - m)?;
+            stats.worlds_evaluated += (n - m) as u64;
+            stats.full_simulations += 1;
+
+            let mut metrics = Vec::with_capacity(n_cols);
+            let mut reused_from = Vec::with_capacity(n_cols);
+            for c in 0..n_cols {
+                match resolved[c].take() {
+                    Some((m, id)) => {
+                        // This column had a basis even though siblings
+                        // missed; reuse its mapped metrics (identical to the
+                        // full simulation by the correctness invariant).
+                        metrics.push(m);
+                        reused_from.push(Some(id));
+                    }
+                    None => {
+                        let mut samples = head[c].clone();
+                        samples.extend_from_slice(&tail[c]);
+                        let om = OutputMetrics::from_samples(samples);
+                        if !self.disable_reuse {
+                            stores[c].insert(fps[c].clone(), om.clone());
+                        }
+                        metrics.push(om);
+                        reused_from.push(None);
+                    }
+                }
+            }
+            points.push(PointResult { point_idx: idx, point, metrics, reused_from });
+        }
+
+        stats.bases_per_column = stores.iter().map(|s| s.len()).collect();
+        stats.pairings_tested = stores.iter().map(|s| s.pairings_tested).sum();
+        stats.elapsed = start.elapsed();
+        Ok(SweepResult { points, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexStrategy;
+    use jigsaw_blackbox::models::{Demand, SynthBasis};
+    use jigsaw_blackbox::{BlackBox, ParamDecl, ParamSpace};
+    use jigsaw_pdb::BlackBoxSim;
+    use jigsaw_prng::SeedSet;
+
+    fn cfg() -> JigsawConfig {
+        JigsawConfig::paper().with_n_samples(200)
+    }
+
+    fn demand_sim() -> BlackBoxSim {
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 0, 19, 1),
+            ParamDecl::set("feature", vec![5, 12]),
+        ]);
+        BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(2024))
+    }
+
+    #[test]
+    fn demand_needs_very_few_bases() {
+        // Paper §6.2: "the extremely simplistic Demand model requires only
+        // one basis distribution for its entire parameter space". Week 0 is
+        // a point mass (its own constant basis), so at most 2 here.
+        let r = SweepRunner::new(cfg()).run(&demand_sim()).unwrap();
+        assert!(r.stats.bases_per_column[0] <= 2, "bases: {:?}", r.stats.bases_per_column);
+        assert!(r.stats.reuse_rate() > 0.9, "reuse rate {}", r.stats.reuse_rate());
+    }
+
+    #[test]
+    fn jigsaw_equals_naive_exactly() {
+        // The paper's correctness claim (§6.2): "outputs of Jigsaw are
+        // equivalent to full simulation for each possible parameter value."
+        let sim = demand_sim();
+        let fast = SweepRunner::new(cfg()).run(&sim).unwrap();
+        let slow = SweepRunner::naive(cfg()).run(&sim).unwrap();
+        assert_eq!(fast.points.len(), slow.points.len());
+        for (f, s) in fast.points.iter().zip(&slow.points) {
+            let (fm, sm) = (&f.metrics[0], &s.metrics[0]);
+            assert!(
+                (fm.expectation() - sm.expectation()).abs()
+                    <= 1e-9 * sm.expectation().abs().max(1.0),
+                "point {}: {} vs {}",
+                f.point_idx,
+                fm.expectation(),
+                sm.expectation()
+            );
+            assert!(
+                (fm.std_dev() - sm.std_dev()).abs() <= 1e-9 * sm.std_dev().abs().max(1.0),
+                "point {}: sd {} vs {}",
+                f.point_idx,
+                fm.std_dev(),
+                sm.std_dev()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_runner_never_reuses() {
+        let r = SweepRunner::naive(cfg()).run(&demand_sim()).unwrap();
+        assert_eq!(r.stats.reused, 0);
+        assert_eq!(r.stats.full_simulations, r.stats.points);
+        assert_eq!(r.stats.bases_per_column, vec![0]);
+    }
+
+    #[test]
+    fn synth_basis_generates_exact_basis_count() {
+        for n_bases in [1usize, 3, 7] {
+            let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 48, 1)]);
+            let sim = BlackBoxSim::new(
+                Arc::new(SynthBasis::new(n_bases)),
+                space,
+                SeedSet::new(7),
+            );
+            let r = SweepRunner::new(cfg()).run(&sim).unwrap();
+            assert_eq!(
+                r.stats.bases_per_column[0], n_bases,
+                "SynthBasis({n_bases}) must create exactly {n_bases} bases"
+            );
+        }
+    }
+
+    #[test]
+    fn worlds_evaluated_accounts_fingerprints_and_completions() {
+        let r = SweepRunner::new(cfg()).run(&demand_sim()).unwrap();
+        let m = 10u64;
+        let n = 200u64;
+        let expect = r.stats.points as u64 * m + r.stats.full_simulations as u64 * (n - m);
+        assert_eq!(r.stats.worlds_evaluated, expect);
+        // And the reused points save essentially all completion work.
+        assert!(r.stats.worlds_evaluated < r.stats.points as u64 * n / 2);
+    }
+
+    #[test]
+    fn all_index_strategies_agree_on_results() {
+        let sim = demand_sim();
+        let base = SweepRunner::new(cfg().with_index(IndexStrategy::Array)).run(&sim).unwrap();
+        for strat in [IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+            let other = SweepRunner::new(cfg().with_index(strat)).run(&sim).unwrap();
+            for (a, b) in base.points.iter().zip(&other.points) {
+                assert!(
+                    (a.metrics[0].expectation() - b.metrics[0].expectation()).abs() < 1e-9,
+                    "{strat:?} disagrees at point {}",
+                    a.point_idx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reused_points_record_their_basis() {
+        let r = SweepRunner::new(cfg()).run(&demand_sim()).unwrap();
+        let reused: Vec<_> = r.points.iter().filter(|p| p.reused_from[0].is_some()).collect();
+        assert!(!reused.is_empty());
+        // Every reused basis id must be valid.
+        for p in reused {
+            let id = p.reused_from[0].unwrap();
+            assert!(id.0 < r.stats.bases_per_column[0]);
+        }
+    }
+
+    /// A deliberately non-reusable black box: distinct non-affine shape at
+    /// every point (cubic coefficient varies).
+    struct NoReuse;
+    impl BlackBox for NoReuse {
+        fn name(&self) -> &str {
+            "NoReuse"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn eval(&self, p: &[f64], seed: jigsaw_prng::Seed) -> f64 {
+            use jigsaw_prng::{dist::Normal, Xoshiro256pp};
+            let mut rng = Xoshiro256pp::seeded(seed);
+            let z = Normal::standard(&mut rng);
+            z + (1.0 + p[0]) * z * z * z
+        }
+    }
+
+    #[test]
+    fn adversarial_model_defeats_reuse_gracefully() {
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 14, 1)]);
+        let sim = BlackBoxSim::new(Arc::new(NoReuse), space, SeedSet::new(3));
+        let r = SweepRunner::new(cfg()).run(&sim).unwrap();
+        assert_eq!(r.stats.reused, 0);
+        assert_eq!(r.stats.bases_per_column[0], 15, "every point its own basis");
+    }
+}

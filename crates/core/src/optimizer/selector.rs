@@ -1,0 +1,313 @@
+//! The Selector: applying `OPTIMIZE` goals to sweep results.
+//!
+//! The paper's Figure 1 batch query:
+//!
+//! ```sql
+//! OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+//! FROM results
+//! WHERE MAX(EXPECT overload) < 0.01
+//! GROUP BY feature_release, purchase1, purchase2
+//! FOR MAX @purchase1, MAX @purchase2
+//! ```
+//!
+//! Semantics: partition the parameter space by the *decision parameters*
+//! (the `GROUP BY` list); within each group, fold the chosen metric of the
+//! chosen column over the remaining ("scenario") dimensions with the outer
+//! aggregate (`MAX` above); keep groups satisfying the comparison; among
+//! survivors pick the lexicographic best under the `FOR` objectives.
+//! "Finally, the Selector component selects the parameter value, along with
+//! its output distribution, that satisfies the optimization goal." (§2.3)
+
+use jigsaw_blackbox::ParamSpace;
+use jigsaw_pdb::Metric;
+
+use super::SweepResult;
+
+/// Fold applied across the non-decision dimensions of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterAgg {
+    /// Worst case (`MAX(EXPECT …)`).
+    Max,
+    /// Best case.
+    Min,
+    /// Average case.
+    Avg,
+}
+
+impl OuterAgg {
+    fn fold(&self, xs: impl Iterator<Item = f64>) -> f64 {
+        match self {
+            OuterAgg::Max => xs.fold(f64::NEG_INFINITY, f64::max),
+            OuterAgg::Min => xs.fold(f64::INFINITY, f64::min),
+            OuterAgg::Avg => {
+                let mut n = 0usize;
+                let mut acc = 0.0;
+                for x in xs {
+                    acc += x;
+                    n += 1;
+                }
+                if n == 0 {
+                    f64::NAN
+                } else {
+                    acc / n as f64
+                }
+            }
+        }
+    }
+}
+
+/// Comparison in the `WHERE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Comparison {
+    fn test(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Comparison::Lt => lhs < rhs,
+            Comparison::Le => lhs <= rhs,
+            Comparison::Gt => lhs > rhs,
+            Comparison::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// The constraint: `OUTER(METRIC(column)) CMP threshold`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Output column name.
+    pub column: String,
+    /// Per-point metric.
+    pub metric: Metric,
+    /// Fold across scenario dimensions.
+    pub outer: OuterAgg,
+    /// Comparison operator.
+    pub cmp: Comparison,
+    /// Right-hand side.
+    pub threshold: f64,
+}
+
+/// Optimization direction for one decision parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `FOR MAX @p`.
+    Max,
+    /// `FOR MIN @p`.
+    Min,
+}
+
+/// One `FOR` objective.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Decision parameter name.
+    pub param: String,
+    /// Direction.
+    pub direction: Direction,
+}
+
+/// A complete `OPTIMIZE` goal.
+#[derive(Debug, Clone)]
+pub struct OptimizeGoal {
+    /// `GROUP BY` parameters (decision variables).
+    pub decision_params: Vec<String>,
+    /// Constraints (conjunctive).
+    pub constraints: Vec<Constraint>,
+    /// Lexicographic objectives.
+    pub objectives: Vec<Objective>,
+}
+
+/// The winning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// `(param name, value)` for each decision parameter.
+    pub assignment: Vec<(String, f64)>,
+    /// Constraint left-hand sides for the winning group, in constraint
+    /// order (e.g. the achieved worst-case overload risk).
+    pub achieved: Vec<f64>,
+    /// Point indices belonging to the winning group.
+    pub member_points: Vec<usize>,
+}
+
+/// Apply an `OPTIMIZE` goal to sweep results.
+pub fn select(space: &ParamSpace, sweep: &SweepResult, goal: &OptimizeGoal, columns: &[String]) -> Option<Selection> {
+    let decision_dims: Vec<usize> = goal
+        .decision_params
+        .iter()
+        .map(|p| space.index_of(p).unwrap_or_else(|| panic!("unknown decision parameter @{p}")))
+        .collect();
+    let col_idx: Vec<usize> = goal
+        .constraints
+        .iter()
+        .map(|c| {
+            columns
+                .iter()
+                .position(|n| *n == c.column)
+                .unwrap_or_else(|| panic!("unknown output column `{}`", c.column))
+        })
+        .collect();
+
+    // Group points by decision-parameter values.
+    use std::collections::HashMap;
+    let mut groups: HashMap<Vec<u64>, (Vec<f64>, Vec<usize>)> = HashMap::new();
+    for (i, pr) in sweep.points.iter().enumerate() {
+        let vals: Vec<f64> = decision_dims.iter().map(|&d| pr.point[d]).collect();
+        let key: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        groups.entry(key).or_insert_with(|| (vals, Vec::new())).1.push(i);
+    }
+
+    let mut best: Option<(Vec<f64>, Selection)> = None;
+    for (_, (vals, members)) in groups {
+        // Evaluate each constraint's outer fold over the group.
+        let mut achieved = Vec::with_capacity(goal.constraints.len());
+        let mut ok = true;
+        for (c, &ci) in goal.constraints.iter().zip(&col_idx) {
+            let lhs = c
+                .outer
+                .fold(members.iter().map(|&i| c.metric.of(&sweep.points[i].metrics[ci])));
+            achieved.push(lhs);
+            if !c.cmp.test(lhs, c.threshold) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Lexicographic objective key (negated for MIN so larger = better).
+        let key: Vec<f64> = goal
+            .objectives
+            .iter()
+            .map(|o| {
+                let d = goal
+                    .decision_params
+                    .iter()
+                    .position(|p| *p == o.param)
+                    .unwrap_or_else(|| panic!("objective @{} not a decision parameter", o.param));
+                match o.direction {
+                    Direction::Max => vals[d],
+                    Direction::Min => -vals[d],
+                }
+            })
+            .collect();
+        let candidate = Selection {
+            assignment: goal
+                .decision_params
+                .iter()
+                .cloned()
+                .zip(vals.iter().copied())
+                .collect(),
+            achieved,
+            member_points: members,
+        };
+        match &best {
+            None => best = Some((key, candidate)),
+            Some((bk, _)) if key > *bk => best = Some((key, candidate)),
+            _ => {}
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JigsawConfig;
+    use crate::optimizer::SweepRunner;
+    use jigsaw_blackbox::{FnBlackBox, ParamDecl, ParamSpace};
+    use jigsaw_pdb::BlackBoxSim;
+    use jigsaw_prng::SeedSet;
+    use std::sync::Arc;
+
+    /// Deterministic "risk" surface: risk = week/100 unless the purchase
+    /// happened at or before week 20, in which case risk collapses to 0.
+    fn sim() -> (BlackBoxSim, ParamSpace) {
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 0, 49, 1),
+            ParamDecl::range("purchase", 0, 40, 10),
+        ]);
+        let bb = FnBlackBox::new("risk", 2, |p: &[f64], _s| {
+            let (week, purchase) = (p[0], p[1]);
+            if purchase <= 20.0 {
+                0.0
+            } else if week >= purchase {
+                week / 100.0
+            } else {
+                0.001
+            }
+        });
+        (BlackBoxSim::new(Arc::new(bb), space.clone(), SeedSet::new(5)), space)
+    }
+
+    fn goal() -> OptimizeGoal {
+        OptimizeGoal {
+            decision_params: vec!["purchase".into()],
+            constraints: vec![Constraint {
+                column: "risk".into(),
+                metric: jigsaw_pdb::Metric::Expect,
+                outer: OuterAgg::Max,
+                cmp: Comparison::Lt,
+                threshold: 0.01,
+            }],
+            objectives: vec![Objective { param: "purchase".into(), direction: Direction::Max }],
+        }
+    }
+
+    #[test]
+    fn picks_latest_safe_purchase() {
+        let (sim, space) = sim();
+        let cfg = JigsawConfig::paper().with_n_samples(20);
+        let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+        let sel = select(&space, &sweep, &goal(), &["risk".to_string()]).expect("feasible");
+        // purchases 0,10,20 are safe; 30,40 breach the threshold for late
+        // weeks. FOR MAX @purchase → 20.
+        assert_eq!(sel.assignment, vec![("purchase".to_string(), 20.0)]);
+        assert!(sel.achieved[0] < 0.01);
+        assert_eq!(sel.member_points.len(), 50, "one per week");
+    }
+
+    #[test]
+    fn infeasible_goal_returns_none() {
+        let (sim, space) = sim();
+        let cfg = JigsawConfig::paper().with_n_samples(20);
+        let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+        let mut g = goal();
+        g.constraints[0].threshold = -1.0; // impossible
+        assert!(select(&space, &sweep, &g, &["risk".to_string()]).is_none());
+    }
+
+    #[test]
+    fn min_direction_flips_choice() {
+        let (sim, space) = sim();
+        let cfg = JigsawConfig::paper().with_n_samples(20);
+        let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+        let mut g = goal();
+        g.objectives[0].direction = Direction::Min;
+        let sel = select(&space, &sweep, &g, &["risk".to_string()]).unwrap();
+        assert_eq!(sel.assignment[0].1, 0.0);
+    }
+
+    #[test]
+    fn outer_agg_folds() {
+        assert_eq!(OuterAgg::Max.fold([1.0, 3.0, 2.0].into_iter()), 3.0);
+        assert_eq!(OuterAgg::Min.fold([1.0, 3.0, 2.0].into_iter()), 1.0);
+        assert!((OuterAgg::Avg.fold([1.0, 3.0, 2.0].into_iter()) - 2.0).abs() < 1e-12);
+        assert!(OuterAgg::Avg.fold(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Comparison::Lt.test(1.0, 2.0));
+        assert!(!Comparison::Lt.test(2.0, 2.0));
+        assert!(Comparison::Le.test(2.0, 2.0));
+        assert!(Comparison::Gt.test(3.0, 2.0));
+        assert!(Comparison::Ge.test(2.0, 2.0));
+    }
+}

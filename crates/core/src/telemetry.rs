@@ -1,0 +1,97 @@
+//! Execution statistics for sweeps and Markov runs.
+
+use std::time::Duration;
+
+/// Counters collected during a parameter-space sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Points visited.
+    pub points: usize,
+    /// Points answered by full Monte Carlo simulation.
+    pub full_simulations: usize,
+    /// Points answered by basis reuse through a mapping.
+    pub reused: usize,
+    /// Simulation worlds evaluated (fingerprint + completion).
+    pub worlds_evaluated: u64,
+    /// Basis distributions at end of sweep, per output column.
+    pub bases_per_column: Vec<usize>,
+    /// Mapping validations attempted across all columns.
+    pub pairings_tested: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SweepStats {
+    /// Fraction of points served by reuse.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.reused as f64 / self.points as f64
+    }
+
+    /// Wall-clock seconds per parameter point (the paper's "s/pc" unit).
+    pub fn seconds_per_point(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() / self.points as f64
+    }
+}
+
+/// Counters collected during a Markov-process evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MarkovStats {
+    /// Chain length evaluated.
+    pub steps: usize,
+    /// Steps advanced with the full `n`-instance state.
+    pub full_steps: usize,
+    /// Steps advanced with only the `m` fingerprint instances.
+    pub fingerprint_steps: usize,
+    /// Estimator (re)synthesis events.
+    pub estimator_rebuilds: usize,
+    /// Full-state reconstructions through a mapped estimator.
+    pub state_reconstructions: usize,
+    /// `output()` invocations (the cost driver).
+    pub model_invocations: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl MarkovStats {
+    /// Wall-clock milliseconds per chain step (Figure 12's unit).
+    pub fn ms_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() * 1e3 / self.steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_rate() {
+        let s = SweepStats { points: 10, reused: 4, ..Default::default() };
+        assert!((s.reuse_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(SweepStats::default().reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_unit_times() {
+        let s = SweepStats {
+            points: 4,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.seconds_per_point() - 0.5).abs() < 1e-12);
+        let m = MarkovStats {
+            steps: 100,
+            elapsed: Duration::from_millis(250),
+            ..Default::default()
+        };
+        assert!((m.ms_per_step() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Tuple bundles: MCDB's core data representation.
+//!
+//! A *tuple bundle* represents one logical tuple across all `n` sampled
+//! possible worlds (paper §2.1/§2.3; MCDB, Jampani et al. SIGMOD'08).
+//! Deterministic attributes are stored once; stochastic attributes store one
+//! `f64` per world; and a per-world *presence* bitmap records in which
+//! worlds the tuple survives stochastic predicates.
+
+use crate::value::Value;
+
+/// One attribute of a tuple bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BundleCell {
+    /// Same value in every world.
+    Det(Value),
+    /// One value per world (indexed by world id within the batch).
+    Stoch(Vec<f64>),
+}
+
+impl BundleCell {
+    /// Numeric view of the cell in world `w`.
+    pub fn f64_at(&self, w: usize) -> Option<f64> {
+        match self {
+            BundleCell::Det(v) => v.as_f64(),
+            BundleCell::Stoch(xs) => Some(xs[w]),
+        }
+    }
+
+    /// Scalar view of the cell in world `w`.
+    pub fn value_at(&self, w: usize) -> Value {
+        match self {
+            BundleCell::Det(v) => v.clone(),
+            BundleCell::Stoch(xs) => Value::Float(xs[w]),
+        }
+    }
+
+    /// True when the cell varies per world.
+    pub fn is_stoch(&self) -> bool {
+        matches!(self, BundleCell::Stoch(_))
+    }
+}
+
+/// Per-world tuple presence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Presence {
+    /// Present in every world.
+    All,
+    /// Present exactly in the worlds with `true`.
+    Mask(Vec<bool>),
+}
+
+impl Presence {
+    /// Is the tuple present in world `w`?
+    #[inline]
+    pub fn at(&self, w: usize) -> bool {
+        match self {
+            Presence::All => true,
+            Presence::Mask(m) => m[w],
+        }
+    }
+
+    /// Intersect with another presence (tuple survives both predicates).
+    pub fn and(&self, other: &Presence, n_worlds: usize) -> Presence {
+        match (self, other) {
+            (Presence::All, p) | (p, Presence::All) => p.clone(),
+            (Presence::Mask(a), Presence::Mask(b)) => {
+                debug_assert_eq!(a.len(), n_worlds);
+                Presence::Mask(a.iter().zip(b).map(|(x, y)| *x && *y).collect())
+            }
+        }
+    }
+
+    /// Number of worlds the tuple is present in.
+    pub fn count(&self, n_worlds: usize) -> usize {
+        match self {
+            Presence::All => n_worlds,
+            Presence::Mask(m) => m.iter().filter(|&&b| b).count(),
+        }
+    }
+}
+
+/// One tuple across all worlds of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleRow {
+    /// Attributes, aligned with the owning table's schema.
+    pub cells: Vec<BundleCell>,
+    /// Which worlds the tuple exists in.
+    pub presence: Presence,
+}
+
+impl BundleRow {
+    /// A fully-deterministic, always-present row.
+    pub fn det(values: Vec<Value>) -> Self {
+        BundleRow { cells: values.into_iter().map(BundleCell::Det).collect(), presence: Presence::All }
+    }
+}
+
+/// A batch of tuple bundles sharing a schema and a world count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleTable {
+    /// Output schema.
+    pub schema: crate::schema::Schema,
+    /// The bundles.
+    pub rows: Vec<BundleRow>,
+    /// Number of worlds in this batch.
+    pub n_worlds: usize,
+}
+
+impl BundleTable {
+    /// An empty batch.
+    pub fn new(schema: crate::schema::Schema, n_worlds: usize) -> Self {
+        assert!(n_worlds > 0, "a bundle table needs at least one world");
+        BundleTable { schema, rows: Vec::new(), n_worlds }
+    }
+
+    /// Number of logical tuples (not per-world counts).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Extract column `col` of row `row` as a per-world vector (presence is
+    /// ignored; callers needing SQL semantics must consult the row's mask).
+    pub fn column_worlds(&self, row: usize, col: usize) -> Vec<f64> {
+        let cell = &self.rows[row].cells[col];
+        match cell {
+            BundleCell::Det(v) => {
+                let x = v.as_f64().unwrap_or(f64::NAN);
+                vec![x; self.n_worlds]
+            }
+            BundleCell::Stoch(xs) => xs.clone(),
+        }
+    }
+
+    /// Materialize one possible world as plain rows (present tuples only) —
+    /// "conceptually, queries are evaluated in each possible world" (§2.1).
+    pub fn world(&self, w: usize) -> Vec<Vec<Value>> {
+        assert!(w < self.n_worlds, "world {w} out of range");
+        self.rows
+            .iter()
+            .filter(|r| r.presence.at(w))
+            .map(|r| r.cells.iter().map(|c| c.value_at(w)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn demo() -> BundleTable {
+        let schema = Schema::new(vec![
+            Column::det("id", ColumnType::Int),
+            Column::stoch("demand"),
+        ]);
+        let mut t = BundleTable::new(schema, 3);
+        t.rows.push(BundleRow {
+            cells: vec![BundleCell::Det(Value::Int(1)), BundleCell::Stoch(vec![1.0, 2.0, 3.0])],
+            presence: Presence::All,
+        });
+        t.rows.push(BundleRow {
+            cells: vec![BundleCell::Det(Value::Int(2)), BundleCell::Stoch(vec![9.0, 8.0, 7.0])],
+            presence: Presence::Mask(vec![true, false, true]),
+        });
+        t
+    }
+
+    #[test]
+    fn world_materialization_respects_presence() {
+        let t = demo();
+        let w0 = t.world(0);
+        assert_eq!(w0.len(), 2);
+        let w1 = t.world(1);
+        assert_eq!(w1.len(), 1, "row 2 absent from world 1");
+        assert_eq!(w1[0][0], Value::Int(1));
+        assert_eq!(w1[0][1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn presence_and_intersection() {
+        let a = Presence::Mask(vec![true, true, false]);
+        let b = Presence::Mask(vec![true, false, false]);
+        let c = a.and(&b, 3);
+        assert_eq!(c, Presence::Mask(vec![true, false, false]));
+        assert_eq!(Presence::All.and(&a, 3), a);
+        assert_eq!(a.count(3), 2);
+        assert_eq!(Presence::All.count(3), 3);
+    }
+
+    #[test]
+    fn det_cell_broadcasts() {
+        let t = demo();
+        assert_eq!(t.column_worlds(0, 0), vec![1.0, 1.0, 1.0]);
+        assert_eq!(t.column_worlds(0, 1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cell_views() {
+        let c = BundleCell::Stoch(vec![4.0, 5.0]);
+        assert_eq!(c.f64_at(1), Some(5.0));
+        assert_eq!(c.value_at(0), Value::Float(4.0));
+        assert!(c.is_stoch());
+        let d = BundleCell::Det(Value::Str("k".into()));
+        assert_eq!(d.f64_at(0), None);
+        assert!(!d.is_stoch());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one world")]
+    fn zero_worlds_rejected() {
+        let _ = BundleTable::new(Schema::default(), 0);
+    }
+}

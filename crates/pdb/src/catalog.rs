@@ -1,0 +1,104 @@
+//! The database catalog: tables and registered black-box functions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jigsaw_blackbox::BlackBox;
+
+use crate::error::{PdbError, Result};
+use crate::table::Table;
+
+/// Named tables plus named VG-functions — everything a plan can reference.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+    functions: HashMap<String, Arc<dyn BlackBox>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn add_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Register (or replace) a black-box function.
+    pub fn add_function(&mut self, function: Arc<dyn BlackBox>) {
+        self.functions.insert(function.name().to_string(), function);
+    }
+
+    /// Register a function under an explicit name (aliasing).
+    pub fn add_function_as(&mut self, name: impl Into<String>, function: Arc<dyn BlackBox>) {
+        self.functions.insert(name.into(), function);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables.get(name).ok_or_else(|| PdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a function.
+    pub fn function(&self, name: &str) -> Result<&Arc<dyn BlackBox>> {
+        self.functions.get(name).ok_or_else(|| PdbError::UnknownFunction(name.to_string()))
+    }
+
+    /// Registered table names (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Registered function names (unordered).
+    pub fn function_names(&self) -> Vec<&str> {
+        self.functions.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::table::TableBuilder;
+    use jigsaw_blackbox::FnBlackBox;
+
+    #[test]
+    fn table_round_trip() {
+        let mut c = Catalog::new();
+        c.add_table("users", TableBuilder::new().column("id", ColumnType::Int).build());
+        assert!(c.table("users").is_ok());
+        assert_eq!(
+            c.table("nope").unwrap_err(),
+            PdbError::UnknownTable("nope".into())
+        );
+    }
+
+    #[test]
+    fn function_round_trip_and_alias() {
+        let mut c = Catalog::new();
+        c.add_function(Arc::new(FnBlackBox::new("D", 1, |p: &[f64], _| p[0])));
+        c.add_function_as("Alias", Arc::new(FnBlackBox::new("D2", 1, |p: &[f64], _| p[0])));
+        assert!(c.function("D").is_ok());
+        assert!(c.function("Alias").is_ok());
+        assert!(c.function("D2").is_err(), "registered under alias only");
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut c = Catalog::new();
+        c.add_table("t", TableBuilder::new().column("x", ColumnType::Int).build());
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("\"t\""));
+    }
+}

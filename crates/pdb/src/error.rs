@@ -1,0 +1,71 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by planning and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdbError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn(String),
+    /// A referenced black-box function is not registered.
+    UnknownFunction(String),
+    /// A referenced query parameter was not declared.
+    UnknownParam(String),
+    /// A black-box call has the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        function: String,
+        /// Declared arity.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// The operation requires a deterministic input (e.g. join keys, sort
+    /// keys, group-by keys) but got a stochastic expression.
+    StochasticNotAllowed(&'static str),
+    /// The plan shape is unsupported by the chosen engine.
+    Unsupported(String),
+    /// A type error during evaluation.
+    TypeError(String),
+}
+
+impl fmt::Display for PdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            PdbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            PdbError::UnknownFunction(x) => write!(f, "unknown black-box function `{x}`"),
+            PdbError::UnknownParam(p) => write!(f, "unknown parameter `@{p}`"),
+            PdbError::ArityMismatch { function, expected, got } => {
+                write!(f, "`{function}` expects {expected} argument(s), got {got}")
+            }
+            PdbError::StochasticNotAllowed(what) => {
+                write!(f, "{what} must be deterministic")
+            }
+            PdbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            PdbError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(PdbError::UnknownTable("t".into()).to_string(), "unknown table `t`");
+        assert_eq!(
+            PdbError::ArityMismatch { function: "F".into(), expected: 2, got: 3 }.to_string(),
+            "`F` expects 2 argument(s), got 3"
+        );
+        assert_eq!(PdbError::UnknownParam("p".into()).to_string(), "unknown parameter `@p`");
+    }
+}

@@ -1,0 +1,197 @@
+//! Output metrics: the *Estimator* component of the paper's Figure 3.
+//!
+//! "These latter samples are then aggregated by the Estimator to compute one
+//! or more characteristics of interest (i.e., mean, standard deviation,
+//! etc…) for the output distribution."
+//!
+//! [`OutputMetrics`] keeps both the closed-form moments and the raw sample
+//! vector. Keeping samples costs `n·8` bytes per basis (a few KB) and buys:
+//! arbitrary-threshold probabilities, quantiles, exact histogram rebuilds,
+//! and — crucially for tests — the ability to verify that the closed-form
+//! affine mapping of metrics equals metrics of the mapped samples.
+
+use jigsaw_prng::stats::{quantile, Histogram, Moments};
+
+/// Summary of a query-output distribution at one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputMetrics {
+    moments: Moments,
+    samples: Vec<f64>,
+}
+
+impl OutputMetrics {
+    /// Build from i.i.d. samples of the output distribution.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let moments = Moments::from_slice(&samples);
+        OutputMetrics { moments, samples }
+    }
+
+    /// Number of Monte Carlo samples summarized.
+    pub fn n(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The sample vector.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Streaming moments.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// `EXPECT` — the sample mean.
+    pub fn expectation(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// `EXPECT_STDDEV` — the sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.sd()
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> f64 {
+        self.moments.min()
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        self.moments.max()
+    }
+
+    /// Empirical `P(X > t)`.
+    pub fn prob_over(&self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().filter(|&&x| x > t).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical `q`-quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.samples, q)
+    }
+
+    /// Equi-width histogram of the samples.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_data(&self.samples, bins)
+    }
+
+    /// Add more samples (progressive refinement in the interactive mode).
+    pub fn extend(&mut self, more: &[f64]) {
+        for &x in more {
+            self.moments.push(x);
+            self.samples.push(x);
+        }
+    }
+
+    /// The metrics of `a·X + b` — the paper's `M_est`, applied in closed
+    /// form to moments and elementwise to the retained samples. No model
+    /// invocations are needed, which is the entire point of basis reuse.
+    pub fn affine_image(&self, a: f64, b: f64) -> OutputMetrics {
+        OutputMetrics {
+            moments: self.moments.affine_image(a, b),
+            samples: self.samples.iter().map(|x| a * x + b).collect(),
+        }
+    }
+}
+
+/// Which scalar metric of a column an optimization goal refers to
+/// (`EXPECT overload`, `EXPECT_STDDEV demand`, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// Sample mean.
+    Expect,
+    /// Sample standard deviation.
+    StdDev,
+    /// `P(X > t)`.
+    ProbOver(f64),
+    /// Empirical quantile.
+    Quantile(f64),
+}
+
+impl Metric {
+    /// Extract the metric value.
+    pub fn of(&self, m: &OutputMetrics) -> f64 {
+        match self {
+            Metric::Expect => m.expectation(),
+            Metric::StdDev => m.std_dev(),
+            Metric::ProbOver(t) => m.prob_over(*t),
+            Metric::Quantile(q) => m.quantile(*q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> OutputMetrics {
+        OutputMetrics::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0])
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let m = metrics();
+        assert_eq!(m.n(), 5);
+        assert_eq!(m.expectation(), 3.0);
+        assert!((m.std_dev() - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 5.0);
+        assert_eq!(m.prob_over(3.0), 0.4);
+        assert_eq!(m.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn affine_image_matches_recomputation() {
+        let m = metrics();
+        let t = m.affine_image(2.0, -1.0);
+        let direct = OutputMetrics::from_samples(vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert!((t.expectation() - direct.expectation()).abs() < 1e-12);
+        assert!((t.std_dev() - direct.std_dev()).abs() < 1e-12);
+        assert_eq!(t.samples(), direct.samples());
+        assert_eq!(t.min(), direct.min());
+    }
+
+    #[test]
+    fn affine_image_negative_scale() {
+        let m = metrics();
+        let t = m.affine_image(-1.0, 0.0);
+        assert_eq!(t.min(), -5.0);
+        assert_eq!(t.max(), -1.0);
+        assert!((t.std_dev() - m.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_updates_all_views() {
+        let mut m = metrics();
+        m.extend(&[10.0]);
+        assert_eq!(m.n(), 6);
+        assert_eq!(m.max(), 10.0);
+        assert!((m.expectation() - 25.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        let m = metrics();
+        assert_eq!(Metric::Expect.of(&m), 3.0);
+        assert_eq!(Metric::ProbOver(4.0).of(&m), 0.2);
+        assert_eq!(Metric::Quantile(0.0).of(&m), 1.0);
+        assert!((Metric::StdDev.of(&m) - m.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_totals() {
+        let m = metrics();
+        let h = m.histogram(4);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn empty_prob_is_nan() {
+        let m = OutputMetrics::from_samples(vec![]);
+        assert!(m.prob_over(0.0).is_nan());
+    }
+}

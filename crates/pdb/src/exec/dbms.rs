@@ -1,0 +1,362 @@
+//! The tuple-bundle (MCDB-style) engine.
+
+use std::collections::HashMap;
+
+use jigsaw_blackbox::Workload;
+
+use crate::bundle::{BundleCell, BundleRow, BundleTable, Presence};
+use crate::catalog::Catalog;
+use crate::error::{PdbError, Result};
+use crate::expr::{BatchCtx, Expr};
+use crate::plan::{AggFunc, AggSpec, BoundPlan, Plan};
+use crate::schema::Schema;
+use crate::value::Value;
+
+use super::{Engine, ExecContext};
+
+/// Columnar-across-worlds engine with a configurable per-invocation setup
+/// cost (the "online" prototype analog; see [`super`] docs).
+#[derive(Debug, Clone, Default)]
+pub struct DbmsEngine {
+    /// Fixed work burned once per `execute` call, emulating the original
+    /// prototype's IPC + SQL parsing/validation overhead per query
+    /// invocation.
+    pub setup_cost: Workload,
+}
+
+impl DbmsEngine {
+    /// Engine with no synthetic setup cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with the given per-invocation setup cost.
+    pub fn with_setup_cost(setup_cost: Workload) -> Self {
+        DbmsEngine { setup_cost }
+    }
+}
+
+impl Engine for DbmsEngine {
+    fn name(&self) -> &str {
+        "dbms"
+    }
+
+    fn execute(&self, plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
+        self.setup_cost.burn();
+        let mut out = run(&plan.plan, catalog, ctx)?;
+        // Intermediate nodes carry nominal schemas (expressions are bound by
+        // index); the plan's inferred schema is authoritative at the root.
+        out.schema = plan.schema.clone();
+        Ok(out)
+    }
+}
+
+fn run(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
+    match plan {
+        Plan::Scan { table } => {
+            let t = catalog.table(table)?;
+            let mut out = BundleTable::new(t.schema().clone(), ctx.n_worlds);
+            out.rows.reserve(t.len());
+            for row in t.rows() {
+                out.rows.push(BundleRow::det(row.clone()));
+            }
+            Ok(out)
+        }
+        Plan::OneRow => {
+            let mut out = BundleTable::new(Schema::default(), ctx.n_worlds);
+            out.rows.push(BundleRow { cells: vec![], presence: Presence::All });
+            Ok(out)
+        }
+        Plan::Project { input, exprs } => {
+            let inp = run(input, catalog, ctx)?;
+            let bctx = batch_ctx(ctx, catalog);
+            let mut out = BundleTable::new(project_schema(exprs, &inp.schema), ctx.n_worlds);
+            out.rows.reserve(inp.rows.len());
+            for row in &inp.rows {
+                let cells = exprs
+                    .iter()
+                    .map(|(_, e)| e.eval_bundle(row, &bctx))
+                    .collect::<Result<Vec<_>>>()?;
+                out.rows.push(BundleRow { cells, presence: row.presence.clone() });
+            }
+            Ok(out)
+        }
+        Plan::Filter { input, pred } => {
+            let mut inp = run(input, catalog, ctx)?;
+            let bctx = batch_ctx(ctx, catalog);
+            let mut kept = Vec::with_capacity(inp.rows.len());
+            for row in inp.rows.drain(..) {
+                match pred.eval_bundle(&row, &bctx)? {
+                    BundleCell::Det(v) => {
+                        if v.as_bool() == Some(true) {
+                            kept.push(row);
+                        }
+                    }
+                    BundleCell::Stoch(xs) => {
+                        let mask: Vec<bool> =
+                            xs.iter().map(|&x| x != 0.0 && !x.is_nan()).collect();
+                        if mask.iter().any(|&b| b) {
+                            let presence =
+                                row.presence.and(&Presence::Mask(mask), ctx.n_worlds);
+                            kept.push(BundleRow { cells: row.cells, presence });
+                        }
+                    }
+                }
+            }
+            inp.rows = kept;
+            Ok(inp)
+        }
+        Plan::Join { left, right, pred } => {
+            let l = run(left, catalog, ctx)?;
+            let r = run(right, catalog, ctx)?;
+            let schema = concat_schema(&l.schema, &r.schema);
+            let bctx = batch_ctx(ctx, catalog);
+            let mut out = BundleTable::new(schema, ctx.n_worlds);
+            for lr in &l.rows {
+                for rr in &r.rows {
+                    let presence = lr.presence.and(&rr.presence, ctx.n_worlds);
+                    if presence.count(ctx.n_worlds) == 0 {
+                        continue;
+                    }
+                    let mut cells = lr.cells.clone();
+                    cells.extend(rr.cells.iter().cloned());
+                    let row = BundleRow { cells, presence };
+                    match pred {
+                        None => out.rows.push(row),
+                        Some(p) => match p.eval_bundle(&row, &bctx)? {
+                            BundleCell::Det(v) => {
+                                if v.as_bool() == Some(true) {
+                                    out.rows.push(row);
+                                }
+                            }
+                            BundleCell::Stoch(xs) => {
+                                let mask: Vec<bool> =
+                                    xs.iter().map(|&x| x != 0.0 && !x.is_nan()).collect();
+                                if mask.iter().any(|&b| b) {
+                                    let presence =
+                                        row.presence.and(&Presence::Mask(mask), ctx.n_worlds);
+                                    out.rows.push(BundleRow { cells: row.cells, presence });
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::HashJoin { left, right, left_key, right_key } => {
+            let l = run(left, catalog, ctx)?;
+            let r = run(right, catalog, ctx)?;
+            let schema = concat_schema(&l.schema, &r.schema);
+            let bctx = batch_ctx(ctx, catalog);
+            // Build on the right.
+            let mut table: HashMap<crate::value::GroupKey, Vec<usize>> = HashMap::new();
+            for (i, rr) in r.rows.iter().enumerate() {
+                let key = det_value(&right_key.eval_bundle(rr, &bctx)?)?;
+                table.entry(key.group_key()).or_default().push(i);
+            }
+            let mut out = BundleTable::new(schema, ctx.n_worlds);
+            for lr in &l.rows {
+                let key = det_value(&left_key.eval_bundle(lr, &bctx)?)?;
+                if key.is_null() {
+                    continue; // SQL: NULL keys never join
+                }
+                if let Some(matches) = table.get(&key.group_key()) {
+                    for &ri in matches {
+                        let rr = &r.rows[ri];
+                        let presence = lr.presence.and(&rr.presence, ctx.n_worlds);
+                        if presence.count(ctx.n_worlds) == 0 {
+                            continue;
+                        }
+                        let mut cells = lr.cells.clone();
+                        cells.extend(rr.cells.iter().cloned());
+                        out.rows.push(BundleRow { cells, presence });
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let inp = run(input, catalog, ctx)?;
+            let bctx = batch_ctx(ctx, catalog);
+            aggregate(&inp, group_by, aggs, &bctx, ctx)
+        }
+        Plan::Sort { input, keys } => {
+            let mut inp = run(input, catalog, ctx)?;
+            let bctx = batch_ctx(ctx, catalog);
+            let mut keyed: Vec<(Vec<Value>, BundleRow)> = inp
+                .rows
+                .drain(..)
+                .map(|row| {
+                    let ks = keys
+                        .iter()
+                        .map(|(k, _)| det_value(&k.eval_bundle(&row, &bctx)?))
+                        .collect::<Result<Vec<_>>>()?;
+                    Ok((ks, row))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = a[i].compare(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            inp.rows = keyed.into_iter().map(|(_, r)| r).collect();
+            Ok(inp)
+        }
+        Plan::Limit { input, n } => {
+            let mut inp = run(input, catalog, ctx)?;
+            inp.rows.truncate(*n);
+            Ok(inp)
+        }
+    }
+}
+
+fn batch_ctx<'a>(ctx: &'a ExecContext, catalog: &'a Catalog) -> BatchCtx<'a> {
+    BatchCtx {
+        world_start: ctx.world_start,
+        n_worlds: ctx.n_worlds,
+        seeds: &ctx.seeds,
+        params: &ctx.params,
+        functions: catalog,
+    }
+}
+
+fn project_schema(exprs: &[(String, Expr)], _input: &Schema) -> Schema {
+    // The bound plan carries the authoritative schema; for intermediate
+    // nodes we rebuild a nominal one (names only matter for debugging).
+    Schema::new(
+        exprs
+            .iter()
+            .map(|(n, _)| crate::schema::Column::stoch(n.clone()))
+            .collect(),
+    )
+}
+
+fn concat_schema(l: &Schema, r: &Schema) -> Schema {
+    Schema::new(l.columns().iter().chain(r.columns().iter()).cloned().collect())
+}
+
+fn det_value(cell: &BundleCell) -> Result<Value> {
+    match cell {
+        BundleCell::Det(v) => Ok(v.clone()),
+        BundleCell::Stoch(_) => Err(PdbError::StochasticNotAllowed("this key")),
+    }
+}
+
+fn aggregate(
+    inp: &BundleTable,
+    group_by: &[(String, Expr)],
+    aggs: &[AggSpec],
+    bctx: &BatchCtx<'_>,
+    ctx: &ExecContext,
+) -> Result<BundleTable> {
+    let n = ctx.n_worlds;
+    // Group rows by deterministic keys.
+    let mut groups: HashMap<Vec<crate::value::GroupKey>, (Vec<Value>, Vec<usize>)> = HashMap::new();
+    let mut order: Vec<Vec<crate::value::GroupKey>> = Vec::new();
+    for (ri, row) in inp.rows.iter().enumerate() {
+        let mut keys = Vec::with_capacity(group_by.len());
+        let mut vals = Vec::with_capacity(group_by.len());
+        for (_, k) in group_by {
+            let v = det_value(&k.eval_bundle(row, bctx)?)?;
+            keys.push(v.group_key());
+            vals.push(v);
+        }
+        match groups.entry(keys.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(keys);
+                e.insert((vals, vec![ri]));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().1.push(ri),
+        }
+    }
+    // Global aggregate over empty input still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), (Vec::new(), Vec::new()));
+    }
+
+    let mut schema_cols = Vec::new();
+    for (name, _) in group_by {
+        schema_cols.push(crate::schema::Column::det(name.clone(), crate::schema::ColumnType::Float));
+    }
+    for a in aggs {
+        schema_cols.push(crate::schema::Column::stoch(a.name.clone()));
+    }
+    let mut out = BundleTable::new(Schema::new(schema_cols), n);
+
+    for key in order {
+        let (vals, row_ids) = groups.remove(&key).expect("group vanished");
+        let mut cells: Vec<BundleCell> = vals.into_iter().map(BundleCell::Det).collect();
+        for a in aggs {
+            cells.push(eval_agg(a, &row_ids, inp, bctx, n)?);
+        }
+        out.rows.push(BundleRow { cells, presence: Presence::All });
+    }
+    Ok(out)
+}
+
+fn eval_agg(
+    spec: &AggSpec,
+    rows: &[usize],
+    inp: &BundleTable,
+    bctx: &BatchCtx<'_>,
+    n: usize,
+) -> Result<BundleCell> {
+    let mut acc: Vec<f64> = match spec.func {
+        AggFunc::Min => vec![f64::INFINITY; n],
+        AggFunc::Max => vec![f64::NEG_INFINITY; n],
+        _ => vec![0.0; n],
+    };
+    let mut counts = vec![0u64; n];
+    for &ri in rows {
+        let row = &inp.rows[ri];
+        let cell = match &spec.arg {
+            Some(e) => Some(e.eval_bundle(row, bctx)?),
+            None => None,
+        };
+        for w in 0..n {
+            if !row.presence.at(w) {
+                continue;
+            }
+            counts[w] += 1;
+            if let Some(c) = &cell {
+                let x = c.f64_at(w).ok_or_else(|| {
+                    PdbError::TypeError(format!("aggregate `{}` over non-numeric", spec.name))
+                })?;
+                match spec.func {
+                    AggFunc::Sum | AggFunc::Avg => acc[w] += x,
+                    AggFunc::Min => acc[w] = acc[w].min(x),
+                    AggFunc::Max => acc[w] = acc[w].max(x),
+                    AggFunc::Count => {}
+                }
+            }
+        }
+    }
+    let out: Vec<f64> = (0..n)
+        .map(|w| match spec.func {
+            AggFunc::Count => counts[w] as f64,
+            AggFunc::Sum => acc[w],
+            AggFunc::Avg => {
+                if counts[w] == 0 {
+                    f64::NAN
+                } else {
+                    acc[w] / counts[w] as f64
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if counts[w] == 0 {
+                    f64::NAN
+                } else {
+                    acc[w]
+                }
+            }
+        })
+        .collect();
+    Ok(BundleCell::Stoch(out))
+}

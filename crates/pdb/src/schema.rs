@@ -1,0 +1,143 @@
+//! Column and relation schemas.
+
+use std::fmt;
+
+/// Logical column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Logical type.
+    pub ty: ColumnType,
+    /// True when values are stochastic (per-possible-world). In MCDB terms:
+    /// this attribute is produced by a VG-function rather than stored.
+    pub uncertain: bool,
+}
+
+impl Column {
+    /// A deterministic column.
+    pub fn det(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column { name: name.into(), ty, uncertain: false }
+    }
+
+    /// A stochastic (per-world) column; always `Float` in this engine.
+    pub fn stoch(name: impl Into<String>) -> Self {
+        Column { name: name.into(), ty: ColumnType::Float, uncertain: true }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build from columns. Duplicate names are permitted (join outputs
+    /// concatenate schemas); [`Schema::index_of`] resolves to the first
+    /// match, and base tables enforce uniqueness separately.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// True when every column name is distinct.
+    pub fn has_unique_names(&self) -> bool {
+        for (i, a) in self.columns.iter().enumerate() {
+            if self.columns[i + 1..].iter().any(|b| b.name == a.name) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {:?}{}", c.name, c.ty, if c.uncertain { "~" } else { "" })?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup() {
+        let s = Schema::new(vec![
+            Column::det("id", ColumnType::Int),
+            Column::stoch("demand"),
+        ]);
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("demand"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.len(), 2);
+        assert!(s.column(1).uncertain);
+    }
+
+    #[test]
+    fn duplicate_names_detected_but_allowed() {
+        let s = Schema::new(vec![
+            Column::det("x", ColumnType::Int),
+            Column::det("x", ColumnType::Float),
+        ]);
+        assert!(!s.has_unique_names());
+        // index_of resolves to the first occurrence.
+        assert_eq!(s.index_of("x"), Some(0));
+    }
+
+    #[test]
+    fn display_marks_uncertain() {
+        let s = Schema::new(vec![Column::stoch("d")]);
+        assert_eq!(s.to_string(), "(d: Float~)");
+    }
+}

@@ -1,0 +1,215 @@
+//! The `Simulation` abstraction: "the entire Monte Carlo simulation" as a
+//! single stochastic function.
+//!
+//! The paper's key move (§3): "Taken to one extreme, the entire Monte Carlo
+//! simulation shown inside the dashed box in Figure 3 can be treated as the
+//! stochastic function F." Jigsaw's optimizer fingerprints *that* function —
+//! the composition of parameter binding, black-box invocation, and query
+//! evaluation — not individual models.
+//!
+//! [`Simulation::eval_worlds`] evaluates the query at a parameter point for
+//! a window of world indices. World `k` always runs under seed `σ_k`, so the
+//! first `m` worlds double as the fingerprint and the remaining `n − m`
+//! complete the estimate with no wasted work.
+
+use std::sync::Arc;
+
+use jigsaw_blackbox::{BlackBox, ParamSpace};
+use jigsaw_prng::SeedSet;
+
+use crate::bundle::BundleCell;
+use crate::catalog::Catalog;
+use crate::error::{PdbError, Result};
+use crate::exec::{Engine, ExecContext};
+use crate::plan::BoundPlan;
+
+/// A parameterized Monte Carlo simulation with named scalar outputs.
+pub trait Simulation: Send + Sync {
+    /// Names of the output columns.
+    fn columns(&self) -> &[String];
+
+    /// The parameter space the simulation is defined over.
+    fn space(&self) -> &ParamSpace;
+
+    /// Evaluate output columns for worlds `start .. start+count` at `point`.
+    ///
+    /// Returns `out[col][world_in_window]`.
+    fn eval_worlds(&self, point: &[f64], start: usize, count: usize) -> Result<Vec<Vec<f64>>>;
+}
+
+/// A single black-box function exposed as a one-column simulation — the
+/// shape most of the paper's experiments use.
+pub struct BlackBoxSim {
+    bb: Arc<dyn BlackBox>,
+    seeds: SeedSet,
+    space: ParamSpace,
+    columns: [String; 1],
+}
+
+impl BlackBoxSim {
+    /// Wrap a black box with its parameter space and the session seed set.
+    pub fn new(bb: Arc<dyn BlackBox>, space: ParamSpace, seeds: SeedSet) -> Self {
+        let name = bb.name().to_string();
+        BlackBoxSim { bb, seeds, space, columns: [name] }
+    }
+}
+
+impl Simulation for BlackBoxSim {
+    fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn eval_worlds(&self, point: &[f64], start: usize, count: usize) -> Result<Vec<Vec<f64>>> {
+        let mut col = Vec::with_capacity(count);
+        for k in start..start + count {
+            col.push(self.bb.eval(point, self.seeds.seed(k)));
+        }
+        Ok(vec![col])
+    }
+}
+
+/// A bound query plan executed by a PDB engine, exposed as a simulation.
+///
+/// The plan must reduce to a **single logical row** (aggregate queries or
+/// scalar `SELECT`s) — exactly the shape the paper's example scenarios have.
+pub struct PlanSim {
+    engine: Arc<dyn Engine>,
+    plan: BoundPlan,
+    catalog: Arc<Catalog>,
+    seeds: SeedSet,
+    space: ParamSpace,
+    columns: Vec<String>,
+}
+
+impl PlanSim {
+    /// Wrap a bound plan. `space` declares the `@parameters` in the same
+    /// order the plan was bound with.
+    pub fn new(
+        engine: Arc<dyn Engine>,
+        plan: BoundPlan,
+        catalog: Arc<Catalog>,
+        space: ParamSpace,
+        seeds: SeedSet,
+    ) -> Self {
+        let columns = plan.schema.names().into_iter().map(String::from).collect();
+        PlanSim { engine, plan, catalog, seeds, space, columns }
+    }
+
+    /// The engine used for execution.
+    pub fn engine_name(&self) -> &str {
+        self.engine.name()
+    }
+}
+
+impl Simulation for PlanSim {
+    fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn eval_worlds(&self, point: &[f64], start: usize, count: usize) -> Result<Vec<Vec<f64>>> {
+        let ctx = ExecContext {
+            seeds: self.seeds,
+            params: point.to_vec(),
+            world_start: start,
+            n_worlds: count,
+        };
+        let table = self.engine.execute(&self.plan, &self.catalog, &ctx)?;
+        if table.len() != 1 {
+            return Err(PdbError::Unsupported(format!(
+                "simulation queries must produce exactly one row, got {}",
+                table.len()
+            )));
+        }
+        let row = &table.rows[0];
+        let mut out = Vec::with_capacity(self.columns.len());
+        for cell in &row.cells {
+            out.push(match cell {
+                BundleCell::Det(v) => {
+                    let x = v.as_f64().ok_or_else(|| {
+                        PdbError::TypeError("non-numeric simulation output".into())
+                    })?;
+                    vec![x; count]
+                }
+                BundleCell::Stoch(xs) => xs.clone(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{DbmsEngine, DirectEngine};
+    use crate::expr::Expr;
+    use crate::plan::Plan;
+    use jigsaw_blackbox::{FnBlackBox, ParamDecl};
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![ParamDecl::range("w", 0, 9, 1)])
+    }
+
+    #[test]
+    fn blackbox_sim_matches_direct_eval() {
+        let seeds = SeedSet::new(4);
+        let bb: Arc<dyn BlackBox> =
+            Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| p[0] * 10.0 + (s.0 % 7) as f64));
+        let sim = BlackBoxSim::new(bb.clone(), space(), seeds);
+        let out = sim.eval_worlds(&[3.0], 2, 4).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 4);
+        for (i, k) in (2..6).enumerate() {
+            assert_eq!(out[0][i], bb.eval(&[3.0], seeds.seed(k)));
+        }
+    }
+
+    #[test]
+    fn plan_sim_single_row_contract() {
+        let seeds = SeedSet::new(4);
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("F", 1, |p: &[f64], _| p[0])));
+        let plan = Plan::OneRow
+            .project(vec![("out", Expr::call("F", vec![Expr::param("w")]))])
+            .bind(&cat, &["w".to_string()])
+            .unwrap();
+        let sim = PlanSim::new(
+            Arc::new(DirectEngine::new()),
+            plan,
+            Arc::new(cat),
+            space(),
+            seeds,
+        );
+        let out = sim.eval_worlds(&[5.0], 0, 3).unwrap();
+        assert_eq!(out, vec![vec![5.0, 5.0, 5.0]]);
+        assert_eq!(sim.columns(), &["out".to_string()]);
+    }
+
+    #[test]
+    fn both_engines_agree_through_sim() {
+        let seeds = SeedSet::new(8);
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| {
+            p[0] + (s.0 % 100) as f64
+        })));
+        let cat = Arc::new(cat);
+        let plan = Plan::OneRow
+            .project(vec![("out", Expr::call("F", vec![Expr::param("w")]))])
+            .bind(&cat, &["w".to_string()])
+            .unwrap();
+        let a = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space(), seeds);
+        let b = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat, space(), seeds);
+        assert_eq!(
+            a.eval_worlds(&[2.0], 0, 8).unwrap(),
+            b.eval_worlds(&[2.0], 0, 8).unwrap(),
+            "engines must sample identical possible worlds"
+        );
+    }
+}

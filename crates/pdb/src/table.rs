@@ -1,0 +1,173 @@
+//! Deterministic base tables.
+//!
+//! In MCDB's architecture, "each random table in the uncertain database is
+//! represented on disk by its schema, together with a set of black-box
+//! functions that are used to generate realizations of uncertain attribute
+//! values" (paper §2.3). A [`Table`] stores the deterministic part; the
+//! stochastic attributes are attached at plan level as black-box expressions
+//! evaluated per possible world.
+
+use crate::schema::{ColumnType, Schema};
+use crate::value::Value;
+
+/// A row-oriented deterministic table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table with the given schema (all columns must be
+    /// deterministic — stochastic attributes live in plans, not storage).
+    pub fn new(schema: Schema) -> Self {
+        assert!(
+            schema.columns().iter().all(|c| !c.uncertain),
+            "base tables store deterministic columns only"
+        );
+        assert!(schema.has_unique_names(), "base table column names must be unique");
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Append a row, checking arity and types.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        for (v, c) in row.iter().zip(self.schema.columns()) {
+            let ok = match (v, c.ty) {
+                (Value::Null, _) => true,
+                (Value::Bool(_), ColumnType::Bool) => true,
+                (Value::Int(_), ColumnType::Int) => true,
+                (Value::Float(_), ColumnType::Float) => true,
+                (Value::Int(_), ColumnType::Float) => true, // widening OK
+                (Value::Str(_), ColumnType::Str) => true,
+                _ => false,
+            };
+            assert!(ok, "value {v:?} does not fit column `{}` ({:?})", c.name, c.ty);
+        }
+        self.rows.push(row);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+}
+
+/// Convenience builder for test fixtures and examples.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    columns: Vec<(String, ColumnType)>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a column.
+    pub fn column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.columns.push((name.into(), ty));
+        self
+    }
+
+    /// Add a row.
+    pub fn row(mut self, row: Vec<Value>) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Finish, validating every row.
+    pub fn build(self) -> Table {
+        let schema = Schema::new(
+            self.columns
+                .into_iter()
+                .map(|(name, ty)| crate::schema::Column::det(name, ty))
+                .collect(),
+        );
+        let mut t = Table::new(schema);
+        for r in self.rows {
+            t.push_row(r);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> Table {
+        TableBuilder::new()
+            .column("id", ColumnType::Int)
+            .column("base", ColumnType::Float)
+            .row(vec![1.into(), 2.5.into()])
+            .row(vec![2.into(), 0.5.into()])
+            .build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let t = users();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, 0), &Value::Int(1));
+        assert_eq!(t.cell(1, 1), &Value::Float(0.5));
+        assert_eq!(t.schema().index_of("base"), Some(1));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = users();
+        t.push_row(vec![3.into(), Value::Int(4)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn nulls_allowed_anywhere() {
+        let mut t = users();
+        t.push_row(vec![Value::Null, Value::Null]);
+        assert!(t.cell(2, 0).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = users();
+        t.push_row(vec![1.into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit column")]
+    fn type_checked() {
+        let mut t = users();
+        t.push_row(vec![Value::Str("x".into()), 1.0.into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic columns only")]
+    fn stochastic_storage_rejected() {
+        let s = Schema::new(vec![crate::schema::Column::stoch("d")]);
+        let _ = Table::new(s);
+    }
+}

@@ -1,0 +1,134 @@
+//! Seeds and the global seed set.
+//!
+//! The paper (§3.1) fixes a vector of `m` seed values `{σ_k}` "randomly
+//! generated as part of the initialization process and held constant
+//! throughout", and defines the fingerprint of `F(P)` as
+//! `{θ_k = F(P, σ_k) | 0 ≤ k < m}`. [`SeedSet`] is that object, generalized
+//! so the *same* master seed also addresses the remaining `n − m` Monte
+//! Carlo rounds: sample instance `k` of every parameter point always runs
+//! under `SeedSet::seed(k)`, making the first `m` rounds double as the
+//! fingerprint at zero extra cost.
+
+use crate::splitmix::mix64;
+
+/// An opaque seed for one black-box invocation.
+///
+/// Newtype over `u64` so that seeds cannot be confused with sample values or
+/// indices at API boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Seed(pub u64);
+
+impl Seed {
+    /// Derive a sub-seed by mixing in additional key material.
+    ///
+    /// Used to split one instance seed into independent streams for multiple
+    /// models in the same query (e.g. `DemandModel` and `CapacityModel` must
+    /// not consume each other's randomness).
+    #[inline]
+    pub fn derive(self, key: u64) -> Seed {
+        // Mixing twice decorrelates (seed, key) pairs that share either half.
+        Seed(mix64(self.0 ^ mix64(key ^ 0xA076_1D64_78BD_642F)))
+    }
+}
+
+impl From<u64> for Seed {
+    fn from(v: u64) -> Self {
+        Seed(v)
+    }
+}
+
+/// The global seed set `{σ_k}` of a Jigsaw session.
+///
+/// Conceptually an infinite sequence of i.i.d. seeds addressed by sample
+/// index; materialization is lazy and `O(1)` per access. Two `SeedSet`s with
+/// the same master seed are identical, which is what lets independently
+/// constructed engine components agree on the randomness of instance `k`.
+///
+/// Using the *same* seed set across parameter values is deliberate and does
+/// not bias results: each `Estimator(P)` still consumes i.i.d. samples; only
+/// *comparisons between* parameter points become correlated, and Jigsaw only
+/// ever compares (never combines) estimates across points (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSet {
+    master: u64,
+}
+
+impl SeedSet {
+    /// Create the seed set for a session from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSet { master }
+    }
+
+    /// The master seed this set was derived from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// The seed `σ_k` for sample instance `k`.
+    #[inline]
+    pub fn seed(&self, k: usize) -> Seed {
+        // mix64 is a bijection, so distinct k yield distinct seeds.
+        Seed(mix64(self.master.wrapping_add(mix64(k as u64 ^ 0x9E6D_62D0_6F6A_9A9B))))
+    }
+
+    /// The first `m` seeds — the fingerprint seed vector.
+    pub fn fingerprint_seeds(&self, m: usize) -> Vec<Seed> {
+        (0..m).map(|k| self.seed(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seed_set_is_deterministic() {
+        let a = SeedSet::new(77);
+        let b = SeedSet::new(77);
+        for k in 0..100 {
+            assert_eq!(a.seed(k), b.seed(k));
+        }
+    }
+
+    #[test]
+    fn different_masters_disagree() {
+        let a = SeedSet::new(1);
+        let b = SeedSet::new(2);
+        let same = (0..64).filter(|&k| a.seed(k) == b.seed(k)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn seeds_are_distinct_within_set() {
+        let s = SeedSet::new(123);
+        let mut seen = HashSet::new();
+        for k in 0..100_000 {
+            assert!(seen.insert(s.seed(k)), "duplicate seed at k={k}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_seeds_prefix_property() {
+        // The fingerprint seeds must be exactly the first m sample seeds,
+        // so fingerprint rounds count toward the full simulation.
+        let s = SeedSet::new(5);
+        let fp = s.fingerprint_seeds(10);
+        for (k, &sigma) in fp.iter().enumerate() {
+            assert_eq!(sigma, s.seed(k));
+        }
+    }
+
+    #[test]
+    fn derive_changes_seed_and_is_deterministic() {
+        let s = Seed(42);
+        assert_ne!(s.derive(0), s);
+        assert_ne!(s.derive(1), s.derive(2));
+        assert_eq!(s.derive(9), s.derive(9));
+    }
+
+    #[test]
+    fn derive_is_not_symmetric_in_key_and_seed() {
+        assert_ne!(Seed(1).derive(2), Seed(2).derive(1));
+    }
+}

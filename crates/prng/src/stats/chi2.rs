@@ -1,0 +1,133 @@
+//! Pearson chi-square goodness-of-fit test for discrete distributions.
+//!
+//! Complements the KS test (which targets continuous CDFs): the alias-table
+//! sampler, Bernoulli/Poisson counts, and boolean query outputs are
+//! naturally binned, and chi-square is the appropriate fit test for them.
+
+/// Pearson's statistic `Σ (observed − expected)² / expected`.
+///
+/// `observed` are bin counts; `expected` are expected counts under the null
+/// (same total). Bins with expected count 0 must not appear (classic rule
+/// of thumb: merge bins until every expected count is ≥ 5).
+pub fn chi2_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "bin count mismatch");
+    assert!(!observed.is_empty(), "need at least one bin");
+    assert!(
+        expected.iter().all(|&e| e > 0.0),
+        "expected counts must be positive (merge sparse bins)"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with `k`
+/// degrees of freedom at significance `alpha`, via the Wilson–Hilferty cube
+/// normal approximation (accurate to a few percent for k ≥ 3, conservative
+/// enough for test-suite use below that).
+pub fn chi2_critical_value(k: usize, alpha: f64) -> f64 {
+    assert!(k >= 1, "need at least one degree of freedom");
+    // Standard normal upper quantile for the supported alphas.
+    let z = if alpha <= 0.001 {
+        3.090
+    } else if alpha <= 0.01 {
+        2.326
+    } else if alpha <= 0.05 {
+        1.645
+    } else {
+        1.282
+    };
+    let kf = k as f64;
+    let t = 1.0 - 2.0 / (9.0 * kf) + z * (2.0 / (9.0 * kf)).sqrt();
+    kf * t * t * t
+}
+
+/// Convenience: test observed counts against expected proportions; `true`
+/// when the fit is *accepted* at significance `alpha` (df = bins − 1).
+pub fn chi2_fits(observed: &[u64], proportions: &[f64], alpha: f64) -> bool {
+    let total: u64 = observed.iter().sum();
+    let psum: f64 = proportions.iter().sum();
+    let expected: Vec<f64> =
+        proportions.iter().map(|p| p / psum * total as f64).collect();
+    let stat = chi2_statistic(observed, &expected);
+    stat < chi2_critical_value(observed.len() - 1, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Categorical, Distribution, Poisson};
+    use crate::{Seed, Xoshiro256pp};
+
+    #[test]
+    fn statistic_is_zero_on_perfect_fit() {
+        assert_eq!(chi2_statistic(&[10, 20, 30], &[10.0, 20.0, 30.0]), 0.0);
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // Known chi-square 95% quantiles: df=1 → 3.84, df=5 → 11.07,
+        // df=10 → 18.31. Wilson–Hilferty should land within ~5%.
+        for (k, want) in [(1usize, 3.84f64), (5, 11.07), (10, 18.31)] {
+            let got = chi2_critical_value(k, 0.05);
+            assert!(
+                (got - want).abs() / want < 0.08,
+                "df={k}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_sampler_passes_chi2() {
+        let weights = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let d = Categorical::new(&weights);
+        let mut rng = Xoshiro256pp::seeded(Seed(71));
+        let mut counts = [0u64; 5];
+        for _ in 0..50_000 {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert!(chi2_fits(&counts, &weights, 0.01));
+    }
+
+    #[test]
+    fn skewed_counts_fail_chi2() {
+        // Claim uniform, observe skew: must reject.
+        let counts = [10_000u64, 12_000, 10_000, 10_000];
+        assert!(!chi2_fits(&counts, &[1.0; 4], 0.01));
+    }
+
+    #[test]
+    fn poisson_pmf_fit() {
+        let lambda = 3.0;
+        let d = Poisson::new(lambda);
+        let mut rng = Xoshiro256pp::seeded(Seed(72));
+        // Bins 0..=7 plus an "8+" tail bin.
+        let mut counts = [0u64; 9];
+        let n = 40_000;
+        for _ in 0..n {
+            let k = (d.sample(&mut rng) as usize).min(8);
+            counts[k] += 1;
+        }
+        let mut pmf = [0.0f64; 9];
+        let mut acc = (-lambda).exp();
+        let mut cum = 0.0;
+        for (k, slot) in pmf.iter_mut().enumerate().take(8) {
+            *slot = acc;
+            cum += acc;
+            acc *= lambda / (k + 1) as f64;
+        }
+        pmf[8] = 1.0 - cum;
+        assert!(chi2_fits(&counts, &pmf, 0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_expected_rejected() {
+        let _ = chi2_statistic(&[1, 2], &[3.0, 0.0]);
+    }
+}

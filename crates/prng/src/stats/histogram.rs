@@ -1,0 +1,195 @@
+//! Fixed-width histograms.
+//!
+//! PDB query answers are distributions; histograms are one of the output
+//! representations the paper lists (§2.1: "this distribution may be
+//! represented as an expectation, maximum likelihood, histogram, etc.").
+
+/// An equi-width histogram over `[lo, hi)` with values outside the range
+/// collected in underflow/overflow bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty, got [{lo}, {hi})");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Build from data, sizing the range to the observed min/max.
+    ///
+    /// Returns a degenerate single-bin histogram when all values coincide.
+    pub fn from_data(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "from_data requires non-empty input");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if lo == hi { (lo, lo + 1.0) } else { (lo, hi + (hi - lo) * 1e-9) };
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in xs {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against rounding at the top edge.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range mass in bin `i` (`NaN` when empty).
+    pub fn density(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / self.total as f64
+    }
+
+    /// The histogram of `a·X + b` given the histogram of `X`, in closed form
+    /// (bin *edges* are transformed; counts are preserved, reversing bin
+    /// order when `a < 0`). This is the histogram member of the paper's
+    /// mapping-function family.
+    pub fn affine_image(&self, a: f64, b: f64) -> Histogram {
+        assert!(a != 0.0, "affine_image requires a != 0");
+        let (lo, hi) = if a > 0.0 {
+            (a * self.lo + b, a * self.hi + b)
+        } else {
+            (a * self.hi + b, a * self.lo + b)
+        };
+        let counts = if a > 0.0 {
+            self.counts.clone()
+        } else {
+            self.counts.iter().rev().copied().collect()
+        };
+        let (underflow, overflow) =
+            if a > 0.0 { (self.underflow, self.overflow) } else { (self.overflow, self.underflow) };
+        Histogram { lo, hi, counts, underflow, overflow, total: self.total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_receive_correct_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.push(x);
+        }
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn from_data_covers_extremes() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        let h = Histogram::from_data(&xs, 3);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn from_data_degenerate_constant() {
+        let h = Histogram::from_data(&[5.0, 5.0, 5.0], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn affine_image_positive_matches_rebuild() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let h = Histogram::from_data(&xs, 4);
+        let mapped = h.affine_image(2.0, 1.0);
+        let direct: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        // Same counts per (transformed) bin.
+        for i in 0..4 {
+            let (lo, hi) = mapped.bin_bounds(i);
+            let n = direct.iter().filter(|&&x| x >= lo && x < hi).count() as u64;
+            // allow edge slop of the epsilon-widened top bin
+            assert!(
+                mapped.count(i) == n || mapped.count(i) + 1 == n || n + 1 == mapped.count(i),
+                "bin {i}: {} vs {n}",
+                mapped.count(i)
+            );
+        }
+        assert_eq!(mapped.total(), h.total());
+    }
+
+    #[test]
+    fn affine_image_negative_reverses_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.push(0.5); // bin 0
+        h.push(3.5); // bin 3
+        h.push(3.6); // bin 3
+        let m = h.affine_image(-1.0, 0.0);
+        assert_eq!(m.count(0), 2, "old top bin becomes new bottom bin");
+        assert_eq!(m.count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used by the test suite to validate the distribution implementations
+//! against their analytic CDFs, and available to users for model-validation
+//! workflows ("does my VG-function actually produce the distribution I
+//! fitted in R?").
+
+/// Compute the KS statistic `D_n = sup_x |F_n(x) − F(x)|` for sorted data
+/// against a reference CDF.
+///
+/// `sorted` must be ascending; this is asserted in debug builds.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
+    assert!(!sorted.is_empty(), "ks_statistic requires data");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "ks_statistic input must be sorted"
+    );
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Approximate critical value for the KS statistic at significance `alpha`
+/// (two-sided), valid for n ≳ 35: `c(α) / sqrt(n)`.
+///
+/// Supported alphas: 0.10, 0.05, 0.01, 0.001 (nearest is used).
+pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
+    let c = if alpha <= 0.001 {
+        1.95
+    } else if alpha <= 0.01 {
+        1.63
+    } else if alpha <= 0.05 {
+        1.36
+    } else {
+        1.22
+    };
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::{Rng, Seed, Xoshiro256pp};
+
+    #[test]
+    fn uniform_samples_pass_against_uniform_cdf() {
+        let mut rng = Xoshiro256pp::seeded(Seed(61));
+        let mut xs: Vec<f64> = (0..5000).map(|_| rng.next_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d < ks_critical_value(xs.len(), 0.01), "D={d}");
+    }
+
+    #[test]
+    fn shifted_samples_fail_against_uniform_cdf() {
+        let mut rng = Xoshiro256pp::seeded(Seed(62));
+        let mut xs: Vec<f64> = (0..5000).map(|_| rng.next_f64() * 0.8).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d > ks_critical_value(xs.len(), 0.01), "D={d} should reject");
+    }
+
+    #[test]
+    fn normal_passes_against_normal_cdf() {
+        // CDF via erf-free approximation: use the complementary trick with
+        // the logistic approximation is too crude; use numerically integrated
+        // CDF via the error-function series is overkill. Abramowitz-Stegun
+        // 7.1.26-based CDF is accurate to ~1.5e-7 which is plenty.
+        fn phi(x: f64) -> f64 {
+            // A&S 26.2.17
+            let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+            let poly = t
+                * (0.319381530
+                    + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+            let pdf = (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+            let upper = pdf * poly;
+            if x >= 0.0 {
+                1.0 - upper
+            } else {
+                upper
+            }
+        }
+        let d = crate::dist::Normal::new(0.0, 1.0);
+        let mut rng = Xoshiro256pp::seeded(Seed(63));
+        let mut xs = d.sample_n(&mut rng, 5000);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ks = ks_statistic(&xs, phi);
+        assert!(ks < ks_critical_value(xs.len(), 0.01), "D={ks}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        assert!(ks_critical_value(10_000, 0.05) < ks_critical_value(100, 0.05));
+    }
+}

@@ -1,0 +1,295 @@
+//! Abstract syntax of the Jigsaw dialect.
+
+/// A scalar expression (name-based; resolution happens in analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL.
+    Null,
+    /// Column reference.
+    Col(String),
+    /// `@parameter` reference.
+    Param(String),
+    /// Function call — black box or aggregate, disambiguated in analysis.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `COUNT(*)`.
+    CountStar,
+    /// Binary arithmetic (`+ - * / %`).
+    Bin {
+        /// Operator symbol.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// `AND`.
+    And(Box<Expr>, Box<Expr>),
+    /// `OR`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `NOT`.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// `(condition, value)` arms.
+        whens: Vec<(Expr, Expr)>,
+        /// `ELSE` value.
+        otherwise: Option<Box<Expr>>,
+    },
+}
+
+/// Arithmetic operators (shared shape with the PDB layer).
+pub type BinOp = jigsaw_pdb::BinOp;
+/// Comparison operators (shared shape with the PDB layer).
+pub type CmpOp = jigsaw_pdb::CmpOp;
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// `AS alias` (defaults to a generated name in analysis).
+    pub alias: Option<String>,
+}
+
+/// A `FROM` source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromClause {
+    /// A named table.
+    Table(String),
+    /// A parenthesized subquery.
+    Subquery(Box<SelectStmt>),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Optional source (absent = one-row scan).
+    pub from: Option<FromClause>,
+    /// Optional predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<String>,
+    /// `INTO table` target.
+    pub into: Option<String>,
+}
+
+/// Parameter domain declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainAst {
+    /// `RANGE lo TO hi STEP BY step`.
+    Range {
+        /// Low bound.
+        lo: i64,
+        /// High bound.
+        hi: i64,
+        /// Stride.
+        step: i64,
+    },
+    /// `SET (v, …)`.
+    Set(Vec<i64>),
+    /// `CHAIN source FROM @step_param : <expr> INITIAL VALUE v`.
+    Chain {
+        /// Result column feeding the chain.
+        source: String,
+        /// The step parameter the chain advances over.
+        step_param: String,
+        /// Initial chain value.
+        initial: f64,
+    },
+}
+
+/// `DECLARE PARAMETER @name AS <domain>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeclareStmt {
+    /// Parameter name (no `@`).
+    pub name: String,
+    /// Domain.
+    pub domain: DomainAst,
+}
+
+/// Metric selector in `OPTIMIZE` / `GRAPH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricAst {
+    /// `EXPECT col`.
+    Expect,
+    /// `EXPECT_STDDEV col`.
+    StdDev,
+}
+
+/// Outer fold in an `OPTIMIZE` constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterAggAst {
+    /// `MAX(…)`.
+    Max,
+    /// `MIN(…)`.
+    Min,
+    /// `AVG(…)`.
+    Avg,
+}
+
+/// One constraint: `OUTER(METRIC col) cmp number`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintAst {
+    /// Outer fold.
+    pub outer: OuterAggAst,
+    /// Metric.
+    pub metric: MetricAst,
+    /// Column name.
+    pub column: String,
+    /// Comparison operator (`<`, `<=`, `>`, `>=`).
+    pub cmp: CmpOp,
+    /// Threshold.
+    pub threshold: f64,
+}
+
+/// `FOR MAX @p` / `FOR MIN @p` objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveAst {
+    /// `true` for MAX.
+    pub maximize: bool,
+    /// Parameter name.
+    pub param: String,
+}
+
+/// The batch `OPTIMIZE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeStmt {
+    /// Selected decision parameters.
+    pub select_params: Vec<String>,
+    /// Results table name.
+    pub from: String,
+    /// Conjunctive constraints.
+    pub constraints: Vec<ConstraintAst>,
+    /// `GROUP BY` names (decision parameters; `@`-less per Figure 1).
+    pub group_by: Vec<String>,
+    /// Lexicographic objectives.
+    pub objectives: Vec<ObjectiveAst>,
+}
+
+/// One series of a `GRAPH` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSeries {
+    /// Metric.
+    pub metric: MetricAst,
+    /// Column.
+    pub column: String,
+    /// `WITH` style words.
+    pub style: Vec<String>,
+}
+
+/// The interactive `GRAPH OVER` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStmt {
+    /// X-axis parameter.
+    pub over: String,
+    /// Series.
+    pub series: Vec<GraphSeries>,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Parameter declaration.
+    Declare(DeclareStmt),
+    /// Scenario query.
+    Select(SelectStmt),
+    /// Batch optimization goal.
+    Optimize(OptimizeStmt),
+    /// Interactive graph directive.
+    Graph(GraphStmt),
+}
+
+/// A full script: declarations, one scenario `SELECT`, one directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// All statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Script {
+    /// The declarations.
+    pub fn declares(&self) -> impl Iterator<Item = &DeclareStmt> {
+        self.stmts.iter().filter_map(|s| match s {
+            Stmt::Declare(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// The scenario `SELECT` (the first one).
+    pub fn scenario(&self) -> Option<&SelectStmt> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Select(q) => Some(q),
+            _ => None,
+        })
+    }
+
+    /// The `OPTIMIZE` directive, if present.
+    pub fn optimize(&self) -> Option<&OptimizeStmt> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Optimize(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// The `GRAPH` directive, if present.
+    pub fn graph(&self) -> Option<&GraphStmt> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Graph(g) => Some(g),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_accessors() {
+        let script = Script {
+            stmts: vec![
+                Stmt::Declare(DeclareStmt {
+                    name: "w".into(),
+                    domain: DomainAst::Range { lo: 0, hi: 5, step: 1 },
+                }),
+                Stmt::Select(SelectStmt {
+                    items: vec![],
+                    from: None,
+                    where_clause: None,
+                    group_by: vec![],
+                    into: Some("results".into()),
+                }),
+            ],
+        };
+        assert_eq!(script.declares().count(), 1);
+        assert!(script.scenario().is_some());
+        assert!(script.optimize().is_none());
+        assert!(script.graph().is_none());
+    }
+}

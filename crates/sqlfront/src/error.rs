@@ -1,0 +1,80 @@
+//! Parse and analysis errors.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from the Jigsaw SQL dialect front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string, …).
+    Lex {
+        /// Location.
+        pos: Pos,
+        /// Explanation.
+        msg: String,
+    },
+    /// Grammar violation.
+    Parse {
+        /// Location.
+        pos: Pos,
+        /// Explanation.
+        msg: String,
+    },
+    /// Semantic violation (unknown names, unsupported shapes, …).
+    Analyze(String),
+    /// Error bubbled up from the PDB layer.
+    Pdb(jigsaw_pdb::PdbError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            SqlError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            SqlError::Analyze(msg) => write!(f, "analysis error: {msg}"),
+            SqlError::Pdb(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<jigsaw_pdb::PdbError> for SqlError {
+    fn from(e: jigsaw_pdb::PdbError) -> Self {
+        SqlError::Pdb(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SqlError::Parse { pos: Pos { line: 3, col: 14 }, msg: "expected SELECT".into() };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected SELECT");
+    }
+
+    #[test]
+    fn pdb_errors_convert() {
+        let e: SqlError = jigsaw_pdb::PdbError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Hand-written lexer.
+
+use crate::error::{Pos, Result, SqlError};
+use crate::token::{SpannedTok, Tok, KEYWORDS};
+
+/// Tokenize a source string. `--` starts a line comment (the paper's query
+/// listings use them as section markers).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::LParen, pos });
+                bump!();
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::RParen, pos });
+                bump!();
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Comma, pos });
+                bump!();
+            }
+            ';' => {
+                out.push(SpannedTok { tok: Tok::Semi, pos });
+                bump!();
+            }
+            ':' => {
+                out.push(SpannedTok { tok: Tok::Colon, pos });
+                bump!();
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, pos });
+                bump!();
+            }
+            '+' => {
+                out.push(SpannedTok { tok: Tok::Plus, pos });
+                bump!();
+            }
+            '-' => {
+                out.push(SpannedTok { tok: Tok::Minus, pos });
+                bump!();
+            }
+            '/' => {
+                out.push(SpannedTok { tok: Tok::Slash, pos });
+                bump!();
+            }
+            '%' => {
+                out.push(SpannedTok { tok: Tok::Percent, pos });
+                bump!();
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Eq, pos });
+                bump!();
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(SpannedTok { tok: Tok::Ne, pos });
+                bump!();
+                bump!();
+            }
+            '<' => {
+                bump!();
+                match chars.get(i) {
+                    Some('=') => {
+                        out.push(SpannedTok { tok: Tok::Le, pos });
+                        bump!();
+                    }
+                    Some('>') => {
+                        out.push(SpannedTok { tok: Tok::Ne, pos });
+                        bump!();
+                    }
+                    _ => out.push(SpannedTok { tok: Tok::Lt, pos }),
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.get(i) == Some(&'=') {
+                    out.push(SpannedTok { tok: Tok::Ge, pos });
+                    bump!();
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, pos });
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(SqlError::Lex { pos, msg: "unterminated string".into() })
+                        }
+                        Some('\'') => {
+                            bump!();
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), pos });
+            }
+            '@' => {
+                bump!();
+                let mut name = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    name.push(chars[i]);
+                    bump!();
+                }
+                if name.is_empty() {
+                    return Err(SqlError::Lex { pos, msg: "`@` must be followed by a name".into() });
+                }
+                out.push(SpannedTok { tok: Tok::Param(name), pos });
+            }
+            c if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && matches!(text.chars().last(), Some('e') | Some('E'))))
+                {
+                    if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                        is_float = true;
+                    }
+                    text.push(chars[i]);
+                    bump!();
+                }
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| SqlError::Lex {
+                        pos,
+                        msg: format!("bad number `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| SqlError::Lex {
+                        pos,
+                        msg: format!("bad integer `{text}`"),
+                    })?)
+                };
+                out.push(SpannedTok { tok, pos });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    word.push(chars[i]);
+                    bump!();
+                }
+                let upper = word.to_ascii_uppercase();
+                match KEYWORDS.iter().find(|k| **k == upper) {
+                    Some(k) => out.push(SpannedTok { tok: Tok::Kw(k), pos }),
+                    None => out.push(SpannedTok { tok: Tok::Ident(word), pos }),
+                }
+            }
+            other => {
+                return Err(SqlError::Lex { pos, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn declare_statement() {
+        let t = toks("DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw("DECLARE"),
+                Tok::Kw("PARAMETER"),
+                Tok::Param("current_week".into()),
+                Tok::Kw("AS"),
+                Tok::Kw("RANGE"),
+                Tok::Int(0),
+                Tok::Kw("TO"),
+                Tok::Int(52),
+                Tok::Kw("STEP"),
+                Tok::Kw("BY"),
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("select Select SELECT")[..3], [Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT")]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("-- DEFINITION --\nSELECT");
+        assert_eq!(t, vec![Tok::Kw("SELECT"), Tok::Eof]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !=")[..7],
+            [Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0.01 1e-3")[..3], [Tok::Int(42), Tok::Float(0.01), Tok::Float(1e-3)]);
+    }
+
+    #[test]
+    fn strings_and_idents() {
+        assert_eq!(
+            toks("results 'red bold'")[..2],
+            [Tok::Ident("results".into()), Tok::Str("red bold".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("SELECT\n  demand").unwrap();
+        assert_eq!(spanned[1].pos.line, 2);
+        assert_eq!(spanned[1].pos.col, 3);
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(matches!(lex("SELECT ~"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(matches!(lex("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn error_on_bare_at() {
+        assert!(matches!(lex("@ week"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,618 @@
+//! Recursive-descent parser for the Jigsaw dialect.
+
+use crate::ast::*;
+use crate::error::{Pos, Result, SqlError};
+use crate::lexer::lex;
+use crate::token::{SpannedTok, Tok};
+
+/// Parse a full script (declarations + scenario + directive).
+pub fn parse_script(src: &str) -> Result<Script> {
+    let mut p = Parser::new(lex(src)?);
+    let mut stmts = Vec::new();
+    while !p.at(&Tok::Eof) {
+        stmts.push(p.statement()?);
+        // Statements are `;`-separated; trailing semicolon optional.
+        while p.eat(&Tok::Semi) {}
+    }
+    Ok(Script { stmts })
+}
+
+/// Parse a single expression (used by tests and the pretty-printer
+/// roundtrip property).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut p = Parser::new(lex(src)?);
+    let e = p.expr()?;
+    p.expect(&Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<SpannedTok>) -> Self {
+        Parser { toks, i: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", t.describe(), self.peek().describe())))
+        }
+    }
+
+    fn err(&self, msg: String) -> SqlError {
+        SqlError::Parse { pos: self.pos(), msg }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn param(&mut self) -> Result<String> {
+        match self.advance() {
+            Tok::Param(s) => Ok(s),
+            other => Err(self.err(format!("expected @parameter, found {}", other.describe()))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        let neg = self.eat(&Tok::Minus);
+        match self.advance() {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(self.err(format!("expected integer, found {}", other.describe()))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let neg = self.eat(&Tok::Minus);
+        let v = match self.advance() {
+            Tok::Int(v) => v as f64,
+            Tok::Float(v) => v,
+            other => return Err(self.err(format!("expected number, found {}", other.describe()))),
+        };
+        Ok(if neg { -v } else { v })
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            Tok::Kw("DECLARE") => self.declare().map(Stmt::Declare),
+            Tok::Kw("SELECT") => self.select().map(Stmt::Select),
+            Tok::Kw("OPTIMIZE") => self.optimize().map(Stmt::Optimize),
+            Tok::Kw("GRAPH") => self.graph().map(Stmt::Graph),
+            other => Err(self.err(format!(
+                "expected DECLARE, SELECT, OPTIMIZE or GRAPH, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn declare(&mut self) -> Result<DeclareStmt> {
+        self.expect(&Tok::Kw("DECLARE"))?;
+        self.expect(&Tok::Kw("PARAMETER"))?;
+        let name = self.param()?;
+        self.expect(&Tok::Kw("AS"))?;
+        let domain = match self.peek() {
+            Tok::Kw("RANGE") => {
+                self.advance();
+                let lo = self.int()?;
+                self.expect(&Tok::Kw("TO"))?;
+                let hi = self.int()?;
+                self.expect(&Tok::Kw("STEP"))?;
+                self.expect(&Tok::Kw("BY"))?;
+                let step = self.int()?;
+                DomainAst::Range { lo, hi, step }
+            }
+            Tok::Kw("SET") => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let mut values = vec![self.int()?];
+                while self.eat(&Tok::Comma) {
+                    values.push(self.int()?);
+                }
+                self.expect(&Tok::RParen)?;
+                DomainAst::Set(values)
+            }
+            Tok::Kw("CHAIN") => {
+                self.advance();
+                let source = self.ident()?;
+                self.expect(&Tok::Kw("FROM"))?;
+                let step_param = self.param()?;
+                self.expect(&Tok::Colon)?;
+                // The linkage expression (e.g. `@current_week - 1`) is
+                // parsed and discarded: this dialect supports the canonical
+                // previous-step linkage only.
+                let _ = self.expr()?;
+                self.expect(&Tok::Kw("INITIAL"))?;
+                self.expect(&Tok::Kw("VALUE"))?;
+                let initial = self.number()?;
+                DomainAst::Chain { source, step_param, initial }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected RANGE, SET or CHAIN, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        Ok(DeclareStmt { name, domain })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect(&Tok::Kw("SELECT"))?;
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut into = None;
+        if self.eat(&Tok::Kw("INTO")) {
+            into = Some(self.ident()?);
+        }
+        let from = if self.eat(&Tok::Kw("FROM")) {
+            Some(match self.peek() {
+                Tok::LParen => {
+                    self.advance();
+                    let sub = self.select()?;
+                    self.expect(&Tok::RParen)?;
+                    FromClause::Subquery(Box::new(sub))
+                }
+                _ => FromClause::Table(self.ident()?),
+            })
+        } else {
+            None
+        };
+        let where_clause =
+            if self.eat(&Tok::Kw("WHERE")) { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat(&Tok::Kw("GROUP")) {
+            self.expect(&Tok::Kw("BY"))?;
+            group_by.push(self.ident()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.ident()?);
+            }
+        }
+        if into.is_none() && self.eat(&Tok::Kw("INTO")) {
+            into = Some(self.ident()?);
+        }
+        Ok(SelectStmt { items, from, where_clause, group_by, into })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Tok::Kw("AS")) { Some(self.ident()?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn optimize(&mut self) -> Result<OptimizeStmt> {
+        self.expect(&Tok::Kw("OPTIMIZE"))?;
+        self.expect(&Tok::Kw("SELECT"))?;
+        let mut select_params = vec![self.param()?];
+        while self.eat(&Tok::Comma) {
+            select_params.push(self.param()?);
+        }
+        self.expect(&Tok::Kw("FROM"))?;
+        let from = self.ident()?;
+        self.expect(&Tok::Kw("WHERE"))?;
+        let mut constraints = vec![self.constraint()?];
+        while self.eat(&Tok::Kw("AND")) {
+            constraints.push(self.constraint()?);
+        }
+        let mut group_by = Vec::new();
+        if self.eat(&Tok::Kw("GROUP")) {
+            self.expect(&Tok::Kw("BY"))?;
+            group_by.push(self.group_name()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.group_name()?);
+            }
+        }
+        self.expect(&Tok::Kw("FOR"))?;
+        let mut objectives = vec![self.objective()?];
+        while self.eat(&Tok::Comma) {
+            objectives.push(self.objective()?);
+        }
+        Ok(OptimizeStmt { select_params, from, constraints, group_by, objectives })
+    }
+
+    /// GROUP BY names in Figure 1 appear without the `@`; accept both.
+    fn group_name(&mut self) -> Result<String> {
+        match self.advance() {
+            Tok::Ident(s) => Ok(s),
+            Tok::Param(s) => Ok(s),
+            other => Err(self.err(format!("expected name, found {}", other.describe()))),
+        }
+    }
+
+    fn constraint(&mut self) -> Result<ConstraintAst> {
+        let outer = match self.advance() {
+            Tok::Kw("MAX") => OuterAggAst::Max,
+            Tok::Kw("MIN") => OuterAggAst::Min,
+            Tok::Kw("AVG") => OuterAggAst::Avg,
+            other => {
+                return Err(self.err(format!("expected MAX/MIN/AVG, found {}", other.describe())))
+            }
+        };
+        self.expect(&Tok::LParen)?;
+        let metric = self.metric()?;
+        let column = self.ident()?;
+        self.expect(&Tok::RParen)?;
+        let cmp = match self.advance() {
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.err(format!("expected comparison, found {}", other.describe())))
+            }
+        };
+        let threshold = self.number()?;
+        Ok(ConstraintAst { outer, metric, column, cmp, threshold })
+    }
+
+    fn metric(&mut self) -> Result<MetricAst> {
+        match self.advance() {
+            Tok::Kw("EXPECT") => Ok(MetricAst::Expect),
+            Tok::Kw("EXPECT_STDDEV") => Ok(MetricAst::StdDev),
+            other => Err(self.err(format!(
+                "expected EXPECT or EXPECT_STDDEV, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn objective(&mut self) -> Result<ObjectiveAst> {
+        let maximize = match self.advance() {
+            Tok::Kw("MAX") => true,
+            Tok::Kw("MIN") => false,
+            other => return Err(self.err(format!("expected MAX or MIN, found {}", other.describe()))),
+        };
+        let param = self.param()?;
+        Ok(ObjectiveAst { maximize, param })
+    }
+
+    fn graph(&mut self) -> Result<GraphStmt> {
+        self.expect(&Tok::Kw("GRAPH"))?;
+        self.expect(&Tok::Kw("OVER"))?;
+        let over = self.param()?;
+        let mut series = vec![self.graph_series()?];
+        while self.eat(&Tok::Comma) {
+            series.push(self.graph_series()?);
+        }
+        Ok(GraphStmt { over, series })
+    }
+
+    fn graph_series(&mut self) -> Result<GraphSeries> {
+        let metric = self.metric()?;
+        let column = self.ident()?;
+        let mut style = Vec::new();
+        if self.eat(&Tok::Kw("WITH")) {
+            // Style words until a separator.
+            while let Tok::Ident(w) = self.peek() {
+                style.push(w.clone());
+                self.advance();
+            }
+        }
+        Ok(GraphSeries { metric, column, style })
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::Kw("OR")) {
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat(&Tok::Kw("AND")) {
+            e = Expr::And(Box::new(e), Box::new(self.not_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Kw("NOT")) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(l),
+        };
+        self.advance();
+        let r = self.add_expr()?;
+        Ok(Expr::Cmp { op, l: Box::new(l), r: Box::new(r) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            e = Expr::Bin { op, l: Box::new(e), r: Box::new(self.mul_expr()?) };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            e = Expr::Bin { op, l: Box::new(e), r: Box::new(self.unary_expr()?) };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Kw("TRUE") => Ok(Expr::Bool(true)),
+            Tok::Kw("FALSE") => Ok(Expr::Bool(false)),
+            Tok::Kw("NULL") => Ok(Expr::Null),
+            Tok::Param(p) => Ok(Expr::Param(p)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Kw("CASE") => {
+                let mut whens = Vec::new();
+                while self.eat(&Tok::Kw("WHEN")) {
+                    let c = self.expr()?;
+                    self.expect(&Tok::Kw("THEN"))?;
+                    let v = self.expr()?;
+                    whens.push((c, v));
+                }
+                if whens.is_empty() {
+                    return Err(self.err("CASE requires at least one WHEN arm".into()));
+                }
+                let otherwise = if self.eat(&Tok::Kw("ELSE")) {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect(&Tok::Kw("END"))?;
+                Ok(Expr::Case { whens, otherwise })
+            }
+            // Aggregate keywords and plain identifiers can both head calls.
+            Tok::Kw(k @ ("SUM" | "COUNT" | "AVG" | "MAX" | "MIN" | "EXPECT" | "EXPECT_STDDEV")) => {
+                self.call_or_name(k.to_string())
+            }
+            Tok::Ident(name) => self.call_or_name(name),
+            other => Err(self.err(format!("unexpected {}", other.describe()))),
+        }
+    }
+
+    fn call_or_name(&mut self, name: String) -> Result<Expr> {
+        if self.eat(&Tok::LParen) {
+            if name.eq_ignore_ascii_case("COUNT") && self.eat(&Tok::Star) {
+                self.expect(&Tok::RParen)?;
+                return Ok(Expr::CountStar);
+            }
+            let mut args = Vec::new();
+            if !self.at(&Tok::RParen) {
+                args.push(self.expr()?);
+                while self.eat(&Tok::Comma) {
+                    args.push(self.expr()?);
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            Ok(Expr::Call { name, args })
+        } else {
+            Ok(Expr::Col(name))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_script() {
+        let src = r#"
+            -- DEFINITION --
+            DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+            DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+            DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+            DECLARE PARAMETER @feature_release AS SET (12,36,44);
+            SELECT DemandModel(@current_week, @feature_release) AS demand,
+                   CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+                   CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+            INTO results;
+            -- BATCH MODE --
+            OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+            FROM results
+            WHERE MAX(EXPECT overload) < 0.01
+            GROUP BY feature_release, purchase1, purchase2
+            FOR MAX @purchase1, MAX @purchase2
+        "#;
+        let script = parse_script(src).unwrap();
+        assert_eq!(script.declares().count(), 4);
+        let q = script.scenario().unwrap();
+        assert_eq!(q.items.len(), 3);
+        assert_eq!(q.items[2].alias.as_deref(), Some("overload"));
+        assert_eq!(q.into.as_deref(), Some("results"));
+        let o = script.optimize().unwrap();
+        assert_eq!(o.select_params, vec!["feature_release", "purchase1", "purchase2"]);
+        assert_eq!(o.constraints.len(), 1);
+        assert_eq!(o.constraints[0].threshold, 0.01);
+        assert_eq!(o.objectives.len(), 2);
+        assert!(o.objectives.iter().all(|x| x.maximize));
+    }
+
+    #[test]
+    fn parses_figure5_chain_script() {
+        let src = r#"
+            DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+            DECLARE PARAMETER @release_week
+                AS CHAIN release_week
+                FROM @current_week : @current_week - 1
+                INITIAL VALUE 52;
+            SELECT ReleaseWeekModel(demand) AS release_week, demand
+            FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+            INTO results
+        "#;
+        let script = parse_script(src).unwrap();
+        let decls: Vec<_> = script.declares().collect();
+        match &decls[1].domain {
+            DomainAst::Chain { source, step_param, initial } => {
+                assert_eq!(source, "release_week");
+                assert_eq!(step_param, "current_week");
+                assert_eq!(*initial, 52.0);
+            }
+            other => panic!("expected chain, got {other:?}"),
+        }
+        let q = script.scenario().unwrap();
+        assert!(matches!(q.from, Some(FromClause::Subquery(_))));
+    }
+
+    #[test]
+    fn parses_graph_statement() {
+        let src = r#"
+            GRAPH OVER @current_week
+                EXPECT overload WITH bold red,
+                EXPECT capacity WITH blue y2,
+                EXPECT_STDDEV demand WITH orange y2
+        "#;
+        let script = parse_script(src).unwrap();
+        let g = script.graph().unwrap();
+        assert_eq!(g.over, "current_week");
+        assert_eq!(g.series.len(), 3);
+        assert_eq!(g.series[0].style, vec!["bold", "red"]);
+        assert_eq!(g.series[2].metric, MetricAst::StdDev);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Bin { op: BinOp::Add, r, .. } => {
+                assert!(matches!(*r, Expr::Bin { op: BinOp::Mul, .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+        // Comparison binds looser than arithmetic, AND looser still.
+        let e = parse_expr("a + 1 < b AND c > 2").unwrap();
+        assert!(matches!(e, Expr::And(..)));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn count_star_and_aggregates() {
+        assert_eq!(parse_expr("COUNT(*)").unwrap(), Expr::CountStar);
+        let e = parse_expr("SUM(x)").unwrap();
+        assert_eq!(e, Expr::Call { name: "SUM".into(), args: vec![Expr::Col("x".into())] });
+    }
+
+    #[test]
+    fn where_and_group_by() {
+        let s = parse_script("SELECT SUM(req) AS total FROM users WHERE region = 'us' GROUP BY class INTO out")
+            .unwrap();
+        let q = s.scenario().unwrap();
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by, vec!["class"]);
+        assert_eq!(q.into.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_script("SELECT FROM x").unwrap_err();
+        match err {
+            SqlError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_case() {
+        let e = parse_expr(
+            "CASE WHEN a > 1 THEN CASE WHEN b > 2 THEN 1 ELSE 2 END ELSE 3 END",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Case { .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-x * 2").unwrap();
+        assert!(matches!(e, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+}

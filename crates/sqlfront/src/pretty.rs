@@ -1,0 +1,193 @@
+//! Pretty-printer: AST → canonical SQL text.
+//!
+//! Primarily a testing tool: `parse(print(parse(src))) == parse(src)` is the
+//! roundtrip property the proptest suite checks, which exercises the parser
+//! over a large space of machine-generated expressions.
+
+use crate::ast::*;
+
+/// Render an expression with minimal (safe, fully parenthesized) syntax.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Str(s) => format!("'{s}'"),
+        Expr::Bool(b) => if *b { "TRUE" } else { "FALSE" }.into(),
+        Expr::Null => "NULL".into(),
+        Expr::Col(c) => c.clone(),
+        Expr::Param(p) => format!("@{p}"),
+        Expr::CountStar => "COUNT(*)".into(),
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Bin { op, l, r } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            format!("({} {sym} {})", print_expr(l), print_expr(r))
+        }
+        Expr::Cmp { op, l, r } => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {sym} {})", print_expr(l), print_expr(r))
+        }
+        Expr::And(l, r) => format!("({} AND {})", print_expr(l), print_expr(r)),
+        Expr::Or(l, r) => format!("({} OR {})", print_expr(l), print_expr(r)),
+        Expr::Not(e) => format!("(NOT {})", print_expr(e)),
+        Expr::Neg(e) => format!("(-{})", print_expr(e)),
+        Expr::Case { whens, otherwise } => {
+            let mut s = String::from("CASE");
+            for (c, v) in whens {
+                s.push_str(&format!(" WHEN {} THEN {}", print_expr(c), print_expr(v)));
+            }
+            if let Some(e) = otherwise {
+                s.push_str(&format!(" ELSE {}", print_expr(e)));
+            }
+            s.push_str(" END");
+            s
+        }
+    }
+}
+
+/// Render a `SELECT` statement.
+pub fn print_select(q: &SelectStmt) -> String {
+    let mut s = String::from("SELECT ");
+    let items: Vec<String> = q
+        .items
+        .iter()
+        .map(|it| match &it.alias {
+            Some(a) => format!("{} AS {a}", print_expr(&it.expr)),
+            None => print_expr(&it.expr),
+        })
+        .collect();
+    s.push_str(&items.join(", "));
+    match &q.from {
+        Some(FromClause::Table(t)) => s.push_str(&format!(" FROM {t}")),
+        Some(FromClause::Subquery(sub)) => s.push_str(&format!(" FROM ({})", print_select(sub))),
+        None => {}
+    }
+    if let Some(w) = &q.where_clause {
+        s.push_str(&format!(" WHERE {}", print_expr(w)));
+    }
+    if !q.group_by.is_empty() {
+        s.push_str(&format!(" GROUP BY {}", q.group_by.join(", ")));
+    }
+    if let Some(t) = &q.into {
+        s.push_str(&format!(" INTO {t}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_script};
+
+    #[test]
+    fn expr_roundtrip_examples() {
+        for src in [
+            "1 + 2 * 3",
+            "CASE WHEN capacity < demand THEN 1 ELSE 0 END",
+            "DemandModel(@week, @feature)",
+            "NOT (a = 1 AND b <> 2)",
+            "-x % 4",
+            "COUNT(*)",
+        ] {
+            let ast = parse_expr(src).unwrap();
+            let printed = print_expr(&ast);
+            let reparsed = parse_expr(&printed).unwrap_or_else(|e| {
+                panic!("reparse of `{printed}` failed: {e}")
+            });
+            assert_eq!(ast, reparsed, "roundtrip of `{src}` via `{printed}`");
+        }
+    }
+
+    #[test]
+    fn select_roundtrip() {
+        let src = "SELECT SUM(base) AS total FROM users WHERE region = 'us' GROUP BY class INTO out";
+        let q = parse_script(src).unwrap().scenario().unwrap().clone();
+        let printed = print_select(&q);
+        let q2 = parse_script(&printed).unwrap().scenario().unwrap().clone();
+        assert_eq!(q, q2, "via `{printed}`");
+    }
+
+    #[test]
+    fn float_literals_keep_a_decimal_point() {
+        assert_eq!(print_expr(&Expr::Float(2.0)), "2.0");
+        let reparsed = parse_expr("2.0").unwrap();
+        assert_eq!(reparsed, Expr::Float(2.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use proptest::prelude::*;
+
+    /// Generate small random expressions over a fixed vocabulary.
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        // Literals are non-negative: `-1` canonically parses as Neg(Int(1)),
+        // and the generator covers negation through explicit Neg nodes.
+        let leaf = prop_oneof![
+            (0i64..1000).prop_map(Expr::Int),
+            (0u8..4).prop_map(|i| Expr::Col(["a", "b", "demand", "capacity"][i as usize].into())),
+            (0u8..3).prop_map(|i| Expr::Param(["week", "p1", "p2"][i as usize].into())),
+            Just(Expr::Null),
+            Just(Expr::Bool(true)),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), prop_oneof![
+                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                    Just(BinOp::Div), Just(BinOp::Mod)
+                ])
+                    .prop_map(|(l, r, op)| Expr::Bin { op, l: Box::new(l), r: Box::new(r) }),
+                (inner.clone(), inner.clone(), prop_oneof![
+                    Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+                    Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+                ])
+                    .prop_map(|(l, r, op)| Expr::Cmp { op, l: Box::new(l), r: Box::new(r) }),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, v, e)| Expr::Case {
+                    whens: vec![(c, v)],
+                    otherwise: Some(Box::new(e)),
+                }),
+                proptest::collection::vec(inner, 1..3)
+                    .prop_map(|args| Expr::Call { name: "F".into(), args }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn print_parse_roundtrip(e in arb_expr()) {
+            let printed = print_expr(&e);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+            prop_assert_eq!(e, reparsed);
+        }
+    }
+}

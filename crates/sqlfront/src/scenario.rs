@@ -1,0 +1,208 @@
+//! Compiled scenarios: the glue between parsed scripts and the engines.
+
+use std::sync::Arc;
+
+use jigsaw_blackbox::ParamSpace;
+use jigsaw_core::optimizer::{selector, OptimizeGoal, Selection, SweepResult, SweepRunner};
+use jigsaw_core::JigsawConfig;
+use jigsaw_pdb::{BoundPlan, Catalog, Engine, PlanSim};
+use jigsaw_prng::SeedSet;
+
+use crate::analyze::{analyze_declares, lower_optimize, lower_select, ChainInfo};
+use crate::ast::{GraphStmt, Script};
+use crate::error::{Result, SqlError};
+use crate::parser::parse_script;
+
+/// A fully analyzed scenario script, ready to execute.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The parsed script.
+    pub script: Script,
+    /// Parameter space from the `DECLARE` statements.
+    pub space: ParamSpace,
+    /// The scenario query, bound against the catalog.
+    pub plan: BoundPlan,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Lowered `OPTIMIZE` goal, when the script has one.
+    pub goal: Option<OptimizeGoal>,
+    /// The `GRAPH` directive, when the script has one.
+    pub graph: Option<GraphStmt>,
+    /// Chain metadata, when a `CHAIN` parameter is declared.
+    pub chain: Option<ChainInfo>,
+}
+
+/// Result of a batch (`OPTIMIZE`) execution.
+pub struct BatchOutcome {
+    /// The full sweep.
+    pub sweep: SweepResult,
+    /// The winning decision, if the goal was feasible.
+    pub selection: Option<Selection>,
+}
+
+/// Parse and analyze a script against a catalog.
+pub fn compile(src: &str, catalog: &Catalog) -> Result<Scenario> {
+    let script = parse_script(src)?;
+    let decls: Vec<_> = script.declares().collect();
+    let (space, chain) = analyze_declares(&decls)?;
+    let select = script
+        .scenario()
+        .ok_or_else(|| SqlError::Analyze("script has no scenario SELECT".into()))?;
+    let plan = lower_select(select, catalog)?;
+    let param_names: Vec<String> = space.names().iter().map(|s| s.to_string()).collect();
+    let plan = plan.bind(catalog, &param_names)?;
+    let columns: Vec<String> = plan.schema.names().into_iter().map(String::from).collect();
+    let goal = match script.optimize() {
+        Some(o) => Some(lower_optimize(o)?),
+        None => None,
+    };
+    if let Some(g) = &goal {
+        for c in &g.constraints {
+            if !columns.contains(&c.column) {
+                return Err(SqlError::Analyze(format!(
+                    "OPTIMIZE references unknown column `{}`",
+                    c.column
+                )));
+            }
+        }
+        for p in &g.decision_params {
+            if space.index_of(p).is_none() {
+                return Err(SqlError::Analyze(format!(
+                    "OPTIMIZE references undeclared parameter @{p}"
+                )));
+            }
+        }
+    }
+    let graph = script.graph().cloned();
+    if let Some(g) = &graph {
+        if space.index_of(&g.over).is_none() {
+            return Err(SqlError::Analyze(format!(
+                "GRAPH OVER references undeclared parameter @{}",
+                g.over
+            )));
+        }
+        for s in &g.series {
+            if !columns.contains(&s.column) {
+                return Err(SqlError::Analyze(format!(
+                    "GRAPH references unknown column `{}`",
+                    s.column
+                )));
+            }
+        }
+    }
+    Ok(Scenario { script, space, plan, columns, goal, graph, chain })
+}
+
+impl Scenario {
+    /// Wrap the scenario as a [`jigsaw_pdb::Simulation`] on the given engine.
+    pub fn simulation(
+        &self,
+        engine: Arc<dyn Engine>,
+        catalog: Arc<Catalog>,
+        seeds: SeedSet,
+    ) -> PlanSim {
+        PlanSim::new(engine, self.plan.clone(), catalog, self.space.clone(), seeds)
+    }
+
+    /// Execute the batch pipeline: sweep the parameter space with
+    /// fingerprint reuse, then apply the `OPTIMIZE` selector.
+    pub fn run_batch(
+        &self,
+        engine: Arc<dyn Engine>,
+        catalog: Arc<Catalog>,
+        seeds: SeedSet,
+        cfg: JigsawConfig,
+    ) -> Result<BatchOutcome> {
+        let sim = self.simulation(engine, catalog, seeds);
+        let sweep = SweepRunner::new(cfg).run(&sim)?;
+        let selection = self
+            .goal
+            .as_ref()
+            .and_then(|goal| selector::select(&self.space, &sweep, goal, &self.columns));
+        Ok(BatchOutcome { sweep, selection })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_blackbox::FnBlackBox;
+    use jigsaw_pdb::DirectEngine;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        // Deterministic toy models so the optimizer outcome is exact:
+        // risk rises with week unless the purchase happened by week 20.
+        c.add_function(Arc::new(FnBlackBox::new("Risk", 2, |p: &[f64], _| {
+            if p[1] <= 20.0 {
+                0.0
+            } else {
+                p[0] / 100.0
+            }
+        })));
+        c
+    }
+
+    const SRC: &str = "
+        DECLARE PARAMETER @week AS RANGE 0 TO 49 STEP BY 1;
+        DECLARE PARAMETER @purchase AS RANGE 0 TO 40 STEP BY 10;
+        SELECT Risk(@week, @purchase) AS risk INTO results;
+        OPTIMIZE SELECT @purchase FROM results
+        WHERE MAX(EXPECT risk) < 0.01
+        GROUP BY purchase
+        FOR MAX @purchase";
+
+    #[test]
+    fn compile_extracts_everything() {
+        let cat = catalog();
+        let s = compile(SRC, &cat).unwrap();
+        assert_eq!(s.space.len(), 250);
+        assert_eq!(s.columns, vec!["risk"]);
+        assert!(s.goal.is_some());
+        assert!(s.graph.is_none());
+        assert!(s.chain.is_none());
+    }
+
+    #[test]
+    fn end_to_end_batch_optimization() {
+        let cat = Arc::new(catalog());
+        let s = compile(SRC, &cat).unwrap();
+        let out = s
+            .run_batch(
+                Arc::new(DirectEngine::new()),
+                cat,
+                SeedSet::new(1),
+                JigsawConfig::paper().with_n_samples(20),
+            )
+            .unwrap();
+        let sel = out.selection.expect("feasible");
+        assert_eq!(sel.assignment, vec![("purchase".to_string(), 20.0)]);
+        assert_eq!(out.sweep.points.len(), 250);
+    }
+
+    #[test]
+    fn unknown_constraint_column_rejected() {
+        let cat = catalog();
+        let bad = SRC.replace("EXPECT risk", "EXPECT nope");
+        let err = compile(&bad, &cat).unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_graph_param_rejected() {
+        let cat = catalog();
+        let src = "
+            DECLARE PARAMETER @week AS RANGE 0 TO 9 STEP BY 1;
+            SELECT Risk(@week, @week) AS risk INTO results;
+            GRAPH OVER @nope EXPECT risk";
+        let err = compile(src, &cat).unwrap_err();
+        assert!(err.to_string().contains("undeclared parameter"), "{err}");
+    }
+
+    #[test]
+    fn missing_select_rejected() {
+        let cat = catalog();
+        let err = compile("DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;", &cat).unwrap_err();
+        assert!(err.to_string().contains("no scenario SELECT"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Tokens of the Jigsaw SQL dialect.
+
+use crate::error::Pos;
+
+/// Keywords are matched case-insensitively and carried in canonical
+/// uppercase form.
+pub const KEYWORDS: &[&str] = &[
+    "DECLARE", "PARAMETER", "AS", "RANGE", "TO", "STEP", "BY", "SET", "CHAIN", "FROM", "INITIAL",
+    "VALUE", "SELECT", "INTO", "WHERE", "GROUP", "ORDER", "LIMIT", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "OPTIMIZE", "FOR", "MAX", "MIN", "GRAPH",
+    "OVER", "EXPECT", "EXPECT_STDDEV", "WITH", "SUM", "COUNT", "AVG", "JOIN", "ON", "ASC", "DESC",
+];
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (canonical uppercase).
+    Kw(&'static str),
+    /// Identifier (table, column, function names).
+    Ident(String),
+    /// `@parameter` reference (name without the `@`).
+    Param(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+impl Tok {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Kw(k) => format!("keyword {k}"),
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Param(p) => format!("parameter @{p}"),
+            Tok::Int(i) => format!("integer {i}"),
+            Tok::Float(x) => format!("number {x}"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(Tok::Kw("SELECT").describe(), "keyword SELECT");
+        assert_eq!(Tok::Param("week".into()).describe(), "parameter @week");
+        assert_eq!(Tok::Eof.describe(), "end of input");
+    }
+
+    #[test]
+    fn keywords_are_upper_and_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = KEYWORDS.iter().collect();
+        assert_eq!(set.len(), KEYWORDS.len());
+        assert!(KEYWORDS.iter().all(|k| k.chars().all(|c| !c.is_lowercase())));
+    }
+}

@@ -1,0 +1,47 @@
+//! # Jigsaw — efficient optimization over uncertain enterprise data
+//!
+//! A from-scratch Rust reproduction of *"Jigsaw: Efficient Optimization Over
+//! Uncertain Enterprise Data"* (Oliver Kennedy & Suman Nath, SIGMOD 2011):
+//! a probabilistic-database-based simulation framework that fingerprints
+//! stochastic black-box functions to reuse Monte Carlo work across the
+//! parameter space of what-if scenarios.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`prng`] — seed-addressable generators, distributions, statistics;
+//! * [`blackbox`] — the VG-function traits, parameter spaces, and the
+//!   paper's Figure 6 model catalog;
+//! * [`pdb`] — the MCDB-style tuple-bundle probabilistic database with two
+//!   execution engines;
+//! * [`core`] — fingerprints, mapping functions, basis indexes, the batch
+//!   optimizer, Markov jumps, and the interactive what-if session;
+//! * [`sql`] — the `DECLARE PARAMETER` / `OPTIMIZE` / `GRAPH` dialect.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use jigsaw::blackbox::models::Demand;
+//! use jigsaw::blackbox::{ParamDecl, ParamSpace};
+//! use jigsaw::core::{JigsawConfig, SweepRunner};
+//! use jigsaw::pdb::BlackBoxSim;
+//! use jigsaw::prng::SeedSet;
+//!
+//! // A parameterized stochastic model and its parameter space.
+//! let space = ParamSpace::new(vec![
+//!     ParamDecl::range("week", 0, 25, 1),
+//!     ParamDecl::set("feature", vec![12, 36]),
+//! ]);
+//! let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(42));
+//!
+//! // Sweep the space with fingerprint-based reuse.
+//! let cfg = JigsawConfig::paper().with_n_samples(200);
+//! let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+//! assert!(sweep.stats.reuse_rate() > 0.9, "affine models collapse to one basis");
+//! ```
+
+pub use jigsaw_blackbox as blackbox;
+pub use jigsaw_core as core;
+pub use jigsaw_pdb as pdb;
+pub use jigsaw_prng as prng;
+pub use jigsaw_sql as sql;

@@ -1,0 +1,167 @@
+//! Cross-engine and cross-strategy equivalence: the invariants that make
+//! fingerprint reuse sound.
+
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::{Demand, SynthBasis};
+use jigsaw::blackbox::{FnBlackBox, ParamDecl, ParamSpace};
+use jigsaw::core::{IndexStrategy, JigsawConfig, SweepRunner};
+use jigsaw::pdb::{
+    AggFunc, AggSpec, BlackBoxSim, Catalog, ColumnType, DbmsEngine, DirectEngine, Expr, Plan,
+    PlanSim, Simulation, TableBuilder, Value,
+};
+use jigsaw::prng::SeedSet;
+
+fn test_catalog() -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.add_function(Arc::new(FnBlackBox::new("Noise", 1, |p: &[f64], s| {
+        p[0] + (s.0 % 1000) as f64 / 1000.0
+    })));
+    c.add_table(
+        "items",
+        TableBuilder::new()
+            .column("id", ColumnType::Int)
+            .column("grp", ColumnType::Int)
+            .column("w", ColumnType::Float)
+            .row(vec![Value::Int(1), Value::Int(0), Value::Float(1.0)])
+            .row(vec![Value::Int(2), Value::Int(0), Value::Float(2.0)])
+            .row(vec![Value::Int(3), Value::Int(1), Value::Float(3.0)])
+            .row(vec![Value::Int(4), Value::Int(1), Value::Float(4.0)])
+            .build(),
+    );
+    Arc::new(c)
+}
+
+/// Engines must sample bit-identical possible worlds for every plan shape.
+#[test]
+fn engines_agree_on_aggregate_plans() {
+    let cat = test_catalog();
+    let seeds = SeedSet::new(31);
+    let space = ParamSpace::new(vec![ParamDecl::range("x", 0, 3, 1)]);
+
+    let plan = Plan::Scan { table: "items".into() }
+        .project(vec![
+            ("grp", Expr::col("grp")),
+            ("noisy", Expr::call("Noise", vec![Expr::col("w")])),
+        ])
+        .aggregate(
+            vec![("grp".to_string(), Expr::col("grp"))],
+            vec![
+                AggSpec { name: "total".into(), func: AggFunc::Sum, arg: Some(Expr::col("noisy")) },
+                AggSpec { name: "n".into(), func: AggFunc::Count, arg: None },
+            ],
+        )
+        // Reduce to a single row for the Simulation contract.
+        .aggregate(
+            vec![],
+            vec![AggSpec {
+                name: "grand".into(),
+                func: AggFunc::Sum,
+                arg: Some(Expr::col("total")),
+            }],
+        )
+        .bind(&cat, &["x".to_string()])
+        .unwrap();
+
+    let direct = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space.clone(), seeds);
+    let dbms = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat.clone(), space, seeds);
+    for point in [[0.0], [2.0]] {
+        let a = direct.eval_worlds(&point, 0, 64).unwrap();
+        let b = dbms.eval_worlds(&point, 0, 64).unwrap();
+        assert_eq!(a, b, "point {point:?}");
+    }
+}
+
+#[test]
+fn engines_agree_on_filter_and_join_plans() {
+    let cat = test_catalog();
+    let seeds = SeedSet::new(32);
+    let space = ParamSpace::new(vec![ParamDecl::range("x", 0, 3, 1)]);
+
+    // Self-join on grp, deterministic filter, then aggregate to one row.
+    let plan = Plan::HashJoin {
+        left: Box::new(Plan::Scan { table: "items".into() }),
+        right: Box::new(Plan::Scan { table: "items".into() }),
+        left_key: Expr::col("grp"),
+        right_key: Expr::col("grp"),
+    }
+    .filter(Expr::cmp(jigsaw::pdb::CmpOp::Lt, Expr::ColIdx(0), Expr::ColIdx(3)))
+    .aggregate(
+        vec![],
+        vec![AggSpec { name: "pairs".into(), func: AggFunc::Count, arg: None }],
+    )
+    .bind(&cat, &["x".to_string()])
+    .unwrap();
+
+    let direct = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space.clone(), seeds);
+    let dbms = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat.clone(), space, seeds);
+    let a = direct.eval_worlds(&[1.0], 0, 16).unwrap();
+    let b = dbms.eval_worlds(&[1.0], 0, 16).unwrap();
+    assert_eq!(a, b);
+    // id < id' within each group of 2: exactly 1 pair per group, 2 total.
+    assert!(a[0].iter().all(|&x| x == 2.0));
+}
+
+/// The paper's correctness claim: Jigsaw output == full simulation, for
+/// every index strategy.
+#[test]
+fn sweep_reuse_is_exact_for_affine_models() {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 30, 1),
+        ParamDecl::set("feature", vec![10, 20]),
+    ]);
+    let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(8));
+    let cfg = JigsawConfig::paper().with_n_samples(150);
+    let naive = SweepRunner::naive(cfg).run(&sim).unwrap();
+    for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+        let fast = SweepRunner::new(cfg.with_index(strat)).run(&sim).unwrap();
+        for (a, b) in naive.points.iter().zip(&fast.points) {
+            assert!(
+                (a.metrics[0].expectation() - b.metrics[0].expectation()).abs() < 1e-9,
+                "{strat:?}: point {:?}",
+                a.point
+            );
+            assert!(
+                (a.metrics[0].std_dev() - b.metrics[0].std_dev()).abs() < 1e-9,
+                "{strat:?}: sd at {:?}",
+                a.point
+            );
+        }
+    }
+}
+
+/// Sample-identity invariant: reused metrics carry the basis's mapped
+/// samples, which must equal the samples a direct simulation would draw.
+#[test]
+fn mapped_samples_equal_direct_samples() {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 1, 20, 1),
+        ParamDecl::set("feature", vec![50]),
+    ]);
+    let seeds = SeedSet::new(77);
+    let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, seeds);
+    let cfg = JigsawConfig::paper().with_n_samples(64);
+    let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+    let reused = sweep
+        .points
+        .iter()
+        .find(|p| p.reused_from[0].is_some())
+        .expect("some point must reuse");
+    let direct = sim.eval_worlds(&reused.point, 0, 64).unwrap();
+    for (a, b) in reused.metrics[0].samples().iter().zip(&direct[0]) {
+        assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
+/// SynthBasis keeps its promise for every index strategy (basis counts are
+/// a structural invariant, not a strategy artifact).
+#[test]
+fn basis_counts_strategy_independent() {
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 59, 1)]);
+    let sim = BlackBoxSim::new(Arc::new(SynthBasis::new(12)), space, SeedSet::new(4));
+    let cfg = JigsawConfig::paper().with_n_samples(50);
+    for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+        let sweep = SweepRunner::new(cfg.with_index(strat)).run(&sim).unwrap();
+        assert_eq!(sweep.stats.bases_per_column[0], 12, "{strat:?}");
+    }
+}

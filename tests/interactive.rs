@@ -1,0 +1,93 @@
+//! Interactive-session integration: SQL-compiled scenarios under the
+//! online event loop, converging to batch-quality answers.
+
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::Demand;
+use jigsaw::core::interactive::{render_series, GraphSpec, SeriesStyle};
+use jigsaw::core::{InteractiveSession, SessionConfig};
+use jigsaw::pdb::{Catalog, DirectEngine, Simulation};
+use jigsaw::prng::SeedSet;
+use jigsaw::sql::compile;
+
+fn scenario_sim() -> (impl Simulation, f64) {
+    let mut catalog = Catalog::new();
+    catalog.add_function_as("DemandModel", Arc::new(Demand::paper()));
+    let catalog = Arc::new(catalog);
+    let scenario = compile(
+        "DECLARE PARAMETER @week AS RANGE 1 TO 30 STEP BY 1;
+         SELECT DemandModel(@week, 50) AS demand INTO results;
+         GRAPH OVER @week EXPECT demand WITH bold red",
+        &catalog,
+    )
+    .expect("compiles");
+    assert!(scenario.graph.is_some());
+    let sim = scenario.simulation(Arc::new(DirectEngine::new()), catalog, SeedSet::new(5));
+    // Week value at point index 9 is 10 (range starts at 1) → E[demand]=10.
+    (sim, 10.0)
+}
+
+#[test]
+fn session_converges_to_true_expectation() {
+    let (sim, truth) = scenario_sim();
+    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    session.set_focus(9);
+    for _ in 0..60 {
+        session.tick().expect("tick");
+    }
+    let est = session.estimate(9, 0).expect("estimate");
+    assert!(
+        (est.expectation - truth).abs() < 0.6,
+        "estimate {} vs truth {truth}",
+        est.expectation
+    );
+    assert!(est.n_samples >= 100, "progressive refinement accumulated {}", est.n_samples);
+}
+
+#[test]
+fn moving_focus_reuses_shared_basis() {
+    let (sim, _) = scenario_sim();
+    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    session.set_focus(4);
+    for _ in 0..24 {
+        session.tick().unwrap();
+    }
+    let cost_before = session.worlds_evaluated;
+    // Jump far away: the affine Demand basis must transfer instantly.
+    session.set_focus(24);
+    session.tick().unwrap();
+    let est = session.estimate(24, 0).expect("estimate");
+    // One tick after the focus move: estimate already backed by many samples.
+    assert!(
+        est.n_samples > 50,
+        "basis transfer missing: only {} samples",
+        est.n_samples
+    );
+    // And the move itself cost only a fingerprint + one batch.
+    assert!(session.worlds_evaluated - cost_before <= 30);
+    // Basis store stays tiny for the affine model.
+    assert!(session.basis_counts()[0] <= 2);
+}
+
+#[test]
+fn graph_rendering_covers_explored_points() {
+    let (sim, _) = scenario_sim();
+    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    session.set_focus(14);
+    for _ in 0..20 {
+        session.tick().unwrap();
+    }
+    let values: Vec<f64> = (0..sim.space().len())
+        .map(|p| session.estimate(p, 0).map(|e| e.expectation).unwrap_or(f64::NAN))
+        .collect();
+    let finite = values.iter().filter(|v| v.is_finite()).count();
+    assert!(finite >= 3, "focus plus explored neighbors should be plotted");
+    let chart = render_series(
+        "week",
+        &[GraphSpec { label: "EXPECT demand".into(), values, style: SeriesStyle::default() }],
+        40,
+        8,
+    );
+    assert!(chart.contains("EXPECT demand"));
+    assert!(chart.contains('*'));
+}

@@ -1,0 +1,143 @@
+//! Markov-jump integration: SQL chain scenarios and accuracy envelopes.
+
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::{MarkovBranch, MarkovStep};
+use jigsaw::blackbox::FnBlackBox;
+use jigsaw::core::markov::{run_naive, BasisRetention, MarkovJumpConfig, MarkovJumpRunner};
+use jigsaw::pdb::{Catalog, DirectEngine};
+use jigsaw::prng::Seed;
+use jigsaw::sql::{compile, QueryChainModel};
+
+/// The Figure 5 scenario as SQL, driven through the Markov-jump runner.
+#[test]
+fn figure5_chain_scenario_jump_vs_naive() {
+    let mut catalog = Catalog::new();
+    catalog.add_function(Arc::new(FnBlackBox::new("DemandModel", 2, |p: &[f64], s| {
+        let (week, release) = (p[0], p[1]);
+        let boost = if week > release { 8.0 } else { 0.0 };
+        week * 0.8 + boost + (s.0 % 16) as f64 * 0.02
+    })));
+    catalog.add_function(Arc::new(FnBlackBox::new("ReleaseWeekModel", 2, |p: &[f64], _| {
+        let (demand, prev) = (p[0], p[1]);
+        if prev > 900.0 && demand >= 20.0 {
+            demand.floor()
+        } else {
+            prev
+        }
+    })));
+    let catalog = Arc::new(catalog);
+
+    let scenario = compile(
+        "DECLARE PARAMETER @current_week AS RANGE 0 TO 63 STEP BY 1;
+         DECLARE PARAMETER @release_week AS CHAIN release_week
+             FROM @current_week : @current_week - 1 INITIAL VALUE 999;
+         SELECT ReleaseWeekModel(demand, @release_week) AS release_week, demand
+         FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+         INTO results",
+        &catalog,
+    )
+    .expect("compiles");
+    assert!(scenario.chain.is_some());
+
+    let model =
+        QueryChainModel::from_scenario(&scenario, catalog, Arc::new(DirectEngine::new()))
+            .expect("chain model");
+    let steps = 64;
+    let n = 60;
+    let (naive, naive_stats) = run_naive(&model, Seed(3), n, steps);
+    let cfg = MarkovJumpConfig::paper().with_n(n).with_m(8);
+    let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(3), steps);
+
+    let exact = jump
+        .outputs
+        .iter()
+        .zip(&naive)
+        .filter(|(a, b)| (**a - **b).abs() < 1e-9)
+        .count();
+    assert!(exact as f64 / n as f64 > 0.9, "{exact}/{n} exact");
+    assert!(
+        jump.stats.model_invocations < naive_stats.model_invocations / 2,
+        "jump {} vs naive {}",
+        jump.stats.model_invocations,
+        naive_stats.model_invocations
+    );
+}
+
+#[test]
+fn markov_step_invocation_savings_scale_with_chain_length() {
+    let model = MarkovStep::paper(25.0, 3);
+    let n = 300;
+    let cfg = MarkovJumpConfig::paper().with_n(n);
+    let mut ratios = Vec::new();
+    for steps in [50usize, 200] {
+        let (_, naive_stats) = run_naive(&model, Seed(9), n, steps);
+        let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(9), steps);
+        ratios
+            .push(naive_stats.model_invocations as f64 / jump.stats.model_invocations as f64);
+    }
+    // The discontinuity cost is fixed; longer quiet tails amortize it.
+    assert!(
+        ratios[1] > ratios[0],
+        "longer chains must amortize better: {ratios:?}"
+    );
+}
+
+#[test]
+fn branching_zero_is_bit_exact_under_both_retentions() {
+    let model = MarkovBranch::new(0.0);
+    let n = 120;
+    for retention in [BasisRetention::KeepAll, BasisRetention::KeepLast] {
+        let cfg = MarkovJumpConfig::paper().with_n(n).with_m(6).with_retention(retention);
+        let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(41), 96);
+        let (naive, _) = run_naive(&model, Seed(41), n, 96);
+        for (a, b) in jump.outputs.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-12, "{retention:?}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn uniform_divergence_is_absorbed_by_mapping() {
+    // p = 1: every instance's counter increments every step — a uniform
+    // state change the affine mapping absorbs exactly (paper §4.2: "any
+    // uniform changes in state are absorbed by the mapping function").
+    let model = MarkovBranch::new(1.0);
+    let n = 80;
+    let cfg = MarkovJumpConfig::paper().with_n(n).with_m(8);
+    let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(13), 48);
+    let (naive, naive_stats) = run_naive(&model, Seed(13), n, 48);
+    for (a, b) in jump.outputs.iter().zip(&naive) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    // And it must still be cheaper than naive despite p = 1.
+    assert!(jump.stats.model_invocations < naive_stats.model_invocations);
+}
+
+#[test]
+fn accuracy_degrades_gracefully_with_branching() {
+    let n = 200;
+    let steps = 100;
+    let mut prev_err = 0.0f64;
+    for p in [0.0, 1e-3, 3e-2] {
+        let model = MarkovBranch::new(p);
+        let cfg = MarkovJumpConfig::paper().with_n(n);
+        let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(2), steps);
+        let (naive, _) = run_naive(&model, Seed(2), n, steps);
+        let scale = naive.iter().map(|x| x.abs()).fold(1.0f64, f64::max);
+        let err = jump
+            .outputs
+            .iter()
+            .zip(&naive)
+            .map(|(a, b)| (a - b).abs() / scale)
+            .sum::<f64>()
+            / n as f64;
+        // Error must grow monotonically (with sampling slack) and stay
+        // bounded: per-instance independent branching is the worst case for
+        // Algorithm 4, and even there the drift is a bounded fraction of
+        // the output scale (quantified further in experiment E7).
+        assert!(err + 0.02 >= prev_err, "p={p}: error {err} fell below {prev_err}");
+        assert!(err <= 0.35, "p={p}: error {err} out of envelope");
+        prev_err = err;
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based integration tests: fingerprint reuse must be exact for
+//! randomly generated affine-family models, regardless of index strategy or
+//! parameterization.
+
+use std::sync::Arc;
+
+use jigsaw::blackbox::{FnBlackBox, ParamDecl, ParamSpace};
+use jigsaw::core::{IndexStrategy, JigsawConfig, SweepRunner};
+use jigsaw::pdb::BlackBoxSim;
+use jigsaw::prng::dist::Normal;
+use jigsaw::prng::{SeedSet, Xoshiro256pp};
+use proptest::prelude::*;
+
+/// A randomly parameterized affine model: output = mu(p) + sd(p) · z where
+/// z is the shared standard draw. Every pair of points is affine-related, so
+/// Jigsaw must collapse the sweep into bases whose reuse is exact.
+fn affine_model(mu0: f64, mu1: f64, sd0: f64, sd1: f64) -> FnBlackBox<impl Fn(&[f64], jigsaw::prng::Seed) -> f64 + Send + Sync> {
+    FnBlackBox::new("RandAffine", 1, move |p: &[f64], seed| {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let z = Normal::standard(&mut rng);
+        (mu0 + mu1 * p[0]) + (sd0 + sd1 * p[0]).abs() * z
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_affine_models_reuse_exactly(
+        mu0 in -50.0f64..50.0,
+        mu1 in -5.0f64..5.0,
+        sd0 in 0.5f64..5.0,
+        sd1 in 0.0f64..0.5,
+        master in 0u64..1000,
+        strat_pick in 0usize..3,
+    ) {
+        let strat = [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid][strat_pick];
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 19, 1)]);
+        let sim = BlackBoxSim::new(
+            Arc::new(affine_model(mu0, mu1, sd0, sd1)),
+            space,
+            SeedSet::new(master),
+        );
+        let cfg = JigsawConfig::paper().with_n_samples(60).with_index(strat);
+        let naive = SweepRunner::naive(cfg).run(&sim).unwrap();
+        let fast = SweepRunner::new(cfg).run(&sim).unwrap();
+
+        // Exactness at every point.
+        for (a, b) in naive.points.iter().zip(&fast.points) {
+            let (x, y) = (a.metrics[0].expectation(), b.metrics[0].expectation());
+            prop_assert!((x - y).abs() <= 1e-7 * x.abs().max(1.0), "E {x} vs {y}");
+            let (sx, sy) = (a.metrics[0].std_dev(), b.metrics[0].std_dev());
+            prop_assert!((sx - sy).abs() <= 1e-7 * sx.abs().max(1.0), "sd {sx} vs {sy}");
+        }
+        // And the affine family collapses to very few bases.
+        prop_assert!(
+            fast.stats.bases_per_column[0] <= 2,
+            "bases {:?}", fast.stats.bases_per_column
+        );
+    }
+
+    #[test]
+    fn reused_work_is_bounded_by_basis_count(
+        master in 0u64..1000,
+        n_classes in 1usize..6,
+    ) {
+        // A model with n_classes distinct non-affine shapes.
+        let model = FnBlackBox::new("Shapes", 1, move |p: &[f64], seed| {
+            let mut rng = Xoshiro256pp::seeded(seed);
+            let z = Normal::standard(&mut rng);
+            let class = (p[0] as usize) % n_classes;
+            z + class as f64 * z * z
+        });
+        let points = 24;
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
+        let sim = BlackBoxSim::new(Arc::new(model), space, SeedSet::new(master));
+        let cfg = JigsawConfig::paper().with_n_samples(40);
+        let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+        prop_assert_eq!(sweep.stats.bases_per_column[0], n_classes.min(points));
+        prop_assert_eq!(sweep.stats.full_simulations, n_classes.min(points));
+        prop_assert_eq!(sweep.stats.reused, points - n_classes.min(points));
+    }
+}

@@ -1,0 +1,106 @@
+//! SQL front-end integration: the paper's published listings must parse,
+//! lower, and survive pretty-print roundtrips.
+
+use jigsaw::sql::{parse_script, print_select, SqlError};
+
+/// Figure 1, verbatim modulo whitespace.
+const FIGURE_1: &str = r#"
+    -- DEFINITION --
+    DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+    DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+    DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+    DECLARE PARAMETER @feature_release AS SET (12,36,44);
+    SELECT DemandModel(@current_week, @feature_release)
+        AS demand,
+        CapacityModel(@current_week, @purchase1, @purchase2)
+        AS capacity,
+        CASE WHEN capacity < demand THEN 1 ELSE 0 END
+        AS overload
+    INTO results;
+    -- BATCH MODE --
+    OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+    FROM results
+    WHERE MAX(EXPECT overload) < 0.01
+    GROUP BY feature_release, purchase1, purchase2
+    FOR MAX @purchase1, MAX @purchase2
+"#;
+
+/// Figure 5, verbatim modulo whitespace.
+const FIGURE_5: &str = r#"
+    -- DEFINITION --
+    DECLARE PARAMETER @current_week
+        AS RANGE 0 TO 52 STEP BY 1;
+    DECLARE PARAMETER @release_week
+        AS CHAIN release_week
+        FROM @current_week : @current_week - 1
+        INITIAL VALUE 52;
+    SELECT ReleaseWeekModel(demand) AS release_week, demand
+    FROM (SELECT DemandModel(@current_week, @release_week)
+          AS demand)
+    INTO results
+"#;
+
+/// The interactive-mode query from §2.2.
+const INTERACTIVE: &str = r#"
+    DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+    SELECT DemandModel(@current_week, 36) AS demand,
+           CapacityModel(@current_week, 8, 24) AS capacity,
+           CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+    INTO results;
+    -- INTERACTIVE MODE --
+    GRAPH OVER @current_week
+        EXPECT overload WITH bold red,
+        EXPECT capacity WITH blue y2,
+        EXPECT_STDDEV demand WITH orange y2
+"#;
+
+#[test]
+fn paper_listings_parse() {
+    for (name, src) in [("fig1", FIGURE_1), ("fig5", FIGURE_5), ("interactive", INTERACTIVE)] {
+        let script = parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(script.scenario().is_some(), "{name} has a SELECT");
+    }
+    let fig1 = parse_script(FIGURE_1).unwrap();
+    assert!(fig1.optimize().is_some());
+    let inter = parse_script(INTERACTIVE).unwrap();
+    assert_eq!(inter.graph().unwrap().series.len(), 3);
+}
+
+#[test]
+fn select_roundtrips_through_pretty_printer() {
+    for src in [FIGURE_1, FIGURE_5, INTERACTIVE] {
+        let q = parse_script(src).unwrap().scenario().unwrap().clone();
+        let printed = print_select(&q);
+        let reparsed = parse_script(&printed)
+            .unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"))
+            .scenario()
+            .unwrap()
+            .clone();
+        assert_eq!(q, reparsed, "via `{printed}`");
+    }
+}
+
+#[test]
+fn parse_errors_are_located_and_described() {
+    let err = parse_script("DECLARE PARAMETER current_week AS RANGE 0 TO 5 STEP BY 1")
+        .expect_err("missing @");
+    match err {
+        SqlError::Parse { pos, msg } => {
+            assert_eq!(pos.line, 1);
+            assert!(msg.contains("@parameter"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let err = parse_script("SELECT CASE END AS x INTO t").expect_err("empty CASE");
+    assert!(err.to_string().contains("WHEN"), "{err}");
+}
+
+#[test]
+fn optimize_requires_for_clause() {
+    let err = parse_script(
+        "OPTIMIZE SELECT @p FROM results WHERE MAX(EXPECT x) < 1 GROUP BY p",
+    )
+    .expect_err("missing FOR");
+    assert!(matches!(err, SqlError::Parse { .. }));
+}
