@@ -14,8 +14,7 @@ fn demand_sweep(c: &mut Criterion) {
         ParamDecl::range("week", 0, 51, 1),
         ParamDecl::set("feature", vec![12, 36, 44]),
     ]);
-    let sim =
-        BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(3));
+    let sim = BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(200);
 
     let mut group = c.benchmark_group("baseline/demand_156pts");
@@ -35,8 +34,7 @@ fn overload_sweep(c: &mut Criterion) {
         ParamDecl::range("p1", 0, 48, 16),
         ParamDecl::range("p2", 0, 48, 16),
     ]);
-    let sim =
-        BlackBoxSim::new(Arc::new(Overload::enterprise()), space, SeedSet::new(3));
+    let sim = BlackBoxSim::new(Arc::new(Overload::enterprise()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(200);
 
     let mut group = c.benchmark_group("baseline/overload_416pts");

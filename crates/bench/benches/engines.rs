@@ -17,10 +17,7 @@ fn model_bound(c: &mut Criterion) {
     catalog.add_function(Arc::new(Demand::enterprise()));
     let catalog = Arc::new(catalog);
     let plan = Plan::OneRow
-        .project(vec![(
-            "out",
-            Expr::call("Demand", vec![Expr::param("week"), Expr::lit_f(36.0)]),
-        )])
+        .project(vec![("out", Expr::call("Demand", vec![Expr::param("week"), Expr::lit_f(36.0)]))])
         .bind(&catalog, &["week".to_string()])
         .unwrap();
     let space = ParamSpace::new(vec![ParamDecl::range("week", 0, 51, 1)]);
@@ -29,11 +26,23 @@ fn model_bound(c: &mut Criterion) {
     for (name, sim) in [
         (
             "direct",
-            PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+            PlanSim::new(
+                Arc::new(DirectEngine::new()),
+                plan.clone(),
+                catalog.clone(),
+                space.clone(),
+                seeds,
+            ),
         ),
         (
             "dbms",
-            PlanSim::new(Arc::new(DbmsEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+            PlanSim::new(
+                Arc::new(DbmsEngine::new()),
+                plan.clone(),
+                catalog.clone(),
+                space.clone(),
+                seeds,
+            ),
         ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -73,11 +82,23 @@ fn data_bound(c: &mut Criterion) {
     for (name, sim) in [
         (
             "direct",
-            PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+            PlanSim::new(
+                Arc::new(DirectEngine::new()),
+                plan.clone(),
+                catalog.clone(),
+                space.clone(),
+                seeds,
+            ),
         ),
         (
             "dbms",
-            PlanSim::new(Arc::new(DbmsEngine::new()), plan.clone(), catalog.clone(), space.clone(), seeds),
+            PlanSim::new(
+                Arc::new(DbmsEngine::new()),
+                plan.clone(),
+                catalog.clone(),
+                space.clone(),
+                seeds,
+            ),
         ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -24,8 +24,11 @@ fn branching_sweep(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("jigsaw_keeplast_p{p:.0e}")),
             |b| {
                 b.iter(|| {
-                    MarkovJumpRunner::new(cfg.with_retention(BasisRetention::KeepLast))
-                        .run(&model, Seed(1), steps)
+                    MarkovJumpRunner::new(cfg.with_retention(BasisRetention::KeepLast)).run(
+                        &model,
+                        Seed(1),
+                        steps,
+                    )
                 })
             },
         );

@@ -52,9 +52,7 @@ fn sweep_case(
     scale: Scale,
     tol: f64,
 ) -> E2Row {
-    let cfg = JigsawConfig::paper()
-        .with_n_samples(scale.n_samples)
-        .with_fingerprint_len(scale.m);
+    let cfg = JigsawConfig::paper().with_n_samples(scale.n_samples).with_fingerprint_len(scale.m);
     let seeds = SeedSet::new(MASTER_SEED);
     let counted = Arc::new(Counted::new(bb));
     let counter = counted.counter();
@@ -73,16 +71,34 @@ fn sweep_case(
     let jigsaw_invocations = counter.get();
 
     // Sanity: expectations agree within the model's reuse tolerance.
-    // Affine-exact models (Demand) must match to rounding error; models with
-    // discrete-valued outputs (Capacity, Overload) legitimately merge
-    // near-identical structure patterns that an m-entry fingerprint cannot
-    // distinguish — the §6.2 error source quantified by experiment E7.
-    for (a, b) in naive.points.iter().zip(&fast.points) {
-        let (x, y) = (a.metrics[0].expectation(), b.metrics[0].expectation());
+    // Affine-exact models (Demand) must match per point to rounding error.
+    // Models with discrete-valued outputs (Capacity, Overload) legitimately
+    // merge near-identical structure patterns that an m-entry fingerprint
+    // cannot distinguish — the §6.2 error source quantified by experiment
+    // E7 — so single points near a regime crossing can be off by the full
+    // event rate; only the error *distribution* is bounded for them.
+    if tol <= 1e-3 {
+        for (a, b) in naive.points.iter().zip(&fast.points) {
+            let (x, y) = (a.metrics[0].expectation(), b.metrics[0].expectation());
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(1.0),
+                "{name}: mismatch at point {} ({x} vs {y})",
+                a.point_idx
+            );
+        }
+    } else {
+        let scale_ref =
+            naive.points.iter().map(|p| p.metrics[0].expectation().abs()).fold(1.0f64, f64::max);
+        let mean_abs_dev = naive
+            .points
+            .iter()
+            .zip(&fast.points)
+            .map(|(a, b)| (a.metrics[0].expectation() - b.metrics[0].expectation()).abs())
+            .sum::<f64>()
+            / naive.points.len() as f64;
         assert!(
-            (x - y).abs() <= tol * x.abs().max(1.0),
-            "{name}: mismatch at point {} ({x} vs {y})",
-            a.point_idx
+            mean_abs_dev <= tol * scale_ref,
+            "{name}: mean deviation {mean_abs_dev} exceeds {tol} of scale {scale_ref}"
         );
     }
 
@@ -128,7 +144,7 @@ pub fn run(scale: Scale) -> Vec<E2Row> {
             ParamDecl::range("p2", 0, 48, 4 * div),
         ]),
         scale,
-        0.2,
+        0.02,
     ));
 
     // Overload: same space as Capacity; boolean output limits reuse.
@@ -141,7 +157,7 @@ pub fn run(scale: Scale) -> Vec<E2Row> {
             ParamDecl::range("p2", 0, 48, 4 * div),
         ]),
         scale,
-        0.25,
+        0.02,
     ));
 
     // MarkovStep: ~2500 chain steps.
@@ -178,7 +194,16 @@ pub fn run(scale: Scale) -> Vec<E2Row> {
 pub fn report(rows: &[E2Row]) -> Table {
     let mut t = Table::new(
         "E2 / Figure 8 — Jigsaw vs fully exploring the parameter space",
-        &["Model", "Points", "Full eval", "Jigsaw", "Speedup", "Invocations full", "Invocations jigsaw", "Bases"],
+        &[
+            "Model",
+            "Points",
+            "Full eval",
+            "Jigsaw",
+            "Speedup",
+            "Invocations full",
+            "Invocations jigsaw",
+            "Bases",
+        ],
     );
     for r in rows {
         t.row(vec![

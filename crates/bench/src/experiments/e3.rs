@@ -45,14 +45,11 @@ pub fn run(scale: Scale) -> Vec<E3Row> {
         ParamDecl::range("p1", 0, 48, 8),
         ParamDecl::range("p2", 0, 48, 8),
     ]);
-    let strategies =
-        [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
+    let strategies = [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
 
     let mut rows = Vec::new();
     for &size in &sizes {
-        let bb = Arc::new(
-            Capacity::enterprise().with_delay_scale(size).with_work(Workload(300)),
-        );
+        let bb = Arc::new(Capacity::enterprise().with_delay_scale(size).with_work(Workload(300)));
         let sim = BlackBoxSim::new(bb, space.clone(), SeedSet::new(MASTER_SEED));
         let mut ms = [0.0f64; 3];
         let mut bases = 0usize;
@@ -103,10 +100,7 @@ mod tests {
         let size_ratio = rows.last().unwrap().structure_size.max(1.0)
             / rows.first().unwrap().structure_size.max(1.0);
         let basis_ratio = b_last as f64 / b0.max(1) as f64;
-        assert!(
-            basis_ratio < size_ratio,
-            "bases {b0} -> {b_last} vs size ratio {size_ratio}"
-        );
+        assert!(basis_ratio < size_ratio, "bases {b0} -> {b_last} vs size ratio {size_ratio}");
         // And saturation: with m = 10, patterns per structure are bounded.
         assert!(b_last < 60, "basis count {b_last} should saturate");
     }

@@ -38,8 +38,7 @@ pub fn run(scale: Scale) -> Vec<E4Row> {
     let basis_counts: &[usize] =
         if scale.space_divisor > 1 { &[10, 50, 200] } else { &[10, 25, 50, 100, 200, 400] };
     let points = 1000 / scale.space_divisor;
-    let strategies =
-        [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
+    let strategies = [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
 
     let mut rows = Vec::new();
     for &n_bases in basis_counts {
@@ -58,7 +57,8 @@ pub fn run(scale: Scale) -> Vec<E4Row> {
             secs[i] = t0.elapsed().as_secs_f64();
             pairings[i] = sweep.stats.pairings_tested;
             assert_eq!(
-                sweep.stats.bases_per_column[0], n_bases.min(points),
+                sweep.stats.bases_per_column[0],
+                n_bases.min(points),
                 "strategy {strat:?} produced wrong basis count"
             );
         }

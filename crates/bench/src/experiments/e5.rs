@@ -27,6 +27,9 @@ pub struct E5Row {
     pub points: usize,
     /// Seconds per point, ordered Array / Normalization / Sorted-SID.
     pub s_per_point: [f64; 3],
+    /// Candidate pairings tested, same strategy order — the deterministic
+    /// work metric behind the wall-clock numbers.
+    pub pairings: [u64; 3],
 }
 
 /// Run the growing-space indexing comparison.
@@ -36,8 +39,7 @@ pub fn run(scale: Scale) -> Vec<E5Row> {
     } else {
         &[500, 1000, 2000, 3000, 4000, 5000]
     };
-    let strategies =
-        [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
+    let strategies = [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid];
 
     let mut rows = Vec::new();
     for &points in sizes {
@@ -46,6 +48,7 @@ pub fn run(scale: Scale) -> Vec<E5Row> {
         let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
         let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
         let mut s = [0.0f64; 3];
+        let mut pairings = [0u64; 3];
         for (i, strat) in strategies.iter().enumerate() {
             let cfg = JigsawConfig::paper()
                 .with_n_samples(scale.n_samples)
@@ -54,8 +57,9 @@ pub fn run(scale: Scale) -> Vec<E5Row> {
             let t0 = Instant::now();
             let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
             s[i] = t0.elapsed().as_secs_f64() / sweep.points.len() as f64;
+            pairings[i] = sweep.stats.pairings_tested;
         }
-        rows.push(E5Row { n_bases, points, s_per_point: s });
+        rows.push(E5Row { n_bases, points, s_per_point: s, pairings });
     }
     rows
 }
@@ -87,18 +91,20 @@ mod tests {
         let rows = run(Scale { n_samples: 60, m: 10, space_divisor: 4 });
         let first = &rows[0];
         let last = rows.last().unwrap();
-        // Array growth factor across the sweep must exceed the index
-        // strategies' growth factors.
-        let growth = |i: usize| last.s_per_point[i] / first.s_per_point[i];
+        // The array scan's *work* (candidate pairings tested) must grow
+        // faster across the sweep than both index strategies'. Wall-clock at
+        // unit-test scale is dominated by model evaluation and build mode,
+        // so the assertion uses the deterministic counter the times follow.
+        let growth = |i: usize| last.pairings[i] as f64 / first.pairings[i].max(1) as f64;
         assert!(
             growth(0) > growth(1),
-            "array growth {:.2} vs normalization {:.2}",
+            "array pairing growth {:.2} vs normalization {:.2}",
             growth(0),
             growth(1)
         );
         assert!(
             growth(0) > growth(2),
-            "array growth {:.2} vs sorted-sid {:.2}",
+            "array pairing growth {:.2} vs sorted-sid {:.2}",
             growth(0),
             growth(2)
         );

@@ -83,7 +83,13 @@ pub fn run(scale: Scale) -> Vec<E6Row> {
 pub fn report(rows: &[E6Row]) -> Table {
     let mut t = Table::new(
         "E6 / Figure 12 — Markov process performance (128 steps)",
-        &["Branching", "Naive ms/step", "Jigsaw ms/step", "KeepLast ms/step", "Invocations naive/jigsaw"],
+        &[
+            "Branching",
+            "Naive ms/step",
+            "Jigsaw ms/step",
+            "KeepLast ms/step",
+            "Invocations naive/jigsaw",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -111,20 +117,12 @@ mod tests {
             "low-branching savings missing: {low:?}"
         );
         // Savings monotonically shrink with branching.
-        let ratios: Vec<f64> = rows
-            .iter()
-            .map(|r| r.naive_invocations as f64 / r.jigsaw_invocations as f64)
-            .collect();
+        let ratios: Vec<f64> =
+            rows.iter().map(|r| r.naive_invocations as f64 / r.jigsaw_invocations as f64).collect();
         for w in ratios.windows(2) {
-            assert!(
-                w[0] >= w[1] * 0.8,
-                "savings should shrink with branching: {ratios:?}"
-            );
+            assert!(w[0] >= w[1] * 0.8, "savings should shrink with branching: {ratios:?}");
         }
         // High branching: little or no advantage (the crossover).
-        assert!(
-            *ratios.last().unwrap() < ratios[0] / 2.0,
-            "no crossover trend: {ratios:?}"
-        );
+        assert!(*ratios.last().unwrap() < ratios[0] / 2.0, "no crossover trend: {ratios:?}");
     }
 }

@@ -103,8 +103,7 @@ pub fn run_markov(scale: Scale) -> Vec<E7MarkovRow> {
         let (naive, _) = run_naive(&model, Seed(MASTER_SEED), n, steps);
         let cfg = MarkovJumpConfig::paper().with_n(n).with_m(scale.m);
         let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(MASTER_SEED), steps);
-        let scale_ref =
-            naive.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+        let scale_ref = naive.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
         let mut mean = 0.0;
         let mut max = 0.0f64;
         for (a, b) in jump.outputs.iter().zip(&naive) {
@@ -112,11 +111,7 @@ pub fn run_markov(scale: Scale) -> Vec<E7MarkovRow> {
             mean += rel;
             max = max.max(rel);
         }
-        rows.push(E7MarkovRow {
-            branching: p,
-            mean_rel_err: mean / n as f64,
-            max_rel_err: max,
-        });
+        rows.push(E7MarkovRow { branching: p, mean_rel_err: mean / n as f64, max_rel_err: max });
     }
     rows
 }

@@ -42,11 +42,8 @@ pub fn user_catalog(n_users: usize) -> Catalog {
     }
     catalog.add_table("users", builder.build());
     catalog.add_function(Arc::new(FnBlackBox::new("UserReq", 5, |p: &[f64], seed| {
-        let profile = jigsaw_blackbox::models::UserProfile {
-            base: p[1],
-            growth: p[2],
-            shape: p[3],
-        };
+        let profile =
+            jigsaw_blackbox::models::UserProfile { base: p[1], growth: p[2], shape: p[3] };
         UserSelection::user_requirement(&profile, p[4], seed.derive(p[0] as u64))
     })));
     catalog

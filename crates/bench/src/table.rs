@@ -34,11 +34,8 @@ impl Table {
         }
         let mut out = format!("### {}\n\n", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}", w = *w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = *w)).collect();
             format!("| {} |\n", padded.join(" | "))
         };
         out.push_str(&fmt_row(&self.header, &widths));

@@ -199,10 +199,7 @@ mod tests {
             .collect();
         // With independent delays the two structures disagree on some
         // instances (one online, the other not).
-        assert!(
-            diffs.iter().any(|&d| d != 400.0),
-            "expected at least one divergent instance"
-        );
+        assert!(diffs.iter().any(|&d| d != 400.0), "expected at least one divergent instance");
     }
 
     #[test]

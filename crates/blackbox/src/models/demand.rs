@@ -48,7 +48,13 @@ impl Demand {
     /// Enterprise-scale constants used by the `Overload` scenario (demand in
     /// CPU cores; crosses a ~500-core cluster around week 25).
     pub fn enterprise() -> Self {
-        Demand { growth: 20.0, var_rate: 16.0, boost: 5.0, boost_var_rate: 4.0, work: Workload::NONE }
+        Demand {
+            growth: 20.0,
+            var_rate: 16.0,
+            boost: 5.0,
+            boost_var_rate: 4.0,
+            work: Workload::NONE,
+        }
     }
 
     /// Set the synthetic workload.
@@ -119,8 +125,8 @@ impl BlackBox for DemandTwoDraw {
             Normal::from_variance(m.growth * week, (m.var_rate * week).max(0.0)).sample(&mut rng);
         if week > feature {
             let d = week - feature;
-            demand +=
-                Normal::from_variance(m.boost * d, (m.boost_var_rate * d).max(0.0)).sample(&mut rng);
+            demand += Normal::from_variance(m.boost * d, (m.boost_var_rate * d).max(0.0))
+                .sample(&mut rng);
         }
         demand
     }

@@ -111,10 +111,7 @@ mod tests {
         let n = 50;
         let total: f64 = (0..n).map(|i| final_counter(&b, i, steps)).sum();
         let rate = total / (n * steps) as f64;
-        assert!(
-            (rate - 0.05).abs() < 0.01,
-            "empirical increment rate {rate} vs 0.05"
-        );
+        assert!((rate - 0.05).abs() < 0.01, "empirical increment rate {rate} vs 0.05");
     }
 
     #[test]

@@ -149,15 +149,11 @@ mod tests {
     fn expectation_matches_sum_of_user_means() {
         let us = UserSelection::synthetic(200, 3);
         let week = 10.0;
-        let want: f64 =
-            us.users().iter().map(|u| u.base * (1.0 + u.growth * week)).sum();
+        let want: f64 = us.users().iter().map(|u| u.base * (1.0 + u.growth * week)).sum();
         let seeds = SeedSet::new(11);
         let n = 3000;
         let got = (0..n).map(|k| us.eval(&[week], seeds.seed(k))).sum::<f64>() / n as f64;
-        assert!(
-            (got - want).abs() / want < 0.05,
-            "empirical {got} vs analytic {want}"
-        );
+        assert!((got - want).abs() / want < 0.05, "empirical {got} vs analytic {want}");
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl ParamDecl {
 
     /// Declare a `CHAIN` parameter.
     pub fn chain(name: impl Into<String>, source: impl Into<String>, initial: f64) -> Self {
-        ParamDecl {
-            name: name.into(),
-            domain: Domain::Chain { source: source.into(), initial },
-        }
+        ParamDecl { name: name.into(), domain: Domain::Chain { source: source.into(), initial } }
     }
 }
 

@@ -126,7 +126,7 @@ mod tests {
 
     fn space2() -> ParamSpace {
         ParamSpace::new(vec![
-            ParamDecl::range("a", 0, 2, 1),   // 3 values
+            ParamDecl::range("a", 0, 2, 1),    // 3 values
             ParamDecl::set("b", vec![10, 20]), // 2 values
         ])
     }
@@ -181,10 +181,8 @@ mod tests {
 
     #[test]
     fn empty_domain_empties_space() {
-        let s = ParamSpace::new(vec![
-            ParamDecl::range("a", 5, 4, 1),
-            ParamDecl::range("b", 0, 9, 1),
-        ]);
+        let s =
+            ParamSpace::new(vec![ParamDecl::range("a", 5, 4, 1), ParamDecl::range("b", 0, 9, 1)]);
         assert_eq!(s.len(), 0);
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);

@@ -184,9 +184,8 @@ mod tests {
         {
             let mut s = store(strat);
             let id = s.insert(base.clone(), metrics(&[1.0, 2.0]));
-            let (got, _) = s
-                .find_match(&image)
-                .unwrap_or_else(|| panic!("{strat:?} missed an affine image"));
+            let (got, _) =
+                s.find_match(&image).unwrap_or_else(|| panic!("{strat:?} missed an affine image"));
             assert_eq!(got, id);
         }
     }

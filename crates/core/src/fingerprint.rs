@@ -20,10 +20,7 @@ impl Fingerprint {
     /// Wrap raw outputs (entry `k` must correspond to seed `σ_k`).
     pub fn new(entries: Vec<f64>) -> Self {
         assert!(!entries.is_empty(), "fingerprints must be non-empty");
-        assert!(
-            entries.iter().all(|x| x.is_finite()),
-            "fingerprint entries must be finite"
-        );
+        assert!(entries.iter().all(|x| x.is_finite()), "fingerprint entries must be finite");
         Fingerprint(entries)
     }
 

@@ -67,7 +67,8 @@ mod tests {
 
     #[test]
     fn empty_index_has_no_candidates() {
-        for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
+        for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid]
+        {
             let idx = make_index(strat, 1e-9);
             assert!(idx.is_empty());
             assert!(idx.candidates(&Fingerprint::new(vec![1.0, 2.0])).is_empty());

@@ -104,11 +104,7 @@ mod tests {
         .enumerate()
         {
             let image = map.apply_fingerprint(&base);
-            assert_eq!(
-                idx.candidates(&image),
-                vec![0],
-                "map {i} should hash to the same bucket"
-            );
+            assert_eq!(idx.candidates(&image), vec![0], "map {i} should hash to the same bucket");
         }
     }
 

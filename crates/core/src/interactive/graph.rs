@@ -39,11 +39,8 @@ pub struct GraphSpec {
 pub fn render_series(x_label: &str, series: &[GraphSpec], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 3, "chart too small");
     let glyphs = ['*', '+', 'o', 'x', '#', '@'];
-    let finite: Vec<f64> = series
-        .iter()
-        .flat_map(|s| s.values.iter().copied())
-        .filter(|v| v.is_finite())
-        .collect();
+    let finite: Vec<f64> =
+        series.iter().flat_map(|s| s.values.iter().copied()).filter(|v| v.is_finite()).collect();
     if finite.is_empty() {
         return format!("(no data yet over {x_label})\n");
     }
@@ -101,12 +98,7 @@ mod tests {
 
     #[test]
     fn renders_legend_and_bounds() {
-        let g = render_series(
-            "week",
-            &[spec("EXPECT demand", vec![0.0, 5.0, 10.0])],
-            24,
-            6,
-        );
+        let g = render_series("week", &[spec("EXPECT demand", vec![0.0, 5.0, 10.0])], 24, 6);
         assert!(g.contains("EXPECT demand"));
         assert!(g.contains("10.00"));
         assert!(g.contains("0.00"));
@@ -121,12 +113,8 @@ mod tests {
 
     #[test]
     fn multiple_series_use_distinct_glyphs() {
-        let g = render_series(
-            "week",
-            &[spec("a", vec![0.0, 1.0]), spec("b", vec![1.0, 0.0])],
-            16,
-            5,
-        );
+        let g =
+            render_series("week", &[spec("a", vec![0.0, 1.0]), spec("b", vec![1.0, 0.0])], 16, 5);
         assert!(g.contains('*'));
         assert!(g.contains('+'));
     }

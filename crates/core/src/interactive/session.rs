@@ -1,8 +1,7 @@
 //! The interactive event loop (paper Algorithm 5).
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 
@@ -173,7 +172,7 @@ impl<'a> InteractiveSession<'a> {
         let mut cols = Vec::with_capacity(head.len());
         for (c, samples) in head.iter().enumerate() {
             let fp = Fingerprint::new(samples.clone());
-            let mut store = self.stores[c].lock();
+            let mut store = self.stores[c].lock().expect("basis store lock poisoned");
             // On a miss the point seeds a new basis and keeps an identity
             // mapping to it, so its own refinements grow the shared basis
             // (paper §5: refinement "improves the accuracy of the basis
@@ -212,13 +211,15 @@ impl<'a> InteractiveSession<'a> {
             if let Some((id, map)) = col.basis {
                 // Validate the mapping on the fresh samples: the basis
                 // predicts M(basis_sample_k) for the same sample ids.
-                let mut store = self.stores[c].lock();
+                let mut store = self.stores[c].lock().expect("basis store lock poisoned");
                 let basis_samples = store.get(id).metrics.samples();
                 let consistent = samples.iter().enumerate().all(|(i, &x)| {
                     let k = start + i;
                     basis_samples
                         .get(k)
-                        .map(|&b| crate::fingerprint::approx_eq(map.apply(b), x, self.cfg.tolerance))
+                        .map(|&b| {
+                            crate::fingerprint::approx_eq(map.apply(b), x, self.cfg.tolerance)
+                        })
                         // Sample id beyond basis coverage: fold it back
                         // through the inverse mapping instead.
                         .unwrap_or(true)
@@ -268,7 +269,7 @@ impl<'a> InteractiveSession<'a> {
         let state = self.points.get(&point_idx)?;
         let c = &state.cols[col];
         if let Some((id, map)) = c.basis {
-            let store = self.stores[col].lock();
+            let store = self.stores[col].lock().expect("basis store lock poisoned");
             let basis = store.get(id);
             if basis.metrics.n() > c.metrics.n() {
                 let mapped = map.apply_metrics(&basis.metrics);
@@ -292,7 +293,7 @@ impl<'a> InteractiveSession<'a> {
 
     /// Number of basis distributions per column.
     pub fn basis_counts(&self) -> Vec<usize> {
-        self.stores.iter().map(|s| s.lock().len()).collect()
+        self.stores.iter().map(|s| s.lock().expect("basis store lock poisoned").len()).collect()
     }
 
     /// Number of touched points.

@@ -71,10 +71,7 @@ impl AffineMap {
 
     /// Composition `self ∘ other` (apply `other` first).
     pub fn compose(&self, other: &AffineMap) -> AffineMap {
-        AffineMap {
-            alpha: self.alpha * other.alpha,
-            beta: self.alpha * other.beta + self.beta,
-        }
+        AffineMap { alpha: self.alpha * other.alpha, beta: self.alpha * other.beta + self.beta }
     }
 
     /// Post-compose with an affine adjustment: `a·M(x) + b`. This is the
@@ -338,8 +335,7 @@ mod tests {
         let m0 = OutputMetrics::from_samples(samples.clone());
         let map = AffineMap::new(-1.5, 4.0);
         let via_map = map.apply_metrics(&m0);
-        let direct =
-            OutputMetrics::from_samples(samples.iter().map(|&x| map.apply(x)).collect());
+        let direct = OutputMetrics::from_samples(samples.iter().map(|&x| map.apply(x)).collect());
         assert!((via_map.expectation() - direct.expectation()).abs() < 1e-12);
         assert!((via_map.std_dev() - direct.std_dev()).abs() < 1e-12);
         assert_eq!(via_map.min(), direct.min());

@@ -94,10 +94,7 @@ impl MarkovJumpConfig {
 
     fn validate(&self) {
         assert!(self.fingerprint_len >= 2, "fingerprint must have >= 2 entries");
-        assert!(
-            self.n_instances > self.fingerprint_len,
-            "n_instances must exceed fingerprint_len"
-        );
+        assert!(self.n_instances > self.fingerprint_len, "n_instances must exceed fingerprint_len");
     }
 }
 
@@ -147,8 +144,7 @@ struct Region<'a> {
 
 impl<'a> Region<'a> {
     /// Advance fp instances through `target` inclusive.
-    fn advance_to(&mut self, target: usize, family: &dyn MappingFamily, stats: &mut MarkovStats) {
-        let _ = family;
+    fn advance_to(&mut self, target: usize, stats: &mut MarkovStats) {
         while self.cursor <= target {
             let t = self.cursor;
             let mut outs = Vec::with_capacity(self.m);
@@ -163,7 +159,11 @@ impl<'a> Region<'a> {
             if !self.retain_all {
                 self.history.clear();
             }
-            self.history.push(StepRecord { step: t, outputs: outs, chains_after: self.fp_chains.clone() });
+            self.history.push(StepRecord {
+                step: t,
+                outputs: outs,
+                chains_after: self.fp_chains.clone(),
+            });
             self.cursor += 1;
         }
     }
@@ -179,12 +179,56 @@ impl<'a> Region<'a> {
         let est_fp = self.est.fingerprint(self.model, self.master, self.m, step);
         stats.model_invocations += self.m as u64;
         family
-            .find(
-                &Fingerprint::new(est_fp),
-                &Fingerprint::new(rec.outputs.clone()),
-                self.tolerance,
-            )
+            .find(&Fingerprint::new(est_fp), &Fingerprint::new(rec.outputs.clone()), self.tolerance)
             .map(|map| (map, rec))
+    }
+}
+
+/// Output of instance `i` at `step`: predicted through the validated mapping
+/// while the instance still sits on its frozen chain, evaluated directly on
+/// its refreshed chain once it has diverged (the true `(instance, step)`
+/// seed is used either way).
+#[allow(clippy::too_many_arguments)]
+fn instance_output(
+    model: &dyn MarkovModel,
+    master: Seed,
+    est: &FrozenEstimator,
+    map: &AffineMap,
+    i: usize,
+    step: usize,
+    chain: f64,
+    stats: &mut MarkovStats,
+) -> f64 {
+    stats.model_invocations += 1;
+    if chain == est.chain(i) {
+        map.apply(est.predict(model, master, i, step))
+    } else {
+        model.output(step, chain, stream_seed(master, i, step))
+    }
+}
+
+/// Apply one chain transition at step `v` to every non-fingerprint instance.
+///
+/// This is what lets per-instance discontinuities *outside* the fingerprint
+/// set — e.g. a straggler crossing a release threshold after the fingerprint
+/// instances have all crossed — be caught at the next validated checkpoint
+/// instead of staying frozen to the end of the run.
+#[allow(clippy::too_many_arguments)]
+fn refresh_full_state(
+    model: &dyn MarkovModel,
+    master: Seed,
+    est: &FrozenEstimator,
+    map: &AffineMap,
+    v: usize,
+    m: usize,
+    full_chains: &mut [f64],
+    stats: &mut MarkovStats,
+) {
+    for (i, slot) in full_chains.iter_mut().enumerate().skip(m) {
+        let chain = *slot;
+        let out = instance_output(model, master, est, map, i, v, chain, stats);
+        let seed = stream_seed(master, i, v);
+        *slot = model.next_chain(v, chain, out, seed.derive(K_TRANSITION));
     }
 }
 
@@ -214,6 +258,16 @@ impl MarkovJumpRunner {
         // Full chain state entering step `base`.
         let mut base = 0usize;
         let mut full_chains = vec![model.initial_chain(); n];
+        // Once a validation failure has shown that per-instance state
+        // changes are live, keep the non-fingerprint chains fresh at every
+        // validated checkpoint. Until then the frozen-state mapping is exact
+        // (uniform changes are absorbed), so refreshing would only add cost
+        // — and, for delayed detections, error.
+        let mut refresh_active = false;
+        // Last step at which non-fingerprint chains had their transition
+        // applied (guards double-application when a rebuild lands on an
+        // already-refreshed checkpoint).
+        let mut refreshed_at: Option<usize> = None;
 
         loop {
             // (Re)synthesize the estimator from the full state at `base`.
@@ -235,7 +289,7 @@ impl MarkovJumpRunner {
             // Exponential-skip search for the first invalid checkpoint.
             let rebuild: Option<(usize, AffineMap, StepRecord)> = loop {
                 let checkpoint = (base + stride).min(last_step);
-                region.advance_to(checkpoint, self.family.as_ref(), &mut stats);
+                region.advance_to(checkpoint, &mut stats);
 
                 match region.validate(checkpoint, self.family.as_ref(), &mut stats) {
                     Some((map, rec)) => {
@@ -244,14 +298,34 @@ impl MarkovJumpRunner {
                             // Terminal: reconstruct final outputs directly.
                             let mut outputs = Vec::with_capacity(n);
                             outputs.extend_from_slice(&rec.outputs);
-                            for i in m..n {
-                                let pred = region.est.predict(model, master, i, last_step);
-                                stats.model_invocations += 1;
-                                outputs.push(map.apply(pred));
+                            for (i, &chain) in full_chains.iter().enumerate().skip(m) {
+                                outputs.push(instance_output(
+                                    model,
+                                    master,
+                                    &region.est,
+                                    &map,
+                                    i,
+                                    last_step,
+                                    chain,
+                                    &mut stats,
+                                ));
                             }
                             stats.state_reconstructions += 1;
                             stats.elapsed = start.elapsed();
                             return MarkovJumpResult { outputs, stats };
+                        }
+                        if refresh_active && refreshed_at.is_none_or(|u| checkpoint > u) {
+                            refresh_full_state(
+                                model,
+                                master,
+                                &region.est,
+                                &map,
+                                checkpoint,
+                                m,
+                                &mut full_chains,
+                                &mut stats,
+                            );
+                            refreshed_at = Some(checkpoint);
                         }
                         region.last_valid = Some((checkpoint, map, rec));
                         stride *= 2;
@@ -297,16 +371,24 @@ impl MarkovJumpRunner {
                     // Reconstruct full state at step v through the estimator
                     // (Algorithm 4 line 13: "state <- M(Fest(state))"), then
                     // advance the chain bookkeeping one transition.
+                    if refreshed_at.is_none_or(|u| v > u) {
+                        refresh_full_state(
+                            model,
+                            master,
+                            &region.est,
+                            &map,
+                            v,
+                            m,
+                            &mut full_chains,
+                            &mut stats,
+                        );
+                        refreshed_at = Some(v);
+                    }
                     let mut new_chains = Vec::with_capacity(n);
                     new_chains.extend_from_slice(&rec.chains_after);
-                    for i in m..n {
-                        let pred = region.est.predict(model, master, i, v);
-                        stats.model_invocations += 1;
-                        let out = map.apply(pred);
-                        let seed = stream_seed(master, i, v).derive(K_TRANSITION);
-                        new_chains.push(model.next_chain(v, region.est.chain(i), out, seed));
-                    }
+                    new_chains.extend_from_slice(&full_chains[m..]);
                     stats.state_reconstructions += 1;
+                    refresh_active = true;
                     full_chains = new_chains;
                     base = v + 1;
                 }
@@ -323,6 +405,8 @@ impl MarkovJumpRunner {
                         outs.push(out);
                     }
                     stats.full_steps += 1;
+                    refresh_active = true;
+                    refreshed_at = Some(t);
                     base += 1;
                     if t == last_step {
                         stats.elapsed = start.elapsed();
@@ -446,10 +530,8 @@ mod tests {
     #[test]
     fn keep_last_retention_still_correct_on_quiet_chain() {
         let model = MarkovBranch::new(0.0);
-        let cfg = MarkovJumpConfig::paper()
-            .with_n(60)
-            .with_m(6)
-            .with_retention(BasisRetention::KeepLast);
+        let cfg =
+            MarkovJumpConfig::paper().with_n(60).with_m(6).with_retention(BasisRetention::KeepLast);
         let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(3), 40);
         let (naive, _) = run_naive(&model, Seed(3), 60, 40);
         assert!(max_abs_diff(&jump.outputs, &naive) < 1e-9);
@@ -460,8 +542,11 @@ mod tests {
         let model = MarkovStep::paper(20.0, 2);
         let base_cfg = MarkovJumpConfig::paper().with_n(100).with_m(10);
         let a = MarkovJumpRunner::new(base_cfg).run(&model, Seed(19), 50);
-        let b = MarkovJumpRunner::new(base_cfg.with_retention(BasisRetention::KeepLast))
-            .run(&model, Seed(19), 50);
+        let b = MarkovJumpRunner::new(base_cfg.with_retention(BasisRetention::KeepLast)).run(
+            &model,
+            Seed(19),
+            50,
+        );
         // Both must be distributionally close to the truth; individual
         // non-fingerprint instances may shift near the discontinuity.
         let (naive, _) = run_naive(&model, Seed(19), 100, 50);
@@ -502,7 +587,10 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn zero_steps_rejected() {
         let model = MarkovBranch::new(0.1);
-        let _ = MarkovJumpRunner::new(MarkovJumpConfig::paper().with_n(20).with_m(4))
-            .run(&model, Seed(1), 0);
+        let _ = MarkovJumpRunner::new(MarkovJumpConfig::paper().with_n(20).with_m(4)).run(
+            &model,
+            Seed(1),
+            0,
+        );
     }
 }

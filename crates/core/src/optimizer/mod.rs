@@ -23,7 +23,9 @@ use crate::fingerprint::Fingerprint;
 use crate::mapping::{AffineFamily, MappingFamily};
 use crate::telemetry::SweepStats;
 
-pub use selector::{Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection};
+pub use selector::{
+    Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection,
+};
 
 /// Result for one parameter point.
 #[derive(Debug, Clone)]
@@ -244,11 +246,7 @@ mod tests {
     fn synth_basis_generates_exact_basis_count() {
         for n_bases in [1usize, 3, 7] {
             let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 48, 1)]);
-            let sim = BlackBoxSim::new(
-                Arc::new(SynthBasis::new(n_bases)),
-                space,
-                SeedSet::new(7),
-            );
+            let sim = BlackBoxSim::new(Arc::new(SynthBasis::new(n_bases)), space, SeedSet::new(7));
             let r = SweepRunner::new(cfg()).run(&sim).unwrap();
             assert_eq!(
                 r.stats.bases_per_column[0], n_bases,

@@ -137,7 +137,12 @@ pub struct Selection {
 }
 
 /// Apply an `OPTIMIZE` goal to sweep results.
-pub fn select(space: &ParamSpace, sweep: &SweepResult, goal: &OptimizeGoal, columns: &[String]) -> Option<Selection> {
+pub fn select(
+    space: &ParamSpace,
+    sweep: &SweepResult,
+    goal: &OptimizeGoal,
+    columns: &[String],
+) -> Option<Selection> {
     let decision_dims: Vec<usize> = goal
         .decision_params
         .iter()
@@ -163,15 +168,29 @@ pub fn select(space: &ParamSpace, sweep: &SweepResult, goal: &OptimizeGoal, colu
         groups.entry(key).or_insert_with(|| (vals, Vec::new())).1.push(i);
     }
 
+    // Deterministic group order: HashMap iteration order varies per map
+    // instance, and `FOR` objectives need not cover every decision
+    // parameter, so equally-good groups can tie. Sorting by the decision
+    // values (numeric order, total_cmp) breaks ties toward the smallest
+    // unconstrained values and keeps the winner identical across engines
+    // and runs.
+    let mut ordered: Vec<_> = groups.into_iter().collect();
+    ordered.sort_by(|(_, (a, _)), (_, (b, _))| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
     let mut best: Option<(Vec<f64>, Selection)> = None;
-    for (_, (vals, members)) in groups {
+    for (_, (vals, members)) in ordered {
         // Evaluate each constraint's outer fold over the group.
         let mut achieved = Vec::with_capacity(goal.constraints.len());
         let mut ok = true;
         for (c, &ci) in goal.constraints.iter().zip(&col_idx) {
-            let lhs = c
-                .outer
-                .fold(members.iter().map(|&i| c.metric.of(&sweep.points[i].metrics[ci])));
+            let lhs =
+                c.outer.fold(members.iter().map(|&i| c.metric.of(&sweep.points[i].metrics[ci])));
             achieved.push(lhs);
             if !c.cmp.test(lhs, c.threshold) {
                 ok = false;
@@ -182,28 +201,21 @@ pub fn select(space: &ParamSpace, sweep: &SweepResult, goal: &OptimizeGoal, colu
             continue;
         }
         // Lexicographic objective key (negated for MIN so larger = better).
-        let key: Vec<f64> = goal
-            .objectives
-            .iter()
-            .map(|o| {
-                let d = goal
-                    .decision_params
-                    .iter()
-                    .position(|p| *p == o.param)
-                    .unwrap_or_else(|| panic!("objective @{} not a decision parameter", o.param));
-                match o.direction {
-                    Direction::Max => vals[d],
-                    Direction::Min => -vals[d],
-                }
-            })
-            .collect();
-        let candidate = Selection {
-            assignment: goal
-                .decision_params
+        let key: Vec<f64> =
+            goal.objectives
                 .iter()
-                .cloned()
-                .zip(vals.iter().copied())
-                .collect(),
+                .map(|o| {
+                    let d = goal.decision_params.iter().position(|p| *p == o.param).unwrap_or_else(
+                        || panic!("objective @{} not a decision parameter", o.param),
+                    );
+                    match o.direction {
+                        Direction::Max => vals[d],
+                        Direction::Min => -vals[d],
+                    }
+                })
+                .collect();
+        let candidate = Selection {
+            assignment: goal.decision_params.iter().cloned().zip(vals.iter().copied()).collect(),
             achieved,
             member_points: members,
         };

@@ -81,17 +81,10 @@ mod tests {
 
     #[test]
     fn per_unit_times() {
-        let s = SweepStats {
-            points: 4,
-            elapsed: Duration::from_secs(2),
-            ..Default::default()
-        };
+        let s = SweepStats { points: 4, elapsed: Duration::from_secs(2), ..Default::default() };
         assert!((s.seconds_per_point() - 0.5).abs() < 1e-12);
-        let m = MarkovStats {
-            steps: 100,
-            elapsed: Duration::from_millis(250),
-            ..Default::default()
-        };
+        let m =
+            MarkovStats { steps: 100, elapsed: Duration::from_millis(250), ..Default::default() };
         assert!((m.ms_per_step() - 2.5).abs() < 1e-12);
     }
 }

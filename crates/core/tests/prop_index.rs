@@ -13,9 +13,7 @@ fn fp_strategy() -> impl Strategy<Value = Vec<f64>> {
     // At least two distinct entries so the fingerprint is non-degenerate;
     // magnitudes kept moderate so quantization effects stay representative.
     proptest::collection::vec(-1000.0f64..1000.0, 4..12)
-        .prop_filter("needs distinct entries", |v| {
-            v.iter().any(|&x| (x - v[0]).abs() > 1e-6)
-        })
+        .prop_filter("needs distinct entries", |v| v.iter().any(|&x| (x - v[0]).abs() > 1e-6))
 }
 
 proptest! {
@@ -26,7 +24,7 @@ proptest! {
     #[test]
     fn affine_images_are_always_found(
         base in fp_strategy(),
-        alpha in prop_oneof![(-50.0f64..-0.01), (0.01f64..50.0)],
+        alpha in prop_oneof![-50.0f64..-0.01, 0.01f64..50.0],
         beta in -100.0f64..100.0,
         strat_pick in 0usize..3,
     ) {
@@ -50,7 +48,7 @@ proptest! {
     #[test]
     fn resolved_metrics_match_direct_computation(
         base in fp_strategy(),
-        alpha in prop_oneof![(-20.0f64..-0.1), (0.1f64..20.0)],
+        alpha in prop_oneof![-20.0f64..-0.1, 0.1f64..20.0],
         beta in -50.0f64..50.0,
     ) {
         let mut store =

@@ -91,7 +91,10 @@ pub struct BundleRow {
 impl BundleRow {
     /// A fully-deterministic, always-present row.
     pub fn det(values: Vec<Value>) -> Self {
-        BundleRow { cells: values.into_iter().map(BundleCell::Det).collect(), presence: Presence::All }
+        BundleRow {
+            cells: values.into_iter().map(BundleCell::Det).collect(),
+            presence: Presence::All,
+        }
     }
 }
 
@@ -154,10 +157,7 @@ mod tests {
     use crate::schema::{Column, ColumnType, Schema};
 
     fn demo() -> BundleTable {
-        let schema = Schema::new(vec![
-            Column::det("id", ColumnType::Int),
-            Column::stoch("demand"),
-        ]);
+        let schema = Schema::new(vec![Column::det("id", ColumnType::Int), Column::stoch("demand")]);
         let mut t = BundleTable::new(schema, 3);
         t.rows.push(BundleRow {
             cells: vec![BundleCell::Det(Value::Int(1)), BundleCell::Stoch(vec![1.0, 2.0, 3.0])],

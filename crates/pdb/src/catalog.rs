@@ -78,10 +78,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table("users", TableBuilder::new().column("id", ColumnType::Int).build());
         assert!(c.table("users").is_ok());
-        assert_eq!(
-            c.table("nope").unwrap_err(),
-            PdbError::UnknownTable("nope".into())
-        );
+        assert_eq!(c.table("nope").unwrap_err(), PdbError::UnknownTable("nope".into()));
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl Engine for DbmsEngine {
         "dbms"
     }
 
-    fn execute(&self, plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
+    fn execute(
+        &self,
+        plan: &BoundPlan,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+    ) -> Result<BundleTable> {
         self.setup_cost.burn();
         let mut out = run(&plan.plan, catalog, ctx)?;
         // Intermediate nodes carry nominal schemas (expressions are bound by
@@ -93,11 +98,9 @@ fn run(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable>
                         }
                     }
                     BundleCell::Stoch(xs) => {
-                        let mask: Vec<bool> =
-                            xs.iter().map(|&x| x != 0.0 && !x.is_nan()).collect();
+                        let mask: Vec<bool> = xs.iter().map(|&x| x != 0.0 && !x.is_nan()).collect();
                         if mask.iter().any(|&b| b) {
-                            let presence =
-                                row.presence.and(&Presence::Mask(mask), ctx.n_worlds);
+                            let presence = row.presence.and(&Presence::Mask(mask), ctx.n_worlds);
                             kept.push(BundleRow { cells: row.cells, presence });
                         }
                     }
@@ -229,12 +232,7 @@ fn batch_ctx<'a>(ctx: &'a ExecContext, catalog: &'a Catalog) -> BatchCtx<'a> {
 fn project_schema(exprs: &[(String, Expr)], _input: &Schema) -> Schema {
     // The bound plan carries the authoritative schema; for intermediate
     // nodes we rebuild a nominal one (names only matter for debugging).
-    Schema::new(
-        exprs
-            .iter()
-            .map(|(n, _)| crate::schema::Column::stoch(n.clone()))
-            .collect(),
-    )
+    Schema::new(exprs.iter().map(|(n, _)| crate::schema::Column::stoch(n.clone())).collect())
 }
 
 fn concat_schema(l: &Schema, r: &Schema) -> Schema {
@@ -283,7 +281,8 @@ fn aggregate(
 
     let mut schema_cols = Vec::new();
     for (name, _) in group_by {
-        schema_cols.push(crate::schema::Column::det(name.clone(), crate::schema::ColumnType::Float));
+        schema_cols
+            .push(crate::schema::Column::det(name.clone(), crate::schema::ColumnType::Float));
     }
     for a in aggs {
         schema_cols.push(crate::schema::Column::stoch(a.name.clone()));

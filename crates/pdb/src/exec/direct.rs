@@ -34,7 +34,12 @@ impl Engine for DirectEngine {
         "direct"
     }
 
-    fn execute(&self, plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
+    fn execute(
+        &self,
+        plan: &BoundPlan,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+    ) -> Result<BundleTable> {
         // Evaluate every world independently.
         let mut worlds: Vec<Vec<Vec<Value>>> = Vec::with_capacity(ctx.n_worlds);
         for w in 0..ctx.n_worlds {
@@ -268,9 +273,8 @@ fn assemble(plan: &BoundPlan, worlds: Vec<Vec<Vec<Value>>>, n: usize) -> Result<
         let mut cells = Vec::with_capacity(plan.schema.len());
         for ci in 0..plan.schema.len() {
             if plan.schema.column(ci).uncertain {
-                let xs: Vec<f64> = (0..n)
-                    .map(|w| worlds[w][ri][ci].as_f64().unwrap_or(f64::NAN))
-                    .collect();
+                let xs: Vec<f64> =
+                    (0..n).map(|w| worlds[w][ri][ci].as_f64().unwrap_or(f64::NAN)).collect();
                 cells.push(BundleCell::Stoch(xs));
             } else {
                 // Deterministic column: identical across worlds by

@@ -68,5 +68,10 @@ pub trait Engine: Send + Sync {
 
     /// Execute a bound plan, producing one tuple-bundle batch covering the
     /// context's world window.
-    fn execute(&self, plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable>;
+    fn execute(
+        &self,
+        plan: &BoundPlan,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+    ) -> Result<BundleTable>;
 }

@@ -180,9 +180,8 @@ impl Expr {
         Ok(match self {
             Expr::Lit(v) => Expr::Lit(v.clone()),
             Expr::Col(name) => {
-                let idx = schema
-                    .index_of(name)
-                    .ok_or_else(|| PdbError::UnknownColumn(name.clone()))?;
+                let idx =
+                    schema.index_of(name).ok_or_else(|| PdbError::UnknownColumn(name.clone()))?;
                 Expr::ColIdx(idx)
             }
             Expr::ColIdx(i) => Expr::ColIdx(*i),
@@ -254,18 +253,15 @@ impl Expr {
     pub fn is_stochastic(&self, schema: &Schema) -> bool {
         match self {
             Expr::Lit(_) | Expr::Param(_) | Expr::ParamIdx(_) => false,
-            Expr::Col(name) => schema
-                .index_of(name)
-                .map(|i| schema.column(i).uncertain)
-                .unwrap_or(false),
+            Expr::Col(name) => {
+                schema.index_of(name).map(|i| schema.column(i).uncertain).unwrap_or(false)
+            }
             Expr::ColIdx(i) => schema.column(*i).uncertain,
             Expr::Call { .. } => true,
             Expr::Bin { l, r, .. } | Expr::Cmp { l, r, .. } => {
                 l.is_stochastic(schema) || r.is_stochastic(schema)
             }
-            Expr::And(l, r) | Expr::Or(l, r) => {
-                l.is_stochastic(schema) || r.is_stochastic(schema)
-            }
+            Expr::And(l, r) | Expr::Or(l, r) => l.is_stochastic(schema) || r.is_stochastic(schema),
             Expr::Not(e) | Expr::Neg(e) => e.is_stochastic(schema),
             Expr::Case { whens, otherwise } => {
                 whens.iter().any(|(c, v)| c.is_stochastic(schema) || v.is_stochastic(schema))
@@ -433,10 +429,8 @@ impl Expr {
             Expr::Param(name) => return Err(PdbError::UnknownParam(format!("{name} (unbound)"))),
             Expr::Call { name, args, site } => {
                 let f = ctx.functions.function(name)?;
-                let argv = args
-                    .iter()
-                    .map(|a| a.eval_bundle(row, ctx))
-                    .collect::<Result<Vec<_>>>()?;
+                let argv =
+                    args.iter().map(|a| a.eval_bundle(row, ctx)).collect::<Result<Vec<_>>>()?;
                 let mut out = Vec::with_capacity(ctx.n_worlds);
                 let mut buf = vec![0.0f64; argv.len()];
                 for w in 0..ctx.n_worlds {
@@ -453,7 +447,9 @@ impl Expr {
             Expr::Bin { op, l, r } => {
                 let (a, b) = (l.eval_bundle(row, ctx)?, r.eval_bundle(row, ctx)?);
                 match (a, b) {
-                    (BundleCell::Det(x), BundleCell::Det(y)) => BundleCell::Det(arith(*op, &x, &y)?),
+                    (BundleCell::Det(x), BundleCell::Det(y)) => {
+                        BundleCell::Det(arith(*op, &x, &y)?)
+                    }
                     (a, b) => {
                         let mut out = Vec::with_capacity(ctx.n_worlds);
                         for w in 0..ctx.n_worlds {
@@ -519,9 +515,7 @@ impl Expr {
                     -v.as_f64()
                         .ok_or_else(|| PdbError::TypeError("negation of non-numeric".into()))?,
                 )),
-                BundleCell::Stoch(xs) => {
-                    BundleCell::Stoch(xs.into_iter().map(|x| -x).collect())
-                }
+                BundleCell::Stoch(xs) => BundleCell::Stoch(xs.into_iter().map(|x| -x).collect()),
             },
             Expr::Case { whens, otherwise } => {
                 // Evaluate conditions and branch values, then select per world.
@@ -587,12 +581,12 @@ fn bool_bundle(
 ) -> Result<BundleCell> {
     let (a, b) = (l.eval_bundle(row, ctx)?, r.eval_bundle(row, ctx)?);
     match (a, b) {
-        (BundleCell::Det(x), BundleCell::Det(y)) => Ok(BundleCell::Det(
-            match (x.as_bool(), y.as_bool()) {
+        (BundleCell::Det(x), BundleCell::Det(y)) => {
+            Ok(BundleCell::Det(match (x.as_bool(), y.as_bool()) {
                 (Some(p), Some(q)) => Value::Bool(f(p, q)),
                 _ => Value::Null,
-            },
-        )),
+            }))
+        }
         (a, b) => {
             let mut out = Vec::with_capacity(ctx.n_worlds);
             for w in 0..ctx.n_worlds {
@@ -640,11 +634,7 @@ mod tests {
     #[test]
     fn binding_resolves_names_and_sites() {
         let (schema, cat, _) = setup();
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::col("x"),
-            Expr::call("Noise", vec![Expr::param("w")]),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::col("x"), Expr::call("Noise", vec![Expr::param("w")]));
         let b = bind(e, &schema, &cat);
         match b {
             Expr::Bin { l, r, .. } => {
@@ -694,7 +684,13 @@ mod tests {
         let row_vals = vec![Value::Float(3.0), Value::Str("a".into())];
         let bundle_row = BundleRow::det(row_vals.clone());
         let n = 5;
-        let bctx = BatchCtx { world_start: 0, n_worlds: n, seeds: &seeds, params: &[7.0], functions: &cat };
+        let bctx = BatchCtx {
+            world_start: 0,
+            n_worlds: n,
+            seeds: &seeds,
+            params: &[7.0],
+            functions: &cat,
+        };
         let bundled = e.eval_bundle(&bundle_row, &bctx).unwrap();
         for w in 0..n {
             let sctx = WorldCtx { world: w, seeds: &seeds, params: &[7.0], functions: &cat };
@@ -719,14 +715,8 @@ mod tests {
             &cat,
         );
         let ctx = WorldCtx { world: 0, seeds: &seeds, params: &[], functions: &cat };
-        assert_eq!(
-            e.eval_scalar(&[Value::Float(3.0), Value::Null], &ctx).unwrap(),
-            Value::Int(1)
-        );
-        assert_eq!(
-            e.eval_scalar(&[Value::Float(1.0), Value::Null], &ctx).unwrap(),
-            Value::Int(0)
-        );
+        assert_eq!(e.eval_scalar(&[Value::Float(3.0), Value::Null], &ctx).unwrap(), Value::Int(1));
+        assert_eq!(e.eval_scalar(&[Value::Float(1.0), Value::Null], &ctx).unwrap(), Value::Int(0));
     }
 
     #[test]
@@ -762,11 +752,7 @@ mod tests {
         let ctx = WorldCtx { world: 0, seeds: &seeds, params: &[], functions: &cat };
         let e = bind(Expr::bin(BinOp::Add, Expr::Lit(Value::Null), Expr::lit_i(1)), &schema, &cat);
         assert_eq!(e.eval_scalar(&[], &ctx).unwrap(), Value::Null);
-        let c = bind(
-            Expr::cmp(CmpOp::Lt, Expr::Lit(Value::Null), Expr::lit_i(1)),
-            &schema,
-            &cat,
-        );
+        let c = bind(Expr::cmp(CmpOp::Lt, Expr::Lit(Value::Null), Expr::lit_i(1)), &schema, &cat);
         assert_eq!(c.eval_scalar(&[], &ctx).unwrap(), Value::Null);
     }
 
@@ -810,7 +796,11 @@ mod tests {
         let e = bind(
             Expr::Case {
                 whens: vec![(
-                    Expr::cmp(CmpOp::Gt, Expr::call("Noise", vec![Expr::col("x")]), Expr::lit_f(2.0)),
+                    Expr::cmp(
+                        CmpOp::Gt,
+                        Expr::call("Noise", vec![Expr::col("x")]),
+                        Expr::lit_f(2.0),
+                    ),
                     Expr::lit_f(1.0),
                 )],
                 otherwise: Some(Box::new(Expr::lit_f(0.0))),
@@ -818,8 +808,12 @@ mod tests {
             &schema,
             &cat,
         );
-        let row = BundleRow { cells: vec![BundleCell::Det(Value::Float(0.0)), BundleCell::Det(Value::Null)], presence: Presence::All };
-        let ctx = BatchCtx { world_start: 0, n_worlds: 8, seeds: &seeds, params: &[], functions: &cat };
+        let row = BundleRow {
+            cells: vec![BundleCell::Det(Value::Float(0.0)), BundleCell::Det(Value::Null)],
+            presence: Presence::All,
+        };
+        let ctx =
+            BatchCtx { world_start: 0, n_worlds: 8, seeds: &seeds, params: &[], functions: &cat };
         match e.eval_bundle(&row, &ctx).unwrap() {
             BundleCell::Stoch(xs) => {
                 assert_eq!(xs.len(), 8);

@@ -193,7 +193,8 @@ impl Plan {
                 for (name, e) in exprs {
                     let be = e.bind(&in_schema, params, catalog, next_site)?;
                     let uncertain = be.is_stochastic(&in_schema);
-                    let ty = if uncertain { ColumnType::Float } else { infer_type(&be, &in_schema) };
+                    let ty =
+                        if uncertain { ColumnType::Float } else { infer_type(&be, &in_schema) };
                     cols.push(Column { name: name.clone(), ty, uncertain });
                     bound.push((name.clone(), be));
                 }
@@ -207,9 +208,8 @@ impl Plan {
             Plan::Join { left, right, pred } => {
                 let (l, ls) = left.bind_rec(catalog, params, next_site)?;
                 let (r, rs) = right.bind_rec(catalog, params, next_site)?;
-                let joint = Schema::new(
-                    ls.columns().iter().chain(rs.columns().iter()).cloned().collect(),
-                );
+                let joint =
+                    Schema::new(ls.columns().iter().chain(rs.columns().iter()).cloned().collect());
                 let bp = match pred {
                     Some(p) => Some(p.bind(&joint, params, catalog, next_site)?),
                     None => None,
@@ -224,9 +224,8 @@ impl Plan {
                 if lk.is_stochastic(&ls) || rk.is_stochastic(&rs) {
                     return Err(PdbError::StochasticNotAllowed("hash-join keys"));
                 }
-                let joint = Schema::new(
-                    ls.columns().iter().chain(rs.columns().iter()).cloned().collect(),
-                );
+                let joint =
+                    Schema::new(ls.columns().iter().chain(rs.columns().iter()).cloned().collect());
                 Ok((
                     Plan::HashJoin {
                         left: Box::new(l),
@@ -246,7 +245,11 @@ impl Plan {
                     if bk.is_stochastic(&in_schema) {
                         return Err(PdbError::StochasticNotAllowed("group-by keys"));
                     }
-                    cols.push(Column { name: name.clone(), ty: infer_type(&bk, &in_schema), uncertain: false });
+                    cols.push(Column {
+                        name: name.clone(),
+                        ty: infer_type(&bk, &in_schema),
+                        uncertain: false,
+                    });
                     bound_keys.push((name.clone(), bk));
                 }
                 let mut bound_aggs = Vec::with_capacity(aggs.len());
@@ -266,7 +269,11 @@ impl Plan {
                     // Aggregates over stochastic inputs (or over tuples with
                     // stochastic presence) vary per world, so they are
                     // conservatively marked uncertain.
-                    cols.push(Column { name: a.name.clone(), ty: ColumnType::Float, uncertain: true });
+                    cols.push(Column {
+                        name: a.name.clone(),
+                        ty: ColumnType::Float,
+                        uncertain: true,
+                    });
                     bound_aggs.push(AggSpec { name: a.name.clone(), func: a.func, arg });
                 }
                 Ok((
@@ -360,14 +367,9 @@ mod tests {
     #[test]
     fn stochastic_group_key_rejected() {
         let c = catalog();
-        let p = Plan::Scan { table: "t".into() }.aggregate(
-            vec![("k".to_string(), Expr::call("D", vec![Expr::col("w")]))],
-            vec![],
-        );
-        assert_eq!(
-            p.bind(&c, &[]).unwrap_err(),
-            PdbError::StochasticNotAllowed("group-by keys")
-        );
+        let p = Plan::Scan { table: "t".into() }
+            .aggregate(vec![("k".to_string(), Expr::call("D", vec![Expr::col("w")]))], vec![]);
+        assert_eq!(p.bind(&c, &[]).unwrap_err(), PdbError::StochasticNotAllowed("group-by keys"));
     }
 
     #[test]

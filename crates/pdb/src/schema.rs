@@ -113,10 +113,7 @@ mod tests {
 
     #[test]
     fn index_lookup() {
-        let s = Schema::new(vec![
-            Column::det("id", ColumnType::Int),
-            Column::stoch("demand"),
-        ]);
+        let s = Schema::new(vec![Column::det("id", ColumnType::Int), Column::stoch("demand")]);
         assert_eq!(s.index_of("id"), Some(0));
         assert_eq!(s.index_of("demand"), Some(1));
         assert_eq!(s.index_of("nope"), None);

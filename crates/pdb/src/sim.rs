@@ -180,13 +180,7 @@ mod tests {
             .project(vec![("out", Expr::call("F", vec![Expr::param("w")]))])
             .bind(&cat, &["w".to_string()])
             .unwrap();
-        let sim = PlanSim::new(
-            Arc::new(DirectEngine::new()),
-            plan,
-            Arc::new(cat),
-            space(),
-            seeds,
-        );
+        let sim = PlanSim::new(Arc::new(DirectEngine::new()), plan, Arc::new(cat), space(), seeds);
         let out = sim.eval_worlds(&[5.0], 0, 3).unwrap();
         assert_eq!(out, vec![vec![5.0, 5.0, 5.0]]);
         assert_eq!(sim.columns(), &["out".to_string()]);
@@ -204,7 +198,8 @@ mod tests {
             .project(vec![("out", Expr::call("F", vec![Expr::param("w")]))])
             .bind(&cat, &["w".to_string()])
             .unwrap();
-        let a = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space(), seeds);
+        let a =
+            PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space(), seeds);
         let b = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat, space(), seeds);
         assert_eq!(
             a.eval_worlds(&[2.0], 0, 8).unwrap(),

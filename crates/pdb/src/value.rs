@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(
-            Value::Int(2).compare(&Value::Float(2.5)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
         assert_eq!(Value::Float(2.0).compare(&Value::Int(2)), Some(Ordering::Equal));
     }
 

@@ -57,9 +57,7 @@ mod tests {
 
     fn sim() -> BlackBoxSim {
         BlackBoxSim::new(
-            Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| {
-                p[0] + (s.0 as f64 / u64::MAX as f64)
-            })),
+            Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| p[0] + (s.0 as f64 / u64::MAX as f64))),
             ParamSpace::new(vec![ParamDecl::range("x", 0, 3, 1)]),
             SeedSet::new(21),
         )

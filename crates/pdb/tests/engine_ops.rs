@@ -52,9 +52,11 @@ fn engines() -> Vec<Box<dyn Engine>> {
 #[test]
 fn deterministic_filter_sort_limit() {
     let cat = catalog();
-    let plan = Plan::Scan { table: "sales".into() }
-        .filter(Expr::cmp(CmpOp::Eq, Expr::col("year"), Expr::lit_i(2021)))
-        ;
+    let plan = Plan::Scan { table: "sales".into() }.filter(Expr::cmp(
+        CmpOp::Eq,
+        Expr::col("year"),
+        Expr::lit_i(2021),
+    ));
     let plan = Plan::Sort {
         input: Box::new(plan),
         keys: vec![(Expr::col("amount"), true)], // descending

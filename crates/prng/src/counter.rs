@@ -30,7 +30,9 @@ const K_STEP: u64 = 0xD6E8_FEB8_6659_FD93;
 ///   seeds even across different steps.
 #[inline]
 pub fn stream_seed(master: Seed, instance: usize, step: usize) -> Seed {
-    let a = mix64(master.0 ^ K_INSTANCE.wrapping_mul(instance as u64 | 1).wrapping_add(instance as u64));
+    let a = mix64(
+        master.0 ^ K_INSTANCE.wrapping_mul(instance as u64 | 1).wrapping_add(instance as u64),
+    );
     let b = mix64(a ^ K_STEP.wrapping_mul(step as u64 | 1).wrapping_add(step as u64));
     Seed(mix64(b))
 }
@@ -42,10 +44,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            stream_seed(Seed(1), 2, 3),
-            stream_seed(Seed(1), 2, 3)
-        );
+        assert_eq!(stream_seed(Seed(1), 2, 3), stream_seed(Seed(1), 2, 3));
     }
 
     #[test]
@@ -66,10 +65,7 @@ mod tests {
         let mut seen = HashSet::new();
         for i in 0..200 {
             for t in 0..200 {
-                assert!(
-                    seen.insert(stream_seed(Seed(42), i, t)),
-                    "collision at ({i},{t})"
-                );
+                assert!(seen.insert(stream_seed(Seed(42), i, t)), "collision at ({i},{t})");
             }
         }
     }

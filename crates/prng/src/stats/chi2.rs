@@ -52,8 +52,7 @@ pub fn chi2_critical_value(k: usize, alpha: f64) -> f64 {
 pub fn chi2_fits(observed: &[u64], proportions: &[f64], alpha: f64) -> bool {
     let total: u64 = observed.iter().sum();
     let psum: f64 = proportions.iter().sum();
-    let expected: Vec<f64> =
-        proportions.iter().map(|p| p / psum * total as f64).collect();
+    let expected: Vec<f64> = proportions.iter().map(|p| p / psum * total as f64).collect();
     let stat = chi2_statistic(observed, &expected);
     stat < chi2_critical_value(observed.len() - 1, alpha)
 }
@@ -75,10 +74,7 @@ mod tests {
         // df=10 → 18.31. Wilson–Hilferty should land within ~5%.
         for (k, want) in [(1usize, 3.84f64), (5, 11.07), (10, 18.31)] {
             let got = chi2_critical_value(k, 0.05);
-            assert!(
-                (got - want).abs() / want < 0.08,
-                "df={k}: {got} vs {want}"
-            );
+            assert!((got - want).abs() / want < 0.08, "df={k}: {got} vs {want}");
         }
     }
 

@@ -103,11 +103,8 @@ impl Histogram {
         } else {
             (a * self.hi + b, a * self.lo + b)
         };
-        let counts = if a > 0.0 {
-            self.counts.clone()
-        } else {
-            self.counts.iter().rev().copied().collect()
-        };
+        let counts =
+            if a > 0.0 { self.counts.clone() } else { self.counts.iter().rev().copied().collect() };
         let (underflow, overflow) =
             if a > 0.0 { (self.underflow, self.overflow) } else { (self.overflow, self.underflow) };
         Histogram { lo, hi, counts, underflow, overflow, total: self.total }

@@ -11,10 +11,7 @@
 /// `sorted` must be ascending; this is asserted in debug builds.
 pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
     assert!(!sorted.is_empty(), "ks_statistic requires data");
-    debug_assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
-        "ks_statistic input must be sorted"
-    );
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "ks_statistic input must be sorted");
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
@@ -78,7 +75,8 @@ mod tests {
             let t = 1.0 / (1.0 + 0.2316419 * x.abs());
             let poly = t
                 * (0.319381530
-                    + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+                    + t * (-0.356563782
+                        + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
             let pdf = (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
             let upper = pdf * poly;
             if x >= 0.0 {

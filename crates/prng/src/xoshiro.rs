@@ -40,12 +40,8 @@ impl Xoshiro256pp {
 
     /// The 2^128-step jump, for carving one stream into disjoint substreams.
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] = [
-            0x180EC6D33CFD0ABA,
-            0xD5A61266F0C9392C,
-            0xA9582618E03FC9AA,
-            0x39ABDC4529B1661C,
-        ];
+        const JUMP: [u64; 4] =
+            [0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C];
         let mut acc = [0u64; 4];
         for &word in &JUMP {
             for bit in 0..64 {
@@ -64,10 +60,7 @@ impl Xoshiro256pp {
 impl Rng for Xoshiro256pp {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -87,12 +80,7 @@ mod tests {
     fn matches_reference_implementation() {
         // Reference: xoshiro256++ from prng.di.unimi.it with state {1,2,3,4}.
         let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
-        let expected: [u64; 4] = [
-            41943041,
-            58720359,
-            3588806011781223,
-            3591011842654386,
-        ];
+        let expected: [u64; 4] = [41943041, 58720359, 3588806011781223, 3591011842654386];
         for &e in &expected {
             assert_eq!(rng.next_u64(), e);
         }

@@ -1,7 +1,9 @@
 //! Semantic analysis: AST → parameter spaces, PDB plans, optimizer goals.
 
 use jigsaw_blackbox::{ParamDecl, ParamSpace};
-use jigsaw_core::optimizer::{Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg};
+use jigsaw_core::optimizer::{
+    Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg,
+};
 use jigsaw_pdb::{AggFunc, AggSpec, Catalog, Expr as PExpr, Metric, Plan};
 
 use crate::ast::*;
@@ -138,10 +140,7 @@ fn lower_expr(e: &Expr) -> Result<PExpr> {
                     "aggregate {name}(…) must be a top-level select item"
                 )));
             }
-            PExpr::call(
-                name.clone(),
-                args.iter().map(lower_expr).collect::<Result<Vec<_>>>()?,
-            )
+            PExpr::call(name.clone(), args.iter().map(lower_expr).collect::<Result<Vec<_>>>()?)
         }
         Expr::Bin { op, l, r } => PExpr::bin(*op, lower_expr(l)?, lower_expr(r)?),
         Expr::Cmp { op, l, r } => PExpr::cmp(*op, lower_expr(l)?, lower_expr(r)?),
@@ -189,12 +188,7 @@ pub fn lower_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<Plan> {
         }
         Some(FromClause::Subquery(sub)) => {
             let plan = lower_select(sub, catalog)?;
-            let cols = sub
-                .items
-                .iter()
-                .enumerate()
-                .map(|(i, it)| item_name(it, i))
-                .collect();
+            let cols = sub.items.iter().enumerate().map(|(i, it)| item_name(it, i)).collect();
             (plan, cols)
         }
     };
@@ -207,18 +201,13 @@ pub fn lower_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<Plan> {
 
     let has_agg = stmt.items.iter().any(|it| contains_aggregate(&it.expr));
     if has_agg {
-        let group_by: Vec<(String, PExpr)> = stmt
-            .group_by
-            .iter()
-            .map(|g| (g.clone(), PExpr::col(g.clone())))
-            .collect();
+        let group_by: Vec<(String, PExpr)> =
+            stmt.group_by.iter().map(|g| (g.clone(), PExpr::col(g.clone()))).collect();
         let mut aggs = Vec::new();
         for (i, item) in stmt.items.iter().enumerate() {
             let name = item_name(item, i);
             match &item.expr {
-                Expr::CountStar => {
-                    aggs.push(AggSpec { name, func: AggFunc::Count, arg: None })
-                }
+                Expr::CountStar => aggs.push(AggSpec { name, func: AggFunc::Count, arg: None }),
                 Expr::Call { name: fname, args } if agg_func(fname).is_some() => {
                     if args.len() != 1 {
                         return Err(SqlError::Analyze(format!(
@@ -292,11 +281,8 @@ pub fn lower_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<Plan> {
 
 /// Lower an `OPTIMIZE` statement to an optimizer goal.
 pub fn lower_optimize(stmt: &OptimizeStmt) -> Result<OptimizeGoal> {
-    let decision_params = if stmt.group_by.is_empty() {
-        stmt.select_params.clone()
-    } else {
-        stmt.group_by.clone()
-    };
+    let decision_params =
+        if stmt.group_by.is_empty() { stmt.select_params.clone() } else { stmt.group_by.clone() };
     let constraints = stmt
         .constraints
         .iter()
@@ -391,8 +377,7 @@ mod tests {
         )
         .unwrap();
         let plan = lower_select(script.scenario().unwrap(), &catalog()).unwrap();
-        let params: Vec<String> =
-            ["w", "f", "p1", "p2"].iter().map(|s| s.to_string()).collect();
+        let params: Vec<String> = ["w", "f", "p1", "p2"].iter().map(|s| s.to_string()).collect();
         let bound = plan.bind(&catalog(), &params).unwrap();
         assert_eq!(bound.schema.names(), vec!["demand", "capacity", "overload"]);
         assert!(bound.schema.column(2).uncertain);
@@ -433,9 +418,7 @@ mod tests {
         let mut cat = catalog();
         cat.add_table(
             "t",
-            jigsaw_pdb::TableBuilder::new()
-                .column("a", jigsaw_pdb::ColumnType::Int)
-                .build(),
+            jigsaw_pdb::TableBuilder::new().column("a", jigsaw_pdb::ColumnType::Int).build(),
         );
         let script = parse_script("SELECT a, SUM(a) AS s FROM t INTO out").unwrap();
         // `a` is not in GROUP BY.

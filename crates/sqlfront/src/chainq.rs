@@ -61,26 +61,22 @@ impl QueryChainModel {
             .chain
             .as_ref()
             .ok_or_else(|| SqlError::Analyze("scenario has no CHAIN parameter".into()))?;
-        let step_idx = scenario
-            .space
-            .index_of(&chain.step_param)
-            .ok_or_else(|| SqlError::Analyze(format!("unknown step param @{}", chain.step_param)))?;
+        let step_idx = scenario.space.index_of(&chain.step_param).ok_or_else(|| {
+            SqlError::Analyze(format!("unknown step param @{}", chain.step_param))
+        })?;
         let chain_idx = scenario
             .space
             .index_of(&chain.param)
             .ok_or_else(|| SqlError::Analyze(format!("unknown chain param @{}", chain.param)))?;
-        let source_col = scenario
-            .columns
-            .iter()
-            .position(|c| *c == chain.source_column)
-            .ok_or_else(|| {
-                SqlError::Analyze(format!("chain source column `{}` not produced", chain.source_column))
+        let source_col =
+            scenario.columns.iter().position(|c| *c == chain.source_column).ok_or_else(|| {
+                SqlError::Analyze(format!(
+                    "chain source column `{}` not produced",
+                    chain.source_column
+                ))
             })?;
-        let output_col = scenario
-            .columns
-            .iter()
-            .position(|c| *c != chain.source_column)
-            .ok_or_else(|| {
+        let output_col =
+            scenario.columns.iter().position(|c| *c != chain.source_column).ok_or_else(|| {
                 SqlError::Analyze("chain query must produce a non-chain output column".into())
             })?;
         // Template: every parameter at the first value of its domain; the
@@ -228,12 +224,8 @@ mod tests {
         let cfg = MarkovJumpConfig::paper().with_n(40).with_m(6);
         let jump = m.run_jump(cfg, Seed(11), 40);
         let (naive, naive_stats) = run_naive(&m, Seed(11), 40, 40);
-        let exact = jump
-            .outputs
-            .iter()
-            .zip(&naive)
-            .filter(|(a, b)| (**a - **b).abs() < 1e-9)
-            .count();
+        let exact =
+            jump.outputs.iter().zip(&naive).filter(|(a, b)| (**a - **b).abs() < 1e-9).count();
         assert!(exact >= 38, "{exact}/40 exact");
         assert!(jump.stats.model_invocations < naive_stats.model_invocations);
     }

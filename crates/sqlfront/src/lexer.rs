@@ -134,11 +134,16 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     bump!();
                 }
                 if name.is_empty() {
-                    return Err(SqlError::Lex { pos, msg: "`@` must be followed by a name".into() });
+                    return Err(SqlError::Lex {
+                        pos,
+                        msg: "`@` must be followed by a name".into(),
+                    });
                 }
                 out.push(SpannedTok { tok: Tok::Param(name), pos });
             }
-            c if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let mut text = String::new();
                 let mut is_float = false;
                 while i < chars.len()
@@ -155,17 +160,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     text.push(chars[i]);
                     bump!();
                 }
-                let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| SqlError::Lex {
-                        pos,
-                        msg: format!("bad number `{text}`"),
-                    })?)
-                } else {
-                    Tok::Int(text.parse().map_err(|_| SqlError::Lex {
-                        pos,
-                        msg: format!("bad integer `{text}`"),
-                    })?)
-                };
+                let tok =
+                    if is_float {
+                        Tok::Float(text.parse().map_err(|_| SqlError::Lex {
+                            pos,
+                            msg: format!("bad number `{text}`"),
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| SqlError::Lex {
+                            pos,
+                            msg: format!("bad integer `{text}`"),
+                        })?)
+                    };
                 out.push(SpannedTok { tok, pos });
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -222,7 +228,10 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("select Select SELECT")[..3], [Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT")]);
+        assert_eq!(
+            toks("select Select SELECT")[..3],
+            [Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT")]
+        );
     }
 
     #[test]

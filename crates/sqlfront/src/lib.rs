@@ -34,6 +34,7 @@ pub mod scenario;
 pub mod token;
 
 pub use analyze::ChainInfo;
+pub use ast::Script;
 pub use chainq::QueryChainModel;
 pub use error::{Pos, Result, SqlError};
 pub use parser::{parse_expr, parse_script};

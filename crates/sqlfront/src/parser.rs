@@ -164,10 +164,9 @@ impl Parser {
                 DomainAst::Chain { source, step_param, initial }
             }
             other => {
-                return Err(self.err(format!(
-                    "expected RANGE, SET or CHAIN, found {}",
-                    other.describe()
-                )))
+                return Err(
+                    self.err(format!("expected RANGE, SET or CHAIN, found {}", other.describe()))
+                )
             }
         };
         Ok(DeclareStmt { name, domain })
@@ -196,8 +195,7 @@ impl Parser {
         } else {
             None
         };
-        let where_clause =
-            if self.eat(&Tok::Kw("WHERE")) { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat(&Tok::Kw("WHERE")) { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat(&Tok::Kw("GROUP")) {
             self.expect(&Tok::Kw("BY"))?;
@@ -287,10 +285,10 @@ impl Parser {
         match self.advance() {
             Tok::Kw("EXPECT") => Ok(MetricAst::Expect),
             Tok::Kw("EXPECT_STDDEV") => Ok(MetricAst::StdDev),
-            other => Err(self.err(format!(
-                "expected EXPECT or EXPECT_STDDEV, found {}",
-                other.describe()
-            ))),
+            other => {
+                Err(self
+                    .err(format!("expected EXPECT or EXPECT_STDDEV, found {}", other.describe())))
+            }
         }
     }
 
@@ -298,7 +296,9 @@ impl Parser {
         let maximize = match self.advance() {
             Tok::Kw("MAX") => true,
             Tok::Kw("MIN") => false,
-            other => return Err(self.err(format!("expected MAX or MIN, found {}", other.describe()))),
+            other => {
+                return Err(self.err(format!("expected MAX or MIN, found {}", other.describe())))
+            }
         };
         let param = self.param()?;
         Ok(ObjectiveAst { maximize, param })
@@ -437,11 +437,8 @@ impl Parser {
                 if whens.is_empty() {
                     return Err(self.err("CASE requires at least one WHEN arm".into()));
                 }
-                let otherwise = if self.eat(&Tok::Kw("ELSE")) {
-                    Some(Box::new(self.expr()?))
-                } else {
-                    None
-                };
+                let otherwise =
+                    if self.eat(&Tok::Kw("ELSE")) { Some(Box::new(self.expr()?)) } else { None };
                 self.expect(&Tok::Kw("END"))?;
                 Ok(Expr::Case { whens, otherwise })
             }
@@ -584,8 +581,10 @@ mod tests {
 
     #[test]
     fn where_and_group_by() {
-        let s = parse_script("SELECT SUM(req) AS total FROM users WHERE region = 'us' GROUP BY class INTO out")
-            .unwrap();
+        let s = parse_script(
+            "SELECT SUM(req) AS total FROM users WHERE region = 'us' GROUP BY class INTO out",
+        )
+        .unwrap();
         let q = s.scenario().unwrap();
         assert!(q.where_clause.is_some());
         assert_eq!(q.group_by, vec!["class"]);
@@ -603,10 +602,8 @@ mod tests {
 
     #[test]
     fn nested_case() {
-        let e = parse_expr(
-            "CASE WHEN a > 1 THEN CASE WHEN b > 2 THEN 1 ELSE 2 END ELSE 3 END",
-        )
-        .unwrap();
+        let e = parse_expr("CASE WHEN a > 1 THEN CASE WHEN b > 2 THEN 1 ELSE 2 END ELSE 3 END")
+            .unwrap();
         assert!(matches!(e, Expr::Case { .. }));
     }
 

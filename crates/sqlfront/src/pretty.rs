@@ -112,16 +112,16 @@ mod tests {
         ] {
             let ast = parse_expr(src).unwrap();
             let printed = print_expr(&ast);
-            let reparsed = parse_expr(&printed).unwrap_or_else(|e| {
-                panic!("reparse of `{printed}` failed: {e}")
-            });
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
             assert_eq!(ast, reparsed, "roundtrip of `{src}` via `{printed}`");
         }
     }
 
     #[test]
     fn select_roundtrip() {
-        let src = "SELECT SUM(base) AS total FROM users WHERE region = 'us' GROUP BY class INTO out";
+        let src =
+            "SELECT SUM(base) AS total FROM users WHERE region = 'us' GROUP BY class INTO out";
         let q = parse_script(src).unwrap().scenario().unwrap().clone();
         let printed = print_select(&q);
         let q2 = parse_script(&printed).unwrap().scenario().unwrap().clone();
@@ -155,16 +155,39 @@ mod proptests {
         ];
         leaf.prop_recursive(3, 24, 3, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone(), prop_oneof![
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                    Just(BinOp::Div), Just(BinOp::Mod)
-                ])
-                    .prop_map(|(l, r, op)| Expr::Bin { op, l: Box::new(l), r: Box::new(r) }),
-                (inner.clone(), inner.clone(), prop_oneof![
-                    Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
-                    Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
-                ])
-                    .prop_map(|(l, r, op)| Expr::Cmp { op, l: Box::new(l), r: Box::new(r) }),
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Div),
+                        Just(BinOp::Mod)
+                    ]
+                )
+                    .prop_map(|(l, r, op)| Expr::Bin {
+                        op,
+                        l: Box::new(l),
+                        r: Box::new(r)
+                    }),
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(CmpOp::Eq),
+                        Just(CmpOp::Ne),
+                        Just(CmpOp::Lt),
+                        Just(CmpOp::Le),
+                        Just(CmpOp::Gt),
+                        Just(CmpOp::Ge)
+                    ]
+                )
+                    .prop_map(|(l, r, op)| Expr::Cmp {
+                        op,
+                        l: Box::new(l),
+                        r: Box::new(r)
+                    }),
                 (inner.clone(), inner.clone())
                     .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
                 (inner.clone(), inner.clone())

@@ -5,10 +5,51 @@ use crate::error::Pos;
 /// Keywords are matched case-insensitively and carried in canonical
 /// uppercase form.
 pub const KEYWORDS: &[&str] = &[
-    "DECLARE", "PARAMETER", "AS", "RANGE", "TO", "STEP", "BY", "SET", "CHAIN", "FROM", "INITIAL",
-    "VALUE", "SELECT", "INTO", "WHERE", "GROUP", "ORDER", "LIMIT", "CASE", "WHEN", "THEN", "ELSE",
-    "END", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "OPTIMIZE", "FOR", "MAX", "MIN", "GRAPH",
-    "OVER", "EXPECT", "EXPECT_STDDEV", "WITH", "SUM", "COUNT", "AVG", "JOIN", "ON", "ASC", "DESC",
+    "DECLARE",
+    "PARAMETER",
+    "AS",
+    "RANGE",
+    "TO",
+    "STEP",
+    "BY",
+    "SET",
+    "CHAIN",
+    "FROM",
+    "INITIAL",
+    "VALUE",
+    "SELECT",
+    "INTO",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "LIMIT",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "OPTIMIZE",
+    "FOR",
+    "MAX",
+    "MIN",
+    "GRAPH",
+    "OVER",
+    "EXPECT",
+    "EXPECT_STDDEV",
+    "WITH",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "JOIN",
+    "ON",
+    "ASC",
+    "DESC",
 ];
 
 /// One lexical token.

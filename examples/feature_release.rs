@@ -41,7 +41,11 @@ fn main() {
 
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     println!("\nfinal-step demand:");
-    println!("  naive : E = {:>8.2}  ({naive_time:?}, {} invocations)", mean(&naive_out), naive_stats.model_invocations);
+    println!(
+        "  naive : E = {:>8.2}  ({naive_time:?}, {} invocations)",
+        mean(&naive_out),
+        naive_stats.model_invocations
+    );
     println!(
         "  jigsaw: E = {:>8.2}  ({jump_time:?}, {} invocations)",
         mean(&jump.outputs),
@@ -60,12 +64,8 @@ fn main() {
     );
 
     // Where did the full steps concentrate? Around the release event.
-    let exact = jump
-        .outputs
-        .iter()
-        .zip(&naive_out)
-        .filter(|(a, b)| (**a - **b).abs() < 1e-9)
-        .count();
+    let exact =
+        jump.outputs.iter().zip(&naive_out).filter(|(a, b)| (**a - **b).abs() < 1e-9).count();
     println!(
         "accuracy: {exact}/{n} instances bit-identical to naive; mean drift {:.3}%",
         (mean(&jump.outputs) - mean(&naive_out)).abs() / mean(&naive_out) * 100.0

@@ -44,10 +44,7 @@ fn main() {
     let fast = SweepRunner::new(cfg).run(&sim).expect("jigsaw sweep");
     let fast_time = t1.elapsed();
 
-    println!(
-        "naive : {naive_time:?} ({} worlds evaluated)",
-        naive.stats.worlds_evaluated
-    );
+    println!("naive : {naive_time:?} ({} worlds evaluated)", naive.stats.worlds_evaluated);
     println!(
         "jigsaw: {fast_time:?} ({} worlds evaluated, {} bases, {:.1}% reused)",
         fast.stats.worlds_evaluated,

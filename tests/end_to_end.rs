@@ -81,11 +81,7 @@ fn both_engines_produce_identical_batch_results() {
         [Arc::new(DirectEngine::new()), Arc::new(DbmsEngine::new())];
     let outcomes: Vec<_> = engines
         .iter()
-        .map(|e| {
-            scenario
-                .run_batch(e.clone(), cat.clone(), SeedSet::new(5), cfg)
-                .expect("batch")
-        })
+        .map(|e| scenario.run_batch(e.clone(), cat.clone(), SeedSet::new(5), cfg).expect("batch"))
         .collect();
 
     let (a, b) = (&outcomes[0], &outcomes[1]);

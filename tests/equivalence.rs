@@ -63,7 +63,13 @@ fn engines_agree_on_aggregate_plans() {
         .bind(&cat, &["x".to_string()])
         .unwrap();
 
-    let direct = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space.clone(), seeds);
+    let direct = PlanSim::new(
+        Arc::new(DirectEngine::new()),
+        plan.clone(),
+        cat.clone(),
+        space.clone(),
+        seeds,
+    );
     let dbms = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat.clone(), space, seeds);
     for point in [[0.0], [2.0]] {
         let a = direct.eval_worlds(&point, 0, 64).unwrap();
@@ -86,14 +92,17 @@ fn engines_agree_on_filter_and_join_plans() {
         right_key: Expr::col("grp"),
     }
     .filter(Expr::cmp(jigsaw::pdb::CmpOp::Lt, Expr::ColIdx(0), Expr::ColIdx(3)))
-    .aggregate(
-        vec![],
-        vec![AggSpec { name: "pairs".into(), func: AggFunc::Count, arg: None }],
-    )
+    .aggregate(vec![], vec![AggSpec { name: "pairs".into(), func: AggFunc::Count, arg: None }])
     .bind(&cat, &["x".to_string()])
     .unwrap();
 
-    let direct = PlanSim::new(Arc::new(DirectEngine::new()), plan.clone(), cat.clone(), space.clone(), seeds);
+    let direct = PlanSim::new(
+        Arc::new(DirectEngine::new()),
+        plan.clone(),
+        cat.clone(),
+        space.clone(),
+        seeds,
+    );
     let dbms = PlanSim::new(Arc::new(DbmsEngine::new()), plan, cat.clone(), space, seeds);
     let a = direct.eval_worlds(&[1.0], 0, 16).unwrap();
     let b = dbms.eval_worlds(&[1.0], 0, 16).unwrap();
@@ -142,11 +151,8 @@ fn mapped_samples_equal_direct_samples() {
     let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, seeds);
     let cfg = JigsawConfig::paper().with_n_samples(64);
     let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
-    let reused = sweep
-        .points
-        .iter()
-        .find(|p| p.reused_from[0].is_some())
-        .expect("some point must reuse");
+    let reused =
+        sweep.points.iter().find(|p| p.reused_from[0].is_some()).expect("some point must reuse");
     let direct = sim.eval_worlds(&reused.point, 0, 64).unwrap();
     for (a, b) in reused.metrics[0].samples().iter().zip(&direct[0]) {
         assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");

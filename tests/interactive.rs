@@ -36,11 +36,7 @@ fn session_converges_to_true_expectation() {
         session.tick().expect("tick");
     }
     let est = session.estimate(9, 0).expect("estimate");
-    assert!(
-        (est.expectation - truth).abs() < 0.6,
-        "estimate {} vs truth {truth}",
-        est.expectation
-    );
+    assert!((est.expectation - truth).abs() < 0.6, "estimate {} vs truth {truth}", est.expectation);
     assert!(est.n_samples >= 100, "progressive refinement accumulated {}", est.n_samples);
 }
 
@@ -58,11 +54,7 @@ fn moving_focus_reuses_shared_basis() {
     session.tick().unwrap();
     let est = session.estimate(24, 0).expect("estimate");
     // One tick after the focus move: estimate already backed by many samples.
-    assert!(
-        est.n_samples > 50,
-        "basis transfer missing: only {} samples",
-        est.n_samples
-    );
+    assert!(est.n_samples > 50, "basis transfer missing: only {} samples", est.n_samples);
     // And the move itself cost only a fingerprint + one batch.
     assert!(session.worlds_evaluated - cost_before <= 30);
     // Basis store stays tiny for the affine model.

@@ -40,21 +40,15 @@ fn figure5_chain_scenario_jump_vs_naive() {
     .expect("compiles");
     assert!(scenario.chain.is_some());
 
-    let model =
-        QueryChainModel::from_scenario(&scenario, catalog, Arc::new(DirectEngine::new()))
-            .expect("chain model");
+    let model = QueryChainModel::from_scenario(&scenario, catalog, Arc::new(DirectEngine::new()))
+        .expect("chain model");
     let steps = 64;
     let n = 60;
     let (naive, naive_stats) = run_naive(&model, Seed(3), n, steps);
     let cfg = MarkovJumpConfig::paper().with_n(n).with_m(8);
     let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(3), steps);
 
-    let exact = jump
-        .outputs
-        .iter()
-        .zip(&naive)
-        .filter(|(a, b)| (**a - **b).abs() < 1e-9)
-        .count();
+    let exact = jump.outputs.iter().zip(&naive).filter(|(a, b)| (**a - **b).abs() < 1e-9).count();
     assert!(exact as f64 / n as f64 > 0.9, "{exact}/{n} exact");
     assert!(
         jump.stats.model_invocations < naive_stats.model_invocations / 2,
@@ -73,14 +67,10 @@ fn markov_step_invocation_savings_scale_with_chain_length() {
     for steps in [50usize, 200] {
         let (_, naive_stats) = run_naive(&model, Seed(9), n, steps);
         let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(9), steps);
-        ratios
-            .push(naive_stats.model_invocations as f64 / jump.stats.model_invocations as f64);
+        ratios.push(naive_stats.model_invocations as f64 / jump.stats.model_invocations as f64);
     }
     // The discontinuity cost is fixed; longer quiet tails amortize it.
-    assert!(
-        ratios[1] > ratios[0],
-        "longer chains must amortize better: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "longer chains must amortize better: {ratios:?}");
 }
 
 #[test]
@@ -125,12 +115,7 @@ fn accuracy_degrades_gracefully_with_branching() {
         let jump = MarkovJumpRunner::new(cfg).run(&model, Seed(2), steps);
         let (naive, _) = run_naive(&model, Seed(2), n, steps);
         let scale = naive.iter().map(|x| x.abs()).fold(1.0f64, f64::max);
-        let err = jump
-            .outputs
-            .iter()
-            .zip(&naive)
-            .map(|(a, b)| (a - b).abs() / scale)
-            .sum::<f64>()
+        let err = jump.outputs.iter().zip(&naive).map(|(a, b)| (a - b).abs() / scale).sum::<f64>()
             / n as f64;
         // Error must grow monotonically (with sampling slack) and stay
         // bounded: per-instance independent branching is the worst case for

@@ -14,7 +14,12 @@ use proptest::prelude::*;
 /// A randomly parameterized affine model: output = mu(p) + sd(p) · z where
 /// z is the shared standard draw. Every pair of points is affine-related, so
 /// Jigsaw must collapse the sweep into bases whose reuse is exact.
-fn affine_model(mu0: f64, mu1: f64, sd0: f64, sd1: f64) -> FnBlackBox<impl Fn(&[f64], jigsaw::prng::Seed) -> f64 + Send + Sync> {
+fn affine_model(
+    mu0: f64,
+    mu1: f64,
+    sd0: f64,
+    sd1: f64,
+) -> FnBlackBox<impl Fn(&[f64], jigsaw::prng::Seed) -> f64 + Send + Sync> {
     FnBlackBox::new("RandAffine", 1, move |p: &[f64], seed| {
         let mut rng = Xoshiro256pp::seeded(seed);
         let z = Normal::standard(&mut rng);

@@ -98,9 +98,7 @@ fn parse_errors_are_located_and_described() {
 
 #[test]
 fn optimize_requires_for_clause() {
-    let err = parse_script(
-        "OPTIMIZE SELECT @p FROM results WHERE MAX(EXPECT x) < 1 GROUP BY p",
-    )
-    .expect_err("missing FOR");
+    let err = parse_script("OPTIMIZE SELECT @p FROM results WHERE MAX(EXPECT x) < 1 GROUP BY p")
+        .expect_err("missing FOR");
     assert!(matches!(err, SqlError::Parse { .. }));
 }
