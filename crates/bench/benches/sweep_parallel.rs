@@ -1,0 +1,36 @@
+//! Criterion bench for the batch-synchronous parallel sweep executor:
+//! the E5-scale workload (SynthBasis, basis pinned at 10% of the space,
+//! synthetic per-invocation work) at 1/2/4/8 threads. The acceptance bar is
+//! ≥2× wall-clock at 4 threads over the sequential runner; `repro --exp e8`
+//! reports the same ladder with identity verification.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::SynthBasis;
+use jigsaw_blackbox::{ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+fn sweep_threads(c: &mut Criterion) {
+    let points = 600usize;
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
+    // Same per-invocation model cost as E6/E8: emulates the expensive
+    // external models the paper targets, so spawn overhead stays honest.
+    let bb = Arc::new(SynthBasis::new(points / 10).with_work(Workload(2000)));
+    let sim = BlackBoxSim::new(bb, space, SeedSet::new(11));
+
+    let mut group = c.benchmark_group("sweep_parallel/synth_600pts");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = JigsawConfig::paper().with_n_samples(200).with_threads(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_threads);
+criterion_main!(benches);

@@ -1,20 +1,34 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--exp e1,e2,...]
+//! repro [--quick] [--exp e1,e2,...] [--threads N] [--deterministic]
 //! ```
 //!
 //! Default runs all experiments at paper scale; `--quick` shrinks workloads
-//! for smoke runs. Output is markdown, suitable for pasting into
-//! `EXPERIMENTS.md`.
+//! for smoke runs. `--threads N` sets the world-evaluation thread budget
+//! (`0` = all cores) for the sweep/Markov experiments e2–e6 — a pure
+//! wall-clock knob, since every sweep is bit-identical for any budget. E1
+//! (engine comparison) and E7 (accuracy) don't consume it, and E8 always
+//! measures its own 1/2/4/8 ladder. `--deterministic` redacts wall-clock
+//! columns so two runs (e.g. `--threads 1` vs `--threads 4`) emit
+//! byte-identical markdown; the CI smoke job diffs exactly that. Output is
+//! markdown, suitable for pasting into `EXPERIMENTS.md`.
 
-use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7};
-use jigsaw_bench::Scale;
+use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8};
+use jigsaw_bench::{Scale, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    let threads: usize = match args.iter().position(|a| a == "--threads") {
+        None => 1,
+        Some(i) => args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("error: --threads requires an integer value (0 = all cores)");
+            std::process::exit(2);
+        }),
+    };
+    let scale = (if quick { Scale::QUICK } else { Scale::FULL }).with_threads(threads);
     let selected: Vec<String> = args
         .iter()
         .position(|a| a == "--exp")
@@ -22,43 +36,63 @@ fn main() {
         .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect())
         .unwrap_or_default();
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let render =
+        |t: &Table| if deterministic { t.to_markdown_deterministic() } else { t.to_markdown() };
 
-    println!(
-        "# Jigsaw reproduction run ({} scale: n={}, m={}, space ÷{})\n",
-        if quick { "quick" } else { "full" },
-        scale.n_samples,
-        scale.m,
-        scale.space_divisor
-    );
+    // The header must stay identical across thread budgets in deterministic
+    // mode (the CI diff compares such runs), so the budget is only printed
+    // in the normal mode.
+    if deterministic {
+        println!(
+            "# Jigsaw reproduction run ({} scale: n={}, m={}, space ÷{}; deterministic output)\n",
+            if quick { "quick" } else { "full" },
+            scale.n_samples,
+            scale.m,
+            scale.space_divisor
+        );
+    } else {
+        println!(
+            "# Jigsaw reproduction run ({} scale: n={}, m={}, space ÷{}, threads={})\n",
+            if quick { "quick" } else { "full" },
+            scale.n_samples,
+            scale.m,
+            scale.space_divisor,
+            scale.threads
+        );
+    }
 
     if want("e1") {
         eprintln!("[repro] E1: engine comparison (Figure 7)…");
-        println!("{}", e1::report(&e1::run(scale)).to_markdown());
+        println!("{}", render(&e1::report(&e1::run(scale))));
     }
     if want("e2") {
         eprintln!("[repro] E2: Jigsaw vs full evaluation (Figure 8)…");
-        println!("{}", e2::report(&e2::run(scale)).to_markdown());
+        println!("{}", render(&e2::report(&e2::run(scale))));
     }
     if want("e3") {
         eprintln!("[repro] E3: structure size (Figure 9)…");
-        println!("{}", e3::report(&e3::run(scale)).to_markdown());
+        println!("{}", render(&e3::report(&e3::run(scale))));
     }
     if want("e4") {
         eprintln!("[repro] E4: static-space indexing (Figure 10)…");
-        println!("{}", e4::report(&e4::run(scale)).to_markdown());
+        println!("{}", render(&e4::report(&e4::run(scale))));
     }
     if want("e5") {
         eprintln!("[repro] E5: growing-space indexing (Figure 11)…");
-        println!("{}", e5::report(&e5::run(scale)).to_markdown());
+        println!("{}", render(&e5::report(&e5::run(scale))));
     }
     if want("e6") {
         eprintln!("[repro] E6: Markov branching (Figure 12)…");
-        println!("{}", e6::report(&e6::run(scale)).to_markdown());
+        println!("{}", render(&e6::report(&e6::run(scale))));
     }
     if want("e7") {
         eprintln!("[repro] E7: accuracy (§6.2)…");
-        println!("{}", e7::report_fingerprint(&e7::run_fingerprint(scale)).to_markdown());
-        println!("{}", e7::report_markov(&e7::run_markov(scale)).to_markdown());
+        println!("{}", render(&e7::report_fingerprint(&e7::run_fingerprint(scale))));
+        println!("{}", render(&e7::report_markov(&e7::run_markov(scale))));
+    }
+    if want("e8") {
+        eprintln!("[repro] E8: parallel sweep scaling…");
+        println!("{}", render(&e8::report(&e8::run(scale))));
     }
     eprintln!("[repro] done.");
 }

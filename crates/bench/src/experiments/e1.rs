@@ -184,6 +184,7 @@ pub fn report(rows: &[E1Row]) -> Table {
         "E1 / Figure 7 — engine comparison (time per parameter combination)",
         &["Model", "Online-analog (DBMS)", "Offline-analog (direct)", "online/offline"],
     );
+    t.mark_timing(&["Online-analog (DBMS)", "Offline-analog (direct)", "online/offline"]);
     for r in rows {
         t.row(vec![
             r.model.clone(),

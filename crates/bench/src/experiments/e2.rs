@@ -52,7 +52,10 @@ fn sweep_case(
     scale: Scale,
     tol: f64,
 ) -> E2Row {
-    let cfg = JigsawConfig::paper().with_n_samples(scale.n_samples).with_fingerprint_len(scale.m);
+    let cfg = JigsawConfig::paper()
+        .with_n_samples(scale.n_samples)
+        .with_fingerprint_len(scale.m)
+        .with_threads(scale.threads);
     let seeds = SeedSet::new(MASTER_SEED);
     let counted = Arc::new(Counted::new(bb));
     let counter = counted.counter();
@@ -205,6 +208,7 @@ pub fn report(rows: &[E2Row]) -> Table {
             "Bases",
         ],
     );
+    t.mark_timing(&["Full eval", "Jigsaw", "Speedup"]);
     for r in rows {
         t.row(vec![
             r.model.clone(),
@@ -226,7 +230,7 @@ mod tests {
 
     #[test]
     fn shape_matches_figure8() {
-        let rows = run(Scale { n_samples: 100, m: 10, space_divisor: 8 });
+        let rows = run(Scale { n_samples: 100, m: 10, space_divisor: 8, threads: 1 });
         let by_name = |n: &str| rows.iter().find(|r| r.model == n).unwrap();
 
         // Demand: very few bases, huge invocation savings.

@@ -57,6 +57,7 @@ pub fn run(scale: Scale) -> Vec<E3Row> {
             let cfg = JigsawConfig::paper()
                 .with_n_samples(scale.n_samples)
                 .with_fingerprint_len(scale.m)
+                .with_threads(scale.threads)
                 .with_index(*strat);
             let t0 = Instant::now();
             let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
@@ -74,6 +75,7 @@ pub fn report(rows: &[E3Row]) -> Table {
         "E3 / Figure 9 — time per point vs structure size (Capacity)",
         &["Structure size", "Array ms/pt", "Normalization ms/pt", "Sorted-SID ms/pt", "Bases"],
     );
+    t.mark_timing(&["Array ms/pt", "Normalization ms/pt", "Sorted-SID ms/pt"]);
     for r in rows {
         t.row(vec![
             format!("{:.0}", r.structure_size),
@@ -92,7 +94,7 @@ mod tests {
 
     #[test]
     fn basis_count_grows_sublinearly() {
-        let rows = run(Scale { n_samples: 100, m: 10, space_divisor: 4 });
+        let rows = run(Scale { n_samples: 100, m: 10, space_divisor: 4, threads: 1 });
         let b0 = rows.first().unwrap().bases;
         let b_last = rows.last().unwrap().bases;
         assert!(b_last >= b0, "bases should not shrink with structure size");

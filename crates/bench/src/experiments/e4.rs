@@ -51,6 +51,7 @@ pub fn run(scale: Scale) -> Vec<E4Row> {
             let cfg = JigsawConfig::paper()
                 .with_n_samples(scale.n_samples)
                 .with_fingerprint_len(scale.m)
+                .with_threads(scale.threads)
                 .with_index(*strat);
             let t0 = Instant::now();
             let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
@@ -77,6 +78,7 @@ pub fn report(rows: &[E4Row]) -> Table {
         "E4 / Figure 10 — indexing in a static parameter space (relative to Array)",
         &["# Bases", "Array", "Normalization", "Sorted-SID", "Pairings (arr/norm/sid)"],
     );
+    t.mark_timing(&["Array", "Normalization", "Sorted-SID"]);
     for r in rows {
         t.row(vec![
             r.n_bases.to_string(),
@@ -95,7 +97,7 @@ mod tests {
 
     #[test]
     fn indexes_prune_pairings() {
-        let rows = run(Scale { n_samples: 60, m: 10, space_divisor: 4 });
+        let rows = run(Scale { n_samples: 60, m: 10, space_divisor: 4, threads: 1 });
         for r in &rows {
             // Array tests every basis per lookup; normalization buckets are
             // exact up to quantization and prune aggressively. Sorted-SID

@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn short_fingerprints_cause_false_reuse_long_ones_do_not() {
-        let rows = run_fingerprint(Scale { n_samples: 60, m: 10, space_divisor: 4 });
+        let rows = run_fingerprint(Scale { n_samples: 60, m: 10, space_divisor: 4, threads: 1 });
         let at = |m: usize| rows.iter().find(|r| r.m == m).unwrap();
         // m = 2 merges everything: one basis, rampant false reuse.
         assert_eq!(at(2).bases, 1);
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn markov_error_grows_with_branching_but_stays_bounded() {
-        let rows = run_markov(Scale { n_samples: 150, m: 10, space_divisor: 4 });
+        let rows = run_markov(Scale { n_samples: 150, m: 10, space_divisor: 4, threads: 1 });
         assert_eq!(rows[0].mean_rel_err, 0.0, "p=0 must be exact");
         let last = rows.last().unwrap();
         assert!(last.mean_rel_err < 0.2, "error unexpectedly large: {last:?}");

@@ -1,0 +1,126 @@
+//! E8 — parallel sweep scaling (this reproduction's extension, not a paper
+//! figure).
+//!
+//! The batch-synchronous executor promises two things at once: wall-clock
+//! scaling with the thread budget, and **bit-identical** output for every
+//! budget. This experiment measures the first and verifies the second on
+//! the E5-scale workload (`SynthBasis` with the basis pinned at 10% of the
+//! space, synthetic per-invocation work) at 1/2/4/8 threads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_blackbox::models::SynthBasis;
+use jigsaw_blackbox::{ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{JigsawConfig, SweepResult, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+use crate::table::{fmt_ratio, fmt_secs, Table};
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One thread-budget measurement.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Thread budget.
+    pub threads: usize,
+    /// Total wall-clock seconds for the sweep.
+    pub secs: f64,
+    /// Speedup over the 1-thread run.
+    pub speedup: f64,
+    /// Fraction of points served by reuse (thread-invariant).
+    pub reuse_rate: f64,
+    /// Basis distributions at end of sweep (thread-invariant).
+    pub bases: usize,
+    /// Whether points, metrics, `reused_from`, and the deterministic
+    /// counters are identical to the 1-thread baseline.
+    pub identical: bool,
+}
+
+/// Thread budgets measured.
+pub const BUDGETS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-invocation model cost. The paper's motivating models are external
+/// and expensive (§1: "tens of minutes, or even hours"); E6 emulates them
+/// with the same workload. Cheap models make thread-spawn overhead visible
+/// and would understate scaling, exactly as they understate reuse in E2.
+const MODEL_WORK: Workload = Workload(2000);
+
+/// Exact comparison against the single-thread baseline: per-point results
+/// (including every metric bit) and the deterministic counter snapshot.
+fn identical(a: &SweepResult, b: &SweepResult) -> bool {
+    a.points == b.points && a.stats.counters() == b.stats.counters()
+}
+
+/// Run the scaling sweep.
+pub fn run(scale: Scale) -> Vec<E8Row> {
+    let points: usize = if scale.space_divisor > 1 { 600 } else { 3000 };
+    let n_bases = points / 10;
+    let bb = Arc::new(SynthBasis::new(n_bases).with_work(MODEL_WORK));
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
+    let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<SweepResult> = None;
+    for threads in BUDGETS {
+        let cfg = JigsawConfig::paper()
+            .with_n_samples(scale.n_samples)
+            .with_fingerprint_len(scale.m)
+            .with_threads(threads);
+        let t0 = Instant::now();
+        let sweep = SweepRunner::new(cfg).run(&sim).expect("sweep");
+        let secs = t0.elapsed().as_secs_f64();
+        let same = baseline.as_ref().map(|b| identical(b, &sweep)).unwrap_or(true);
+        let base_secs = rows.first().map(|r: &E8Row| r.secs).unwrap_or(secs);
+        rows.push(E8Row {
+            threads,
+            secs,
+            speedup: base_secs / secs,
+            reuse_rate: sweep.stats.reuse_rate(),
+            bases: sweep.stats.bases_per_column[0],
+            identical: same,
+        });
+        if baseline.is_none() {
+            baseline = Some(sweep);
+        }
+    }
+    rows
+}
+
+/// Render the scaling series.
+pub fn report(rows: &[E8Row]) -> Table {
+    let mut t = Table::new(
+        "E8 — batch-synchronous parallel sweep scaling (SynthBasis, basis = 10% of space)",
+        &["Threads", "Total", "Speedup", "Reuse rate", "Bases", "Identical to 1-thread"],
+    );
+    t.mark_timing(&["Total", "Speedup"]);
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            fmt_secs(r.secs),
+            fmt_ratio(r.speedup),
+            format!("{:.3}", r.reuse_rate),
+            r.bases.to_string(),
+            if r.identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_budget_is_bit_identical() {
+        let rows = run(Scale { n_samples: 60, m: 10, space_divisor: 4, threads: 1 });
+        assert_eq!(rows.len(), BUDGETS.len());
+        for r in &rows {
+            assert!(r.identical, "threads={} diverged from the baseline", r.threads);
+            assert_eq!(r.bases, 60, "basis pinned at 10% of 600 points");
+            assert!(r.reuse_rate > 0.85, "reuse rate {}", r.reuse_rate);
+        }
+    }
+}

@@ -7,6 +7,7 @@ pub mod e4;
 pub mod e5;
 pub mod e6;
 pub mod e7;
+pub mod e8;
 
 use std::sync::Arc;
 

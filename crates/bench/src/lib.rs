@@ -11,6 +11,7 @@
 //! | [`experiments::e5`] | Figure 11 — indexing, parameter space growing with basis size |
 //! | [`experiments::e6`] | Figure 12 — Markov-jump performance vs branching factor |
 //! | [`experiments::e7`] | §6.2 accuracy — fingerprint length and Markov-jump error |
+//! | [`experiments::e8`] | Parallel sweep scaling at 1/2/4/8 threads (reproduction extension) |
 //!
 //! The `repro` binary prints them as text tables; `EXPERIMENTS.md` records
 //! paper-vs-measured values. Absolute times differ from the paper's 2009-era
@@ -32,13 +33,24 @@ pub struct Scale {
     pub m: usize,
     /// Divide parameter-space sizes by this factor.
     pub space_divisor: usize,
+    /// Thread budget for sweep/Markov world evaluation (`repro --threads`).
+    /// Pure wall-clock knob: every reported counter and result is
+    /// bit-identical for any value — the CI smoke job diffs two runs with
+    /// different budgets to enforce exactly that.
+    pub threads: usize,
 }
 
 impl Scale {
     /// Paper-sized workloads.
-    pub const FULL: Scale = Scale { n_samples: 1000, m: 10, space_divisor: 1 };
+    pub const FULL: Scale = Scale { n_samples: 1000, m: 10, space_divisor: 1, threads: 1 };
     /// Reduced sizes for smoke runs and CI.
-    pub const QUICK: Scale = Scale { n_samples: 200, m: 10, space_divisor: 4 };
+    pub const QUICK: Scale = Scale { n_samples: 200, m: 10, space_divisor: 4, threads: 1 };
+
+    /// Override the thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -50,6 +62,8 @@ mod tests {
         for s in [Scale::FULL, Scale::QUICK] {
             assert!(s.n_samples > s.m);
             assert!(s.space_divisor >= 1);
+            assert_eq!(s.threads, 1, "default scales are sequential");
         }
+        assert_eq!(Scale::QUICK.with_threads(4).threads, 4);
     }
 }

@@ -1,11 +1,16 @@
 //! Minimal text-table rendering for experiment reports.
 
+/// Placeholder printed for wall-clock cells in deterministic renders.
+const REDACTED: &str = "—";
+
 /// A text table with a title, header, and rows.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Per-column flag: true for wall-clock (non-deterministic) columns.
+    timing: Vec<bool>,
 }
 
 impl Table {
@@ -15,6 +20,23 @@ impl Table {
             title: title.into(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            timing: vec![false; header.len()],
+        }
+    }
+
+    /// Mark columns (by header name) as wall-clock measurements. Cells of
+    /// marked columns are replaced by a placeholder in
+    /// [`Self::to_markdown_deterministic`] so two runs with different thread
+    /// budgets render byte-identically — the invariant the CI twin-run diff
+    /// enforces.
+    pub fn mark_timing(&mut self, headers: &[&str]) {
+        for h in headers {
+            let i = self
+                .header
+                .iter()
+                .position(|x| x == h)
+                .unwrap_or_else(|| panic!("no column named `{h}` to mark as timing"));
+            self.timing[i] = true;
         }
     }
 
@@ -22,6 +44,20 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
         self.rows.push(cells);
+    }
+
+    /// Render with wall-clock columns redacted: only deterministic content
+    /// remains, so the output is diffable across runs and thread budgets.
+    pub fn to_markdown_deterministic(&self) -> String {
+        let mut det = self.clone();
+        for row in &mut det.rows {
+            for (cell, &is_timing) in row.iter_mut().zip(&det.timing) {
+                if is_timing {
+                    *cell = REDACTED.to_string();
+                }
+            }
+        }
+        det.to_markdown()
     }
 
     /// Render as a GitHub-style markdown table.
@@ -84,6 +120,24 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn deterministic_render_redacts_timing_columns() {
+        let mut t = Table::new("Demo", &["model", "time", "count"]);
+        t.mark_timing(&["time"]);
+        t.row(vec!["Demand".into(), "0.123 s".into(), "42".into()]);
+        let det = t.to_markdown_deterministic();
+        assert!(!det.contains("0.123"), "timing cell must be redacted");
+        assert!(det.contains("42"), "deterministic cells survive");
+        // The plain render is untouched.
+        assert!(t.to_markdown().contains("0.123"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn unknown_timing_column_rejected() {
+        Table::new("x", &["a"]).mark_timing(&["zzz"]);
     }
 
     #[test]

@@ -8,6 +8,25 @@
 //! [`BasisStore::find_match`] is the paper's Algorithm 3 (`FindMatch`): the
 //! index proposes candidates, the mapping family validates them, and the
 //! first validated mapping wins.
+//!
+//! ## Wave execution split
+//!
+//! The batch-synchronous executor (`optimizer::executor`) splits the store's
+//! lifecycle per wave into a **frozen resolve path** and a **batched commit
+//! path**:
+//!
+//! * [`FrozenBasisView`] is an immutable snapshot handle: it answers
+//!   `find_match` without mutating anything (candidate counting is returned,
+//!   not accumulated), so it can be consulted from parallel workers.
+//! * [`BasisStore::stage`] registers a new basis *fingerprint* the moment a
+//!   miss is discovered — later points in the same wave can match against it
+//!   — while its metrics stay pending until the completion simulations
+//!   finish and [`BasisStore::commit_staged`] lands them, in enumeration
+//!   order, at the wave barrier.
+//!
+//! Because candidates are proposed in deterministic (insertion) order and
+//! staging happens in enumeration order, a wave replay is bit-identical to
+//! the fully sequential point loop for any thread count.
 
 use std::sync::Arc;
 
@@ -29,7 +48,7 @@ pub struct BasisDistribution {
     pub id: BasisId,
     /// The fingerprint `θ_i`.
     pub fingerprint: Fingerprint,
-    /// The output metrics `o_i`.
+    /// The output metrics `o_i` (empty while the basis is only staged).
     pub metrics: OutputMetrics,
 }
 
@@ -40,6 +59,8 @@ pub struct BasisStore {
     index: Box<dyn FingerprintIndex>,
     family: Arc<dyn MappingFamily>,
     tolerance: f64,
+    /// Bases staged (fingerprint registered, metrics pending commit).
+    staged: usize,
     /// Mapping validations attempted (candidate pairings tested) — the
     /// quantity indexing exists to minimize (Figures 10/11).
     pub pairings_tested: u64,
@@ -48,13 +69,7 @@ pub struct BasisStore {
 impl BasisStore {
     /// Create a store with the configured index strategy and mapping family.
     pub fn new(cfg: &JigsawConfig, family: Arc<dyn MappingFamily>) -> Self {
-        BasisStore {
-            bases: Vec::new(),
-            index: make_index(cfg.index, cfg.tolerance),
-            family,
-            tolerance: cfg.tolerance,
-            pairings_tested: 0,
-        }
+        Self::with_strategy(cfg.index, cfg.tolerance, family)
     }
 
     /// Convenience constructor with explicit strategy.
@@ -68,11 +83,12 @@ impl BasisStore {
             index: make_index(strategy, tolerance),
             family,
             tolerance,
+            staged: 0,
             pairings_tested: 0,
         }
     }
 
-    /// Number of basis distributions.
+    /// Number of basis distributions (committed and staged).
     pub fn len(&self) -> usize {
         self.bases.len()
     }
@@ -80,6 +96,11 @@ impl BasisStore {
     /// True when no basis has been recorded.
     pub fn is_empty(&self) -> bool {
         self.bases.is_empty()
+    }
+
+    /// Number of staged bases whose metrics are still pending.
+    pub fn staged(&self) -> usize {
+        self.staged
     }
 
     /// The bases (for reporting).
@@ -92,26 +113,50 @@ impl BasisStore {
         &self.bases[id.0]
     }
 
+    /// An immutable resolve view over the current contents.
+    pub fn freeze(&self) -> FrozenBasisView<'_> {
+        FrozenBasisView { store: self }
+    }
+
     /// Algorithm 3: find a basis and mapping such that
-    /// `M(basis.fingerprint) ≈ fp`.
+    /// `M(basis.fingerprint) ≈ fp`. Accumulates `pairings_tested`.
     pub fn find_match(&mut self, fp: &Fingerprint) -> Option<(BasisId, AffineMap)> {
-        let candidates = self.index.candidates(fp);
-        for cid in candidates {
-            self.pairings_tested += 1;
-            let basis = &self.bases[cid];
-            if let Some(m) = self.family.find(&basis.fingerprint, fp, self.tolerance) {
-                return Some((basis.id, m));
-            }
-        }
-        None
+        let (hit, pairings) = self.freeze().find_match(fp);
+        self.pairings_tested += pairings;
+        hit
     }
 
     /// Record a new basis distribution (after a full simulation).
     pub fn insert(&mut self, fingerprint: Fingerprint, metrics: OutputMetrics) -> BasisId {
+        let id = self.stage(fingerprint);
+        self.commit_staged(id, metrics);
+        id
+    }
+
+    /// Register a basis fingerprint immediately, with metrics pending.
+    ///
+    /// The fingerprint becomes matchable at once (so later points of the
+    /// same wave reuse it exactly as the sequential loop would), but its
+    /// metrics must not be read until [`Self::commit_staged`] lands them.
+    pub fn stage(&mut self, fingerprint: Fingerprint) -> BasisId {
         let id = BasisId(self.bases.len());
         self.index.insert(id.0, &fingerprint);
-        self.bases.push(BasisDistribution { id, fingerprint, metrics });
+        self.bases.push(BasisDistribution {
+            id,
+            fingerprint,
+            metrics: OutputMetrics::from_samples(Vec::new()),
+        });
+        self.staged += 1;
         id
+    }
+
+    /// Land the metrics of a staged basis (the batched commit path; called
+    /// in enumeration order at the wave barrier).
+    pub fn commit_staged(&mut self, id: BasisId, metrics: OutputMetrics) {
+        debug_assert!(self.staged > 0, "no staged basis to commit");
+        debug_assert_eq!(self.bases[id.0].metrics.n(), 0, "basis {id:?} committed twice");
+        self.bases[id.0].metrics = metrics;
+        self.staged -= 1;
     }
 
     /// Resolve metrics for a fingerprint: reuse through a mapping when one
@@ -124,6 +169,102 @@ impl BasisStore {
     /// Fold additional samples into a basis (interactive refinement).
     pub fn refine(&mut self, id: BasisId, samples: &[f64]) {
         self.bases[id.0].metrics.extend(samples);
+    }
+}
+
+/// A read-only resolve view over a [`BasisStore`] — the frozen half of the
+/// wave split. All lookups are side-effect free; the number of candidate
+/// pairings tested is *returned* so the caller can fold it into telemetry
+/// deterministically.
+pub struct FrozenBasisView<'a> {
+    store: &'a BasisStore,
+}
+
+impl FrozenBasisView<'_> {
+    /// Number of bases visible to this view.
+    pub fn len(&self) -> usize {
+        self.store.bases.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.bases.is_empty()
+    }
+
+    /// Fetch a basis by id.
+    pub fn get(&self, id: BasisId) -> &BasisDistribution {
+        self.store.get(id)
+    }
+
+    /// Algorithm 3 without side effects: the first candidate (in the
+    /// index's deterministic proposal order) validated by the mapping
+    /// family wins. Returns the hit and the number of pairings tested.
+    pub fn find_match(&self, fp: &Fingerprint) -> (Option<(BasisId, AffineMap)>, u64) {
+        let candidates = self.store.index.candidates(fp);
+        let mut pairings = 0u64;
+        for cid in candidates {
+            pairings += 1;
+            let basis = &self.store.bases[cid];
+            if let Some(m) = self.store.family.find(&basis.fingerprint, fp, self.store.tolerance) {
+                return (Some((basis.id, m)), pairings);
+            }
+        }
+        (None, pairings)
+    }
+
+    /// Resolve mapped metrics for a fingerprint without mutating the store.
+    /// The matched basis must be committed (metrics landed).
+    pub fn resolve(&self, fp: &Fingerprint) -> (Option<(OutputMetrics, BasisId)>, u64) {
+        let (hit, pairings) = self.find_match(fp);
+        (hit.map(|(id, m)| (m.apply_metrics(&self.get(id).metrics), id)), pairings)
+    }
+}
+
+/// Per-column basis shards for one simulation — output column `c` is shard
+/// `c`. Columns never share bases (their output distributions are unrelated
+/// random variables), so the sweep executor freezes, probes, and commits
+/// each shard independently.
+pub struct ShardedBasisStore {
+    shards: Vec<BasisStore>,
+}
+
+impl ShardedBasisStore {
+    /// One shard per output column, all with the same configuration.
+    pub fn new(n_cols: usize, cfg: &JigsawConfig, family: Arc<dyn MappingFamily>) -> Self {
+        ShardedBasisStore {
+            shards: (0..n_cols).map(|_| BasisStore::new(cfg, family.clone())).collect(),
+        }
+    }
+
+    /// Number of shards (output columns).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared access to a column's store.
+    pub fn shard(&self, col: usize) -> &BasisStore {
+        &self.shards[col]
+    }
+
+    /// Exclusive access to a column's store.
+    pub fn shard_mut(&mut self, col: usize) -> &mut BasisStore {
+        &mut self.shards[col]
+    }
+
+    /// Basis count per column (the `bases_per_column` telemetry vector).
+    pub fn bases_per_column(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Total mapping validations attempted across all shards.
+    pub fn pairings_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.pairings_tested).sum()
+    }
+
+    /// Total staged-but-uncommitted bases (must be zero at a wave barrier's
+    /// end; asserted by the executor in debug builds).
+    pub fn staged_total(&self) -> usize {
+        self.shards.iter().map(|s| s.staged()).sum()
     }
 }
 
@@ -229,5 +370,67 @@ mod tests {
         let id = s.insert(fp(&[1.0, 2.0]), metrics(&[1.0, 2.0]));
         s.refine(id, &[3.0, 4.0]);
         assert_eq!(s.get(id).metrics.n(), 4);
+    }
+
+    #[test]
+    fn frozen_view_matches_without_mutation() {
+        let mut s = store(IndexStrategy::Normalization);
+        let id = s.insert(fp(&[0.0, 1.0, 2.0]), metrics(&[0.0, 1.0, 2.0]));
+        let before = s.pairings_tested;
+        {
+            let view = s.freeze();
+            let (hit, pairings) = view.find_match(&fp(&[1.0, 3.0, 5.0]));
+            assert_eq!(hit.map(|(i, _)| i), Some(id));
+            assert_eq!(pairings, 1);
+            let (resolved, _) = view.resolve(&fp(&[1.0, 3.0, 5.0]));
+            let (m, _) = resolved.expect("hit");
+            assert!((m.expectation() - 3.0).abs() < 1e-9); // 2x+1 over mean 1
+        }
+        assert_eq!(s.pairings_tested, before, "frozen view must not mutate counters");
+    }
+
+    #[test]
+    fn staged_basis_is_matchable_before_commit() {
+        let mut s = store(IndexStrategy::Normalization);
+        let id = s.stage(fp(&[0.0, 1.0, 2.0]));
+        assert_eq!(s.staged(), 1);
+        // The fingerprint participates in matching immediately…
+        let (got, map) = s.find_match(&fp(&[0.0, 2.0, 4.0])).expect("staged fp must match");
+        assert_eq!(got, id);
+        assert!((map.alpha - 2.0).abs() < 1e-12);
+        // …and the metrics land later, in commit order.
+        s.commit_staged(id, metrics(&[0.0, 1.0, 2.0, 1.0]));
+        assert_eq!(s.staged(), 0);
+        assert_eq!(s.get(id).metrics.n(), 4);
+    }
+
+    #[test]
+    fn stage_commit_equals_insert() {
+        let mut a = store(IndexStrategy::SortedSid);
+        let mut b = store(IndexStrategy::SortedSid);
+        let id_a = a.insert(fp(&[1.0, 2.0, 4.0]), metrics(&[7.0, 8.0]));
+        let id_b = b.stage(fp(&[1.0, 2.0, 4.0]));
+        b.commit_staged(id_b, metrics(&[7.0, 8.0]));
+        assert_eq!(id_a, id_b);
+        let probe = fp(&[2.0, 4.0, 8.0]);
+        assert_eq!(
+            a.find_match(&probe).map(|(i, _)| i),
+            b.find_match(&probe).map(|(i, _)| i),
+            "staged-then-committed store must behave like direct insert"
+        );
+    }
+
+    #[test]
+    fn sharded_store_tracks_per_column_state() {
+        let cfg = JigsawConfig::paper();
+        let mut shards = ShardedBasisStore::new(2, &cfg, Arc::new(AffineFamily));
+        assert_eq!(shards.n_shards(), 2);
+        shards.shard_mut(0).insert(fp(&[0.0, 1.0]), metrics(&[0.0]));
+        let staged = shards.shard_mut(1).stage(fp(&[5.0, 6.0, 9.0]));
+        assert_eq!(shards.bases_per_column(), vec![1, 1]);
+        assert_eq!(shards.staged_total(), 1);
+        shards.shard_mut(1).commit_staged(staged, metrics(&[1.0]));
+        assert_eq!(shards.staged_total(), 0);
+        assert!(shards.pairings_total() <= 2);
     }
 }

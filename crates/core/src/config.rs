@@ -31,6 +31,15 @@ pub struct JigsawConfig {
     pub tolerance: f64,
     /// Candidate-lookup strategy.
     pub index: IndexStrategy,
+    /// Thread budget for the sweep executor's world evaluations.
+    /// `1` (the default) runs fully sequentially; `0` means "all available
+    /// cores". Pure performance knob: sweep results, basis sets, and
+    /// telemetry counters are bit-identical for every value.
+    pub threads: usize,
+    /// Points per batch-synchronous wave of the sweep executor. `0` (the
+    /// default) sizes waves automatically from the thread budget. Pure
+    /// performance knob, like `threads`.
+    pub wave_size: usize,
 }
 
 impl JigsawConfig {
@@ -42,6 +51,8 @@ impl JigsawConfig {
             n_samples: 1000,
             tolerance: 1e-9,
             index: IndexStrategy::Normalization,
+            threads: 1,
+            wave_size: 0,
         }
     }
 
@@ -67,6 +78,35 @@ impl JigsawConfig {
     pub fn with_tolerance(mut self, tol: f64) -> Self {
         self.tolerance = tol;
         self
+    }
+
+    /// Override the thread budget (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the wave size (`0` = derive from the thread budget).
+    pub fn with_wave_size(mut self, wave_size: usize) -> Self {
+        self.wave_size = wave_size;
+        self
+    }
+
+    /// The concrete thread count: `threads`, with `0` resolved to the
+    /// number of available cores (shared sentinel semantics — see
+    /// [`jigsaw_pdb::resolve_thread_budget`]).
+    pub fn effective_threads(&self) -> usize {
+        jigsaw_pdb::resolve_thread_budget(self.threads)
+    }
+
+    /// The concrete wave size: `wave_size`, with `0` resolved to a multiple
+    /// of the thread budget large enough to keep every worker fed through
+    /// the resolve barrier and to amortize per-wave thread spawns.
+    pub fn effective_wave_size(&self) -> usize {
+        match self.wave_size {
+            0 => (8 * self.effective_threads()).max(32),
+            w => w,
+        }
     }
 
     /// Panic unless the configuration is internally consistent.
@@ -106,10 +146,25 @@ mod tests {
             .with_fingerprint_len(4)
             .with_n_samples(100)
             .with_index(IndexStrategy::SortedSid)
-            .with_tolerance(1e-6);
+            .with_tolerance(1e-6)
+            .with_threads(4)
+            .with_wave_size(64);
         assert_eq!(c.fingerprint_len, 4);
         assert_eq!(c.index, IndexStrategy::SortedSid);
+        assert_eq!(c.effective_threads(), 4);
+        assert_eq!(c.effective_wave_size(), 64);
         c.validate();
+    }
+
+    #[test]
+    fn zero_knobs_resolve_automatically() {
+        let c = JigsawConfig::paper();
+        assert_eq!(c.threads, 1, "paper default is sequential");
+        assert!(c.effective_threads() >= 1);
+        assert!(c.effective_wave_size() >= 16);
+        let auto = c.with_threads(0);
+        assert!(auto.effective_threads() >= 1);
+        assert!(auto.effective_wave_size() >= 4 * auto.effective_threads());
     }
 
     #[test]

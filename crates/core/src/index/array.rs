@@ -28,6 +28,7 @@ impl FingerprintIndex for ArrayIndex {
     }
 
     fn candidates(&self, _fp: &Fingerprint) -> Vec<usize> {
+        // Insertion order by construction (the trait's ordering contract).
         self.ids.clone()
     }
 

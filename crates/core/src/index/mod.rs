@@ -34,6 +34,13 @@ pub trait FingerprintIndex: Send + Sync {
     /// Ids of bases that may map onto `fp`; superset semantics are
     /// best-effort (see module docs), and every candidate is re-validated
     /// by the caller.
+    ///
+    /// **Ordering contract:** the candidate list must be a deterministic
+    /// function of the insertion history alone — same inserts in the same
+    /// order ⇒ same candidates in the same order (all three strategies
+    /// return insertion order within a bucket). The batch-synchronous sweep
+    /// executor relies on this to make staged-basis resolution bit-identical
+    /// to the sequential point loop.
     fn candidates(&self, fp: &Fingerprint) -> Vec<usize>;
 
     /// Number of registered fingerprints.

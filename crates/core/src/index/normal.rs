@@ -72,6 +72,8 @@ impl FingerprintIndex for NormalizationIndex {
     }
 
     fn candidates(&self, fp: &Fingerprint) -> Vec<usize> {
+        // Bucket vectors are append-only, so this is insertion order — the
+        // deterministic ordering the trait contract requires.
         self.buckets.get(&self.key(fp)).cloned().unwrap_or_default()
     }
 

@@ -58,6 +58,8 @@ impl FingerprintIndex for SortedSidIndex {
     }
 
     fn candidates(&self, fp: &Fingerprint) -> Vec<usize> {
+        // Forward-bucket hits (insertion order) first, then mirror-bucket
+        // hits — a fixed, append-stable order per the trait contract.
         let key = Self::key(fp);
         let mut out = self.buckets.get(&key).cloned().unwrap_or_default();
         // Decreasing mappings reverse the order: probe the mirror key too.

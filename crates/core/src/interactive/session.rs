@@ -32,11 +32,30 @@ pub struct SessionConfig {
     pub tolerance: f64,
     /// Cap on samples per point (refinement stops there).
     pub n_target: usize,
+    /// Thread budget for world evaluation. Ticks go through the same
+    /// budgeted [`jigsaw_pdb::eval_worlds`] entry point as the sweep
+    /// executor, so refinement batches parallelize with bit-identical
+    /// results for any value (`0` = all cores).
+    pub threads: usize,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig { batch: 10, fingerprint_len: 10, tolerance: 1e-9, n_target: 1000 }
+        SessionConfig {
+            batch: 10,
+            fingerprint_len: 10,
+            tolerance: 1e-9,
+            n_target: 1000,
+            threads: 1,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Override the thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -167,25 +186,23 @@ impl<'a> InteractiveSession<'a> {
         }
         let m = self.cfg.fingerprint_len;
         let point = self.sim.space().point_at(point_idx);
-        let head = self.sim.eval_worlds(&point, 0, m)?;
+        let head = jigsaw_pdb::eval_worlds(self.sim, &point, 0, m, self.cfg.threads)?;
         self.worlds_evaluated += m as u64;
         let mut cols = Vec::with_capacity(head.len());
-        for (c, samples) in head.iter().enumerate() {
-            let fp = Fingerprint::new(samples.clone());
+        for samples in head {
+            let c = cols.len();
+            let metrics = OutputMetrics::from_samples(samples);
+            let fp = Fingerprint::new(metrics.samples().to_vec());
             let mut store = self.stores[c].lock().expect("basis store lock poisoned");
             // On a miss the point seeds a new basis and keeps an identity
             // mapping to it, so its own refinements grow the shared basis
             // (paper §5: refinement "improves the accuracy of the basis
             // distribution's precomputed metrics").
-            let basis = store.find_match(&fp).or_else(|| {
-                let id = store.insert(fp, OutputMetrics::from_samples(samples.clone()));
-                Some((id, AffineMap::IDENTITY))
-            });
-            cols.push(PointColState {
-                n_direct: m,
-                metrics: OutputMetrics::from_samples(samples.clone()),
-                basis,
-            });
+            let basis = match store.find_match(&fp) {
+                Some(hit) => Some(hit),
+                None => Some((store.insert(fp, metrics.clone()), AffineMap::IDENTITY)),
+            };
+            cols.push(PointColState { n_direct: m, metrics, basis });
         }
         self.points.insert(point_idx, PointState { cols });
         Ok(())
@@ -202,7 +219,7 @@ impl<'a> InteractiveSession<'a> {
         if start >= self.cfg.n_target {
             return Ok(());
         }
-        let out = self.sim.eval_worlds(&point, start, batch)?;
+        let out = jigsaw_pdb::eval_worlds(self.sim, &point, start, batch, self.cfg.threads)?;
         self.worlds_evaluated += batch as u64;
         for (c, samples) in out.iter().enumerate() {
             let col = &mut state.cols[c];
@@ -398,6 +415,33 @@ mod tests {
         }
         let bases = session.basis_counts();
         assert!(bases[0] <= 2, "affine Demand should share bases, got {bases:?}");
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_estimates() {
+        let s = sim();
+        let mut seq = InteractiveSession::new(&s, SessionConfig::default());
+        let mut par = InteractiveSession::new(&s, SessionConfig::default().with_threads(4));
+        for session in [&mut seq, &mut par] {
+            session.set_focus(9);
+            for _ in 0..20 {
+                session.tick().unwrap();
+            }
+        }
+        assert_eq!(seq.worlds_evaluated, par.worlds_evaluated);
+        assert_eq!(seq.basis_counts(), par.basis_counts());
+        for p in [8usize, 9, 10] {
+            match (seq.estimate(p, 0), par.estimate(p, 0)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.expectation, b.expectation, "point {p}");
+                    assert_eq!(a.std_dev, b.std_dev, "point {p}");
+                    assert_eq!(a.n_samples, b.n_samples, "point {p}");
+                    assert_eq!(a.source, b.source, "point {p}");
+                }
+                (a, b) => panic!("point {p}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -34,11 +34,11 @@ pub mod markov;
 pub mod optimizer;
 pub mod telemetry;
 
-pub use basis::{BasisDistribution, BasisId, BasisStore};
+pub use basis::{BasisDistribution, BasisId, BasisStore, FrozenBasisView, ShardedBasisStore};
 pub use config::{IndexStrategy, JigsawConfig};
 pub use fingerprint::Fingerprint;
 pub use interactive::{InteractiveSession, SessionConfig};
 pub use mapping::{AffineFamily, AffineMap, IdentityFamily, MappingFamily, PureScaleFamily};
 pub use markov::{BasisRetention, MarkovJumpConfig, MarkovJumpResult, MarkovJumpRunner};
 pub use optimizer::{OptimizeGoal, PointResult, SweepResult, SweepRunner};
-pub use telemetry::{MarkovStats, SweepStats};
+pub use telemetry::{MarkovStats, PhaseTimings, SweepCounters, SweepStats, WaveReuse};

@@ -34,13 +34,44 @@ impl ChainState {
     /// Advance every instance one step, returning the outputs produced at
     /// `self.step` (before the advance).
     pub fn step_all(&mut self, model: &dyn MarkovModel, master: Seed) -> Vec<f64> {
+        self.step_all_threaded(model, master, 1)
+    }
+
+    /// [`Self::step_all`] with a thread budget (`0` = all available cores).
+    /// Instance `i`'s randomness is the counter-based stream
+    /// `(master, i, step)`, so chunking instances across scoped threads and
+    /// concatenating in chunk order is bit-identical to the sequential walk
+    /// for any budget.
+    pub fn step_all_threaded(
+        &mut self,
+        model: &dyn MarkovModel,
+        master: Seed,
+        threads: usize,
+    ) -> Vec<f64> {
         let t = self.step;
-        let mut outputs = Vec::with_capacity(self.chains.len());
-        for (i, chain) in self.chains.iter_mut().enumerate() {
-            let seed = stream_seed(master, i, t);
-            let out = model.output(t, *chain, seed);
-            *chain = model.next_chain(t, *chain, out, seed.derive(K_TRANSITION));
-            outputs.push(out);
+        let n = self.chains.len();
+        let threads = jigsaw_pdb::resolve_thread_budget(threads).min(n.max(1));
+        let mut outputs = vec![0.0f64; n];
+        let advance = |base: usize, chains: &mut [f64], outs: &mut [f64]| {
+            for (k, chain) in chains.iter_mut().enumerate() {
+                let seed = stream_seed(master, base + k, t);
+                let out = model.output(t, *chain, seed);
+                *chain = model.next_chain(t, *chain, out, seed.derive(K_TRANSITION));
+                outs[k] = out;
+            }
+        };
+        if threads <= 1 {
+            advance(0, &mut self.chains, &mut outputs);
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, (chains, outs)) in
+                    self.chains.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)).enumerate()
+                {
+                    let advance = &advance;
+                    scope.spawn(move || advance(ci * chunk, chains, outs));
+                }
+            });
         }
         self.step += 1;
         outputs
@@ -55,12 +86,24 @@ pub fn run_naive(
     n: usize,
     steps: usize,
 ) -> (Vec<f64>, MarkovStats) {
+    run_naive_threaded(model, master, n, steps, 1)
+}
+
+/// [`run_naive`] with a thread budget for the per-step instance walk.
+/// Bit-identical to the sequential run for any budget.
+pub fn run_naive_threaded(
+    model: &dyn MarkovModel,
+    master: Seed,
+    n: usize,
+    steps: usize,
+    threads: usize,
+) -> (Vec<f64>, MarkovStats) {
     assert!(steps > 0, "need at least one step");
     let start = Instant::now();
     let mut state = ChainState::initial(model, n);
     let mut last = Vec::new();
     for _ in 0..steps {
-        last = state.step_all(model, master);
+        last = state.step_all_threaded(model, master, threads);
     }
     let stats = MarkovStats {
         steps,
@@ -109,6 +152,17 @@ mod tests {
         let (direct, _) = run_naive(&model, Seed(11), 10, 7);
         assert_eq!(last, direct);
         assert_eq!(st.step, 7);
+    }
+
+    #[test]
+    fn threaded_stepping_matches_sequential() {
+        let model = MarkovBranch::new(0.15);
+        let (seq, _) = run_naive(&model, Seed(8), 53, 12);
+        for threads in [2usize, 3, 8, 100] {
+            let (par, stats) = run_naive_threaded(&model, Seed(8), 53, 12, threads);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(stats.model_invocations, 53 * 12);
+        }
     }
 
     #[test]

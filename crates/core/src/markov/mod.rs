@@ -12,6 +12,6 @@ mod chain;
 mod estimator;
 mod jump;
 
-pub use chain::{run_naive, ChainState};
+pub use chain::{run_naive, run_naive_threaded, ChainState};
 pub use estimator::FrozenEstimator;
 pub use jump::{BasisRetention, MarkovJumpConfig, MarkovJumpResult, MarkovJumpRunner};

@@ -1,0 +1,499 @@
+//! The batch-synchronous parallel sweep executor.
+//!
+//! The parameter space is processed in deterministic **waves**. Each wave
+//! runs four phases:
+//!
+//! 1. **Fingerprint** (parallel) — worlds `0..m` are evaluated for every
+//!    point of the wave. World `k` always runs under the global seed `σ_k`,
+//!    so each evaluation is a pure function of `(point, k)` and the phase is
+//!    embarrassingly parallel.
+//! 2. **Resolve** (sequential, at the barrier) — walking the wave in
+//!    enumeration order, each column's fingerprint is matched against its
+//!    [`BasisStore`] shard. Misses *stage* a new basis immediately
+//!    (fingerprint registered, metrics pending), so later points of the
+//!    same wave match against it exactly as the sequential point loop
+//!    would. This phase touches no simulation worlds; it is cheap O(m)
+//!    float work per candidate.
+//! 3. **Completion** (parallel) — points with at least one missed column
+//!    evaluate worlds `m..n`. Jobs are split into world chunks so a handful
+//!    of misses still saturates the thread budget; chunks stitch back in
+//!    window order, which composes bit-identically (worlds are
+//!    seed-addressed).
+//! 4. **Commit** (sequential, at the barrier) — in enumeration order,
+//!    missed columns assemble their `0..n` sample vectors, land their
+//!    staged metrics, and reused columns map their matched basis's
+//!    (by-now-committed) metrics.
+//!
+//! Because phases 2 and 4 replay the exact decision sequence of the
+//! sequential loop — same store contents at every probe, same candidate
+//! order (see [`crate::index::FingerprintIndex::candidates`]'s ordering
+//! contract), same commit order — the sweep result, the basis set, and the
+//! telemetry counters are **bit-identical for any thread count and any wave
+//! size**. Threads and waves are pure performance knobs.
+//!
+//! [`BasisStore`]: crate::basis::BasisStore
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_pdb::{OutputMetrics, Result, Simulation};
+
+use crate::basis::{BasisId, ShardedBasisStore};
+use crate::config::JigsawConfig;
+use crate::fingerprint::Fingerprint;
+use crate::mapping::{AffineMap, MappingFamily};
+use crate::optimizer::{PointResult, SweepResult};
+use crate::telemetry::{SweepStats, WaveReuse};
+
+/// How one column of one wave slot obtains its metrics at commit time.
+enum ColPlan {
+    /// Mapped reuse from a matched basis (possibly staged earlier in the
+    /// same wave; committed by the time this slot commits).
+    Reuse(BasisId, AffineMap),
+    /// Fresh metrics from this point's own `0..n` samples.
+    Fresh(FreshSource),
+}
+
+/// Where a fresh column's `0..m` sample prefix lives.
+enum FreshSource {
+    /// In the staged basis's fingerprint (normal reuse-enabled operation).
+    Staged(BasisId),
+    /// Carried inline (reuse disabled: nothing is staged).
+    Inline(Vec<f64>),
+}
+
+/// One point of the current wave, between resolve and commit.
+struct Slot {
+    point_idx: usize,
+    point: Vec<f64>,
+    cols: Vec<ColPlan>,
+    needs_tail: bool,
+}
+
+/// A world-evaluation job: `count` worlds from `start` at `point`.
+struct EvalJob<'a> {
+    point: &'a [f64],
+    start: usize,
+    count: usize,
+}
+
+/// One job's evaluated worlds, `out[col][world_in_window]`.
+type JobOutput = Result<Vec<Vec<f64>>>;
+
+/// Run the fingerprint-memoized sweep over `sim`'s entire parameter space.
+///
+/// This is the engine behind [`crate::optimizer::SweepRunner`]; the runner
+/// is a thin configuration facade over this function.
+pub fn run_sweep(
+    cfg: &JigsawConfig,
+    family: Arc<dyn MappingFamily>,
+    disable_reuse: bool,
+    sim: &dyn Simulation,
+) -> Result<SweepResult> {
+    cfg.validate();
+    let space = sim.space();
+    let n_cols = sim.columns().len();
+    let m = cfg.fingerprint_len;
+    let n = cfg.n_samples;
+    let threads = cfg.effective_threads();
+    let wave_size = cfg.effective_wave_size().max(1);
+    let start = Instant::now();
+
+    let mut stores = ShardedBasisStore::new(n_cols, cfg, family);
+    let total = space.len();
+    let mut points: Vec<PointResult> = Vec::with_capacity(total);
+    let mut stats = SweepStats { threads, ..Default::default() };
+
+    let mut wave_start = 0usize;
+    while wave_start < total {
+        let wave_len = wave_size.min(total - wave_start);
+        stats.waves += 1;
+
+        // Phase 1 — fingerprints for the whole wave, in parallel.
+        let t0 = Instant::now();
+        let wave_points: Vec<Vec<f64>> =
+            (wave_start..wave_start + wave_len).map(|i| space.point_at(i)).collect();
+        let fp_jobs: Vec<EvalJob<'_>> =
+            wave_points.iter().map(|p| EvalJob { point: p, start: 0, count: m }).collect();
+        let heads = run_jobs(sim, &fp_jobs, threads);
+        drop(fp_jobs);
+        stats.phase.fingerprint += t0.elapsed();
+        stats.worlds_evaluated += (wave_len * m) as u64;
+
+        // Phase 2 — sequential resolve/stage in enumeration order.
+        let t1 = Instant::now();
+        let mut slots: Vec<Slot> = Vec::with_capacity(wave_len);
+        for (offset, (point, head)) in wave_points.into_iter().zip(heads).enumerate() {
+            let head = head?;
+            let mut cols = Vec::with_capacity(n_cols);
+            let mut needs_tail = false;
+            for (c, samples) in head.into_iter().enumerate() {
+                if disable_reuse {
+                    needs_tail = true;
+                    cols.push(ColPlan::Fresh(FreshSource::Inline(samples)));
+                    continue;
+                }
+                // The head samples move straight into the fingerprint —
+                // no per-miss double copy.
+                let fp = Fingerprint::new(samples);
+                let store = stores.shard_mut(c);
+                match store.find_match(&fp) {
+                    Some((id, map)) => cols.push(ColPlan::Reuse(id, map)),
+                    None => {
+                        needs_tail = true;
+                        cols.push(ColPlan::Fresh(FreshSource::Staged(store.stage(fp))));
+                    }
+                }
+            }
+            slots.push(Slot { point_idx: wave_start + offset, point, cols, needs_tail });
+        }
+        stats.phase.resolve += t1.elapsed();
+
+        // Phase 3 — completion simulations for the misses, in parallel.
+        let t2 = Instant::now();
+        let tail_count = n - m;
+        let miss_slots: Vec<usize> =
+            slots.iter().enumerate().filter(|(_, s)| s.needs_tail).map(|(i, _)| i).collect();
+        let tail_jobs: Vec<EvalJob<'_>> = miss_slots
+            .iter()
+            .map(|&i| EvalJob { point: &slots[i].point, start: m, count: tail_count })
+            .collect();
+        let tails = run_jobs(sim, &tail_jobs, threads);
+        drop(tail_jobs);
+        let mut tails_by_slot: Vec<Option<JobOutput>> = Vec::with_capacity(wave_len);
+        tails_by_slot.resize_with(wave_len, || None);
+        for (&slot_i, tail) in miss_slots.iter().zip(tails) {
+            tails_by_slot[slot_i] = Some(tail);
+        }
+        stats.phase.completion += t2.elapsed();
+
+        // Phase 4 — commit in enumeration order at the wave barrier.
+        let t3 = Instant::now();
+        let mut wave_reuse = WaveReuse { points: wave_len, ..Default::default() };
+        for (slot_i, slot) in slots.into_iter().enumerate() {
+            let Slot { point_idx, point, cols, needs_tail } = slot;
+            let mut tail_cols: Vec<Vec<f64>> = if needs_tail {
+                stats.full_simulations += 1;
+                wave_reuse.full_simulations += 1;
+                stats.worlds_evaluated += tail_count as u64;
+                tails_by_slot[slot_i].take().expect("tail evaluated for miss")?
+            } else {
+                stats.reused += 1;
+                wave_reuse.reused += 1;
+                Vec::new()
+            };
+            let mut metrics = Vec::with_capacity(n_cols);
+            let mut reused_from = Vec::with_capacity(n_cols);
+            for (c, plan) in cols.into_iter().enumerate() {
+                match plan {
+                    ColPlan::Reuse(id, map) => {
+                        // The basis is committed by now even if it was
+                        // staged this very wave (commits run in order).
+                        metrics.push(map.apply_metrics(&stores.shard(c).get(id).metrics));
+                        reused_from.push(Some(id));
+                    }
+                    ColPlan::Fresh(source) => {
+                        let mut tail = std::mem::take(&mut tail_cols[c]);
+                        let om = match source {
+                            FreshSource::Staged(id) => {
+                                let mut samples = Vec::with_capacity(n);
+                                samples.extend_from_slice(
+                                    stores.shard(c).get(id).fingerprint.entries(),
+                                );
+                                samples.append(&mut tail);
+                                let om = OutputMetrics::from_samples(samples);
+                                stores.shard_mut(c).commit_staged(id, om.clone());
+                                om
+                            }
+                            FreshSource::Inline(mut head) => {
+                                head.reserve_exact(tail.len());
+                                head.append(&mut tail);
+                                OutputMetrics::from_samples(head)
+                            }
+                        };
+                        metrics.push(om);
+                        reused_from.push(None);
+                    }
+                }
+            }
+            points.push(PointResult { point_idx, point, metrics, reused_from });
+        }
+        debug_assert_eq!(stores.staged_total(), 0, "wave barrier left staged bases behind");
+        stats.wave_reuse.push(wave_reuse);
+        stats.phase.commit += t3.elapsed();
+        wave_start += wave_len;
+    }
+
+    stats.points = total;
+    stats.bases_per_column = stores.bases_per_column();
+    stats.pairings_tested = stores.pairings_total();
+    stats.elapsed = start.elapsed();
+    Ok(SweepResult { points, stats })
+}
+
+/// Evaluate a batch of world-window jobs with up to `threads` workers,
+/// returning each job's `out[col][world_in_window]` in job order.
+///
+/// Jobs are split into world chunks and pulled off a shared cursor, so the
+/// schedule is load-balanced; results stitch back in `(job, window)` order,
+/// making the output independent of which worker ran what.
+fn run_jobs(sim: &dyn Simulation, jobs: &[EvalJob<'_>], threads: usize) -> Vec<JobOutput> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    // Tiny batches are not worth a thread-spawn round; the cutoff is a pure
+    // performance heuristic (results are identical either way).
+    if threads <= 1 || jobs.iter().map(|j| j.count).sum::<usize>() <= 32 {
+        return jobs.iter().map(|j| sim.eval_worlds(j.point, j.start, j.count)).collect();
+    }
+
+    struct Task {
+        job: usize,
+        lo: usize,
+        hi: usize,
+    }
+    // Aim for a few chunks per worker even when only one or two jobs miss.
+    let mut tasks: Vec<Task> = Vec::new();
+    for (ji, j) in jobs.iter().enumerate() {
+        if j.count == 0 {
+            tasks.push(Task { job: ji, lo: j.start, hi: j.start });
+            continue;
+        }
+        let chunks_per_job = (threads * 2).div_ceil(jobs.len()).clamp(1, j.count);
+        let chunk = j.count.div_ceil(chunks_per_job);
+        let mut lo = j.start;
+        while lo < j.start + j.count {
+            let hi = (j.start + j.count).min(lo + chunk);
+            tasks.push(Task { job: ji, lo, hi });
+            lo = hi;
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(tasks.len());
+    let per_worker: Vec<Vec<(usize, JobOutput)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let tasks = &tasks;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let task = &tasks[t];
+                    let j = &jobs[task.job];
+                    local.push((t, sim.eval_worlds(j.point, task.lo, task.hi - task.lo)));
+                }
+                local
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+
+    let mut by_task: Vec<Option<JobOutput>> = Vec::with_capacity(tasks.len());
+    by_task.resize_with(tasks.len(), || None);
+    for worker in per_worker {
+        for (t, r) in worker {
+            by_task[t] = Some(r);
+        }
+    }
+
+    // Stitch chunks back per job. Tasks were emitted job-contiguously and in
+    // window order, so a linear pass reassembles everything; a job's first
+    // erroring chunk (in window order) becomes the job's error.
+    let n_cols = sim.columns().len();
+    let mut out: Vec<JobOutput> = Vec::with_capacity(jobs.len());
+    let mut ti = 0usize;
+    for (ji, j) in jobs.iter().enumerate() {
+        let mut acc: Vec<Vec<f64>> = vec![Vec::with_capacity(j.count); n_cols];
+        let mut err = None;
+        while ti < tasks.len() && tasks[ti].job == ji {
+            let r = by_task[ti].take().expect("every task ran");
+            ti += 1;
+            if err.is_some() {
+                continue;
+            }
+            match r {
+                Ok(part) => {
+                    for (c, col) in part.into_iter().enumerate() {
+                        acc[c].extend(col);
+                    }
+                }
+                Err(e) => err = Some(e),
+            }
+        }
+        out.push(match err {
+            Some(e) => Err(e),
+            None => Ok(acc),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::SweepRunner;
+    use jigsaw_blackbox::models::{Demand, SynthBasis};
+    use jigsaw_blackbox::{FnBlackBox, ParamDecl, ParamSpace};
+    use jigsaw_pdb::{BlackBoxSim, Catalog, DirectEngine, Expr, Plan, PlanSim};
+    use jigsaw_prng::SeedSet;
+
+    fn cfg() -> JigsawConfig {
+        JigsawConfig::paper().with_n_samples(120)
+    }
+
+    fn demand_sim() -> BlackBoxSim {
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 0, 24, 1),
+            ParamDecl::set("feature", vec![5, 12]),
+        ]);
+        BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(2024))
+    }
+
+    fn assert_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+        assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x, y, "{what}: point {} diverged", x.point_idx);
+        }
+        assert_eq!(a.stats.counters(), b.stats.counters(), "{what}: counters");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_anything() {
+        let sim = demand_sim();
+        let base = SweepRunner::new(cfg().with_threads(1)).run(&sim).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = SweepRunner::new(cfg().with_threads(threads)).run(&sim).unwrap();
+            assert_identical(&base, &par, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn wave_size_does_not_change_anything() {
+        let sim = demand_sim();
+        let base = SweepRunner::new(cfg().with_wave_size(1)).run(&sim).unwrap();
+        for wave in [2usize, 7, 16, 10_000] {
+            let r = SweepRunner::new(cfg().with_wave_size(wave).with_threads(4)).run(&sim).unwrap();
+            assert_identical(&base, &r, &format!("wave={wave}"));
+        }
+        // wave_size 1 degenerates to the sequential point loop; its wave
+        // telemetry must show one point per wave.
+        assert_eq!(base.stats.waves, base.stats.points);
+    }
+
+    #[test]
+    fn synth_basis_counts_survive_parallelism() {
+        for n_bases in [1usize, 4] {
+            let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 48, 1)]);
+            let sim = BlackBoxSim::new(Arc::new(SynthBasis::new(n_bases)), space, SeedSet::new(7));
+            for threads in [1usize, 4] {
+                let r = SweepRunner::new(cfg().with_threads(threads)).run(&sim).unwrap();
+                assert_eq!(
+                    r.stats.bases_per_column[0], n_bases,
+                    "threads={threads}: SynthBasis({n_bases}) basis count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_telemetry_accounts_every_point() {
+        let sim = demand_sim();
+        let r = SweepRunner::new(cfg().with_wave_size(8).with_threads(2)).run(&sim).unwrap();
+        assert_eq!(r.stats.waves, r.stats.wave_reuse.len());
+        let pts: usize = r.stats.wave_reuse.iter().map(|w| w.points).sum();
+        let reused: usize = r.stats.wave_reuse.iter().map(|w| w.reused).sum();
+        let full: usize = r.stats.wave_reuse.iter().map(|w| w.full_simulations).sum();
+        assert_eq!(pts, r.stats.points);
+        assert_eq!(reused, r.stats.reused);
+        assert_eq!(full, r.stats.full_simulations);
+        for w in &r.stats.wave_reuse {
+            assert_eq!(w.points, w.reused + w.full_simulations);
+        }
+    }
+
+    #[test]
+    fn naive_mode_parallel_equals_sequential() {
+        let sim = demand_sim();
+        let base = SweepRunner::naive(cfg().with_threads(1)).run(&sim).unwrap();
+        let par = SweepRunner::naive(cfg().with_threads(8)).run(&sim).unwrap();
+        assert_identical(&base, &par, "naive");
+        assert_eq!(par.stats.bases_per_column, vec![0]);
+        assert_eq!(par.stats.full_simulations, par.stats.points);
+    }
+
+    /// Two-column plan: column `a` is affine across points (one basis),
+    /// column `b` never maps (its shape changes per point) — every point
+    /// exercises the mixed resolve-and-miss path.
+    fn mixed_plan_sim() -> PlanSim {
+        use jigsaw_prng::{dist::Normal, Xoshiro256pp};
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("Affine", 1, |p: &[f64], s| {
+            let mut rng = Xoshiro256pp::seeded(s);
+            p[0] + Normal::standard(&mut rng)
+        })));
+        cat.add_function(Arc::new(FnBlackBox::new("Wild", 1, |p: &[f64], s| {
+            let mut rng = Xoshiro256pp::seeded(s);
+            let z = Normal::standard(&mut rng);
+            z + (1.0 + p[0]) * z * z * z
+        })));
+        let cat = Arc::new(cat);
+        let plan = Plan::OneRow
+            .project(vec![
+                ("a", Expr::call("Affine", vec![Expr::param("p")])),
+                ("b", Expr::call("Wild", vec![Expr::param("p")])),
+            ])
+            .bind(&cat, &["p".to_string()])
+            .unwrap();
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 11, 1)]);
+        PlanSim::new(Arc::new(DirectEngine::new()), plan, cat, space, SeedSet::new(99))
+    }
+
+    #[test]
+    fn mixed_column_reuse_is_thread_invariant() {
+        let sim = mixed_plan_sim();
+        let base = SweepRunner::new(cfg().with_threads(1)).run(&sim).unwrap();
+        // Column a collapses to one basis; column b gets one per point.
+        assert_eq!(base.stats.bases_per_column[0], 1);
+        assert_eq!(base.stats.bases_per_column[1], base.stats.points);
+        // Every point after the first reuses a but misses b: a full
+        // simulation with a recorded per-column reuse.
+        assert_eq!(base.stats.full_simulations, base.stats.points);
+        assert!(base.points[1..].iter().all(|p| p.reused_from[0].is_some()));
+        assert!(base.points.iter().all(|p| p.reused_from[1].is_none()));
+        for threads in [2usize, 8] {
+            let par = SweepRunner::new(cfg().with_threads(threads)).run(&sim).unwrap();
+            assert_identical(&base, &par, &format!("mixed threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn n_equals_m_edge_case() {
+        // Completion windows of zero worlds: every miss's samples are just
+        // the fingerprint.
+        let sim = demand_sim();
+        let c = JigsawConfig::paper().with_fingerprint_len(10).with_n_samples(10);
+        let base = SweepRunner::new(c.with_threads(1)).run(&sim).unwrap();
+        let par = SweepRunner::new(c.with_threads(4)).run(&sim).unwrap();
+        assert_identical(&base, &par, "n==m");
+        for p in &base.points {
+            assert_eq!(p.metrics[0].n(), 10);
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_empty_sweep() {
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 5, 4, 1)]);
+        let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(1));
+        let r = SweepRunner::new(cfg().with_threads(4)).run(&sim).unwrap();
+        assert!(r.points.is_empty());
+        assert_eq!(r.stats.points, 0);
+        assert_eq!(r.stats.waves, 0);
+        assert_eq!(r.stats.bases_per_column, vec![0]);
+    }
+}

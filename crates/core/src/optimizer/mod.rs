@@ -5,21 +5,22 @@
 //!
 //! [`SweepRunner`] evaluates a [`Simulation`] over its whole parameter
 //! space. At every point it first computes the fingerprint (the first `m`
-//! Monte Carlo rounds), probes the per-column [`BasisStore`]s, and either
+//! Monte Carlo rounds), probes the per-column basis-store shards, and either
 //! reuses a mapped basis or completes the remaining `n − m` rounds. The
-//! [`selector`] module then applies the `OPTIMIZE` goal to the sweep
-//! results.
+//! runner itself is a thin configuration facade: execution lives in the
+//! batch-synchronous parallel [`executor`], whose output is bit-identical
+//! for every thread count and wave size. The [`selector`] module then
+//! applies the `OPTIMIZE` goal to the sweep results.
 
+pub mod executor;
 pub mod selector;
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 
-use crate::basis::{BasisId, BasisStore};
+use crate::basis::BasisId;
 use crate::config::JigsawConfig;
-use crate::fingerprint::Fingerprint;
 use crate::mapping::{AffineFamily, MappingFamily};
 use crate::telemetry::SweepStats;
 
@@ -28,7 +29,7 @@ pub use selector::{
 };
 
 /// Result for one parameter point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointResult {
     /// Point index within the parameter space.
     pub point_idx: usize,
@@ -90,88 +91,13 @@ impl SweepRunner {
     }
 
     /// Run the sweep over the simulation's entire parameter space.
+    ///
+    /// Delegates to the batch-synchronous [`executor`]; with the default
+    /// `threads = 1` this replays the sequential point loop exactly, and
+    /// with any other thread budget it produces bit-identical output
+    /// faster.
     pub fn run(&self, sim: &dyn Simulation) -> Result<SweepResult> {
-        let space = sim.space().clone();
-        let n_cols = sim.columns().len();
-        let m = self.cfg.fingerprint_len;
-        let n = self.cfg.n_samples;
-        let start = Instant::now();
-
-        let mut stores: Vec<BasisStore> =
-            (0..n_cols).map(|_| BasisStore::new(&self.cfg, self.family.clone())).collect();
-        let mut points = Vec::with_capacity(space.len());
-        let mut stats = SweepStats::default();
-
-        for (idx, point) in space.iter() {
-            stats.points += 1;
-            // Rounds 0..m — the fingerprint — are always evaluated.
-            let head = sim.eval_worlds(&point, 0, m)?;
-            stats.worlds_evaluated += m as u64;
-
-            let fps: Vec<Fingerprint> =
-                head.iter().map(|col| Fingerprint::new(col.clone())).collect();
-
-            // Try to reuse every column through an existing basis.
-            let mut resolved: Vec<Option<(OutputMetrics, BasisId)>> = Vec::with_capacity(n_cols);
-            if self.disable_reuse {
-                resolved.resize_with(n_cols, || None);
-            } else {
-                for (c, fp) in fps.iter().enumerate() {
-                    resolved.push(stores[c].resolve(fp));
-                }
-            }
-
-            if resolved.iter().all(Option::is_some) {
-                // Complete reuse: no further simulation for this point.
-                stats.reused += 1;
-                let mut metrics = Vec::with_capacity(n_cols);
-                let mut reused_from = Vec::with_capacity(n_cols);
-                for r in resolved {
-                    let (m, id) = r.expect("checked above");
-                    metrics.push(m);
-                    reused_from.push(Some(id));
-                }
-                points.push(PointResult { point_idx: idx, point, metrics, reused_from });
-                continue;
-            }
-
-            // At least one column missed: complete the simulation once for
-            // all columns (worlds m..n), then combine with the fingerprint
-            // prefix so samples 0..n are exactly the seeded rounds.
-            let tail = sim.eval_worlds(&point, m, n - m)?;
-            stats.worlds_evaluated += (n - m) as u64;
-            stats.full_simulations += 1;
-
-            let mut metrics = Vec::with_capacity(n_cols);
-            let mut reused_from = Vec::with_capacity(n_cols);
-            for c in 0..n_cols {
-                match resolved[c].take() {
-                    Some((m, id)) => {
-                        // This column had a basis even though siblings
-                        // missed; reuse its mapped metrics (identical to the
-                        // full simulation by the correctness invariant).
-                        metrics.push(m);
-                        reused_from.push(Some(id));
-                    }
-                    None => {
-                        let mut samples = head[c].clone();
-                        samples.extend_from_slice(&tail[c]);
-                        let om = OutputMetrics::from_samples(samples);
-                        if !self.disable_reuse {
-                            stores[c].insert(fps[c].clone(), om.clone());
-                        }
-                        metrics.push(om);
-                        reused_from.push(None);
-                    }
-                }
-            }
-            points.push(PointResult { point_idx: idx, point, metrics, reused_from });
-        }
-
-        stats.bases_per_column = stores.iter().map(|s| s.len()).collect();
-        stats.pairings_tested = stores.iter().map(|s| s.pairings_tested).sum();
-        stats.elapsed = start.elapsed();
-        Ok(SweepResult { points, stats })
+        executor::run_sweep(&self.cfg, self.family.clone(), self.disable_reuse, sim)
     }
 }
 

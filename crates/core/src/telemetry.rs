@@ -2,6 +2,50 @@
 
 use std::time::Duration;
 
+/// Wall-clock time spent in each phase of the batch-synchronous sweep
+/// executor. Purely observational: never part of determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Parallel fingerprint evaluation (worlds `0..m`).
+    pub fingerprint: Duration,
+    /// Sequential resolve/stage pass at the wave barrier.
+    pub resolve: Duration,
+    /// Parallel completion simulations (worlds `m..n`).
+    pub completion: Duration,
+    /// Sequential metric assembly and basis commits.
+    pub commit: Duration,
+}
+
+/// Reuse counters for one wave of the sweep executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveReuse {
+    /// Points processed in the wave.
+    pub points: usize,
+    /// Points fully served by basis reuse.
+    pub reused: usize,
+    /// Points that ran a completion simulation.
+    pub full_simulations: usize,
+}
+
+/// The deterministic subset of [`SweepStats`]: every field here must be
+/// bit-identical for any thread budget *and* any wave size (wall-clock
+/// fields, the recorded thread count, and wave partitioning are excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Points visited.
+    pub points: usize,
+    /// Points answered by full Monte Carlo simulation.
+    pub full_simulations: usize,
+    /// Points answered by basis reuse through a mapping.
+    pub reused: usize,
+    /// Simulation worlds evaluated.
+    pub worlds_evaluated: u64,
+    /// Basis distributions per output column.
+    pub bases_per_column: Vec<usize>,
+    /// Mapping validations attempted.
+    pub pairings_tested: u64,
+}
+
 /// Counters collected during a parameter-space sweep.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepStats {
@@ -17,11 +61,31 @@ pub struct SweepStats {
     pub bases_per_column: Vec<usize>,
     /// Mapping validations attempted across all columns.
     pub pairings_tested: u64,
+    /// Thread budget the executor actually used.
+    pub threads: usize,
+    /// Number of batch-synchronous waves the sweep was processed in.
+    pub waves: usize,
+    /// Per-wave reuse counters, in wave order.
+    pub wave_reuse: Vec<WaveReuse>,
+    /// Per-phase wall-clock breakdown.
+    pub phase: PhaseTimings,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
 
 impl SweepStats {
+    /// Snapshot the fields that must be identical across thread budgets and
+    /// wave sizes (the property tests and the CI twin-run diff assert this).
+    pub fn counters(&self) -> SweepCounters {
+        SweepCounters {
+            points: self.points,
+            full_simulations: self.full_simulations,
+            reused: self.reused,
+            worlds_evaluated: self.worlds_evaluated,
+            bases_per_column: self.bases_per_column.clone(),
+            pairings_tested: self.pairings_tested,
+        }
+    }
     /// Fraction of points served by reuse.
     pub fn reuse_rate(&self) -> f64 {
         if self.points == 0 {
@@ -77,6 +141,31 @@ mod tests {
         let s = SweepStats { points: 10, reused: 4, ..Default::default() };
         assert!((s.reuse_rate() - 0.4).abs() < 1e-12);
         assert_eq!(SweepStats::default().reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_exclude_wall_clock_and_layout() {
+        let mut a = SweepStats {
+            points: 8,
+            reused: 5,
+            full_simulations: 3,
+            worlds_evaluated: 640,
+            bases_per_column: vec![3],
+            pairings_tested: 12,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        // Different thread budget, wave layout, and timings…
+        a.threads = 1;
+        a.waves = 1;
+        a.elapsed = Duration::from_secs(9);
+        b.threads = 8;
+        b.waves = 4;
+        b.phase.completion = Duration::from_millis(3);
+        // …must not affect the deterministic snapshot.
+        assert_eq!(a.counters(), b.counters());
+        b.pairings_tested += 1;
+        assert_ne!(a.counters(), b.counters());
     }
 
     #[test]

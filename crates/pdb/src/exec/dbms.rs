@@ -77,12 +77,14 @@ fn run(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable>
             let bctx = batch_ctx(ctx, catalog);
             let mut out = BundleTable::new(project_schema(exprs, &inp.schema), ctx.n_worlds);
             out.rows.reserve(inp.rows.len());
-            for row in &inp.rows {
+            for row in inp.rows {
                 let cells = exprs
                     .iter()
-                    .map(|(_, e)| e.eval_bundle(row, &bctx))
+                    .map(|(_, e)| e.eval_bundle(&row, &bctx))
                     .collect::<Result<Vec<_>>>()?;
-                out.rows.push(BundleRow { cells, presence: row.presence.clone() });
+                // The input row is consumed: its presence mask moves instead
+                // of being cloned per row.
+                out.rows.push(BundleRow { cells, presence: row.presence });
             }
             Ok(out)
         }
@@ -155,12 +157,12 @@ fn run(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable>
             // Build on the right.
             let mut table: HashMap<crate::value::GroupKey, Vec<usize>> = HashMap::new();
             for (i, rr) in r.rows.iter().enumerate() {
-                let key = det_value(&right_key.eval_bundle(rr, &bctx)?)?;
+                let key = det_value(right_key.eval_bundle(rr, &bctx)?)?;
                 table.entry(key.group_key()).or_default().push(i);
             }
             let mut out = BundleTable::new(schema, ctx.n_worlds);
             for lr in &l.rows {
-                let key = det_value(&left_key.eval_bundle(lr, &bctx)?)?;
+                let key = det_value(left_key.eval_bundle(lr, &bctx)?)?;
                 if key.is_null() {
                     continue; // SQL: NULL keys never join
                 }
@@ -193,7 +195,7 @@ fn run(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable>
                 .map(|row| {
                     let ks = keys
                         .iter()
-                        .map(|(k, _)| det_value(&k.eval_bundle(&row, &bctx)?))
+                        .map(|(k, _)| det_value(k.eval_bundle(&row, &bctx)?))
                         .collect::<Result<Vec<_>>>()?;
                     Ok((ks, row))
                 })
@@ -239,9 +241,9 @@ fn concat_schema(l: &Schema, r: &Schema) -> Schema {
     Schema::new(l.columns().iter().chain(r.columns().iter()).cloned().collect())
 }
 
-fn det_value(cell: &BundleCell) -> Result<Value> {
+fn det_value(cell: BundleCell) -> Result<Value> {
     match cell {
-        BundleCell::Det(v) => Ok(v.clone()),
+        BundleCell::Det(v) => Ok(v),
         BundleCell::Stoch(_) => Err(PdbError::StochasticNotAllowed("this key")),
     }
 }
@@ -261,16 +263,16 @@ fn aggregate(
         let mut keys = Vec::with_capacity(group_by.len());
         let mut vals = Vec::with_capacity(group_by.len());
         for (_, k) in group_by {
-            let v = det_value(&k.eval_bundle(row, bctx)?)?;
+            let v = det_value(k.eval_bundle(row, bctx)?)?;
             keys.push(v.group_key());
             vals.push(v);
         }
-        match groups.entry(keys.clone()) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                order.push(keys);
-                e.insert((vals, vec![ri]));
-            }
-            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().1.push(ri),
+        // Clone the key only when a group is first seen, not on every row.
+        if let Some(g) = groups.get_mut(&keys) {
+            g.1.push(ri);
+        } else {
+            order.push(keys.clone());
+            groups.insert(keys, (vals, vec![ri]));
         }
     }
     // Global aggregate over empty input still yields one row.

@@ -178,18 +178,18 @@ fn aggregate_world(
             keys.push(v.group_key());
             vals.push(v);
         }
-        let acc = match groups.entry(keys.clone()) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                order.push(keys);
-                e.insert(Acc {
-                    key_vals: vals,
-                    count: 0,
-                    sums: vec![0.0; aggs.len()],
-                    mins: vec![f64::INFINITY; aggs.len()],
-                    maxs: vec![f64::NEG_INFINITY; aggs.len()],
-                })
-            }
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        // Clone the key only when a group is first seen, not on every row.
+        let acc = if groups.contains_key(&keys) {
+            groups.get_mut(&keys).expect("checked above")
+        } else {
+            order.push(keys.clone());
+            groups.entry(keys).or_insert(Acc {
+                key_vals: vals,
+                count: 0,
+                sums: vec![0.0; aggs.len()],
+                mins: vec![f64::INFINITY; aggs.len()],
+                maxs: vec![f64::NEG_INFINITY; aggs.len()],
+            })
         };
         acc.count += 1;
         for (i, a) in aggs.iter().enumerate() {
@@ -259,7 +259,7 @@ fn aggregate_world(
 // Indices address the worlds[w][ri][ci] cube along three axes; iterators
 // would obscure the transposition being performed here.
 #[allow(clippy::needless_range_loop)]
-fn assemble(plan: &BoundPlan, worlds: Vec<Vec<Vec<Value>>>, n: usize) -> Result<BundleTable> {
+fn assemble(plan: &BoundPlan, mut worlds: Vec<Vec<Vec<Value>>>, n: usize) -> Result<BundleTable> {
     let rows0 = worlds[0].len();
     if worlds.iter().any(|w| w.len() != rows0) {
         return Err(PdbError::Unsupported(
@@ -283,7 +283,7 @@ fn assemble(plan: &BoundPlan, worlds: Vec<Vec<Vec<Value>>>, n: usize) -> Result<
                     (1..n).all(|w| worlds[w][ri][ci] == worlds[0][ri][ci]),
                     "deterministic column varies across worlds"
                 );
-                cells.push(BundleCell::Det(worlds[0][ri][ci].clone()));
+                cells.push(BundleCell::Det(std::mem::replace(&mut worlds[0][ri][ci], Value::Null)));
             }
         }
         out.rows.push(BundleRow { cells, presence: Presence::All });

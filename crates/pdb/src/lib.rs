@@ -45,3 +45,4 @@ pub use schema::{Column, ColumnType, Schema};
 pub use sim::{BlackBoxSim, PlanSim, Simulation};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
+pub use worlds::{eval_worlds, resolve_thread_budget};

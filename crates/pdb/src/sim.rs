@@ -24,6 +24,11 @@ use crate::exec::{Engine, ExecContext};
 use crate::plan::BoundPlan;
 
 /// A parameterized Monte Carlo simulation with named scalar outputs.
+///
+/// Implementations provide the *sequential* window evaluation only; callers
+/// that hold a thread budget go through [`crate::worlds::eval_worlds`],
+/// which splits the window across scoped threads and stitches the results
+/// back bit-identically (worlds are seed-addressed, so sub-windows compose).
 pub trait Simulation: Send + Sync {
     /// Names of the output columns.
     fn columns(&self) -> &[String];
@@ -121,16 +126,16 @@ impl Simulation for PlanSim {
             world_start: start,
             n_worlds: count,
         };
-        let table = self.engine.execute(&self.plan, &self.catalog, &ctx)?;
+        let mut table = self.engine.execute(&self.plan, &self.catalog, &ctx)?;
         if table.len() != 1 {
             return Err(PdbError::Unsupported(format!(
                 "simulation queries must produce exactly one row, got {}",
                 table.len()
             )));
         }
-        let row = &table.rows[0];
+        let row = table.rows.pop().expect("length checked above");
         let mut out = Vec::with_capacity(self.columns.len());
-        for cell in &row.cells {
+        for cell in row.cells {
             out.push(match cell {
                 BundleCell::Det(v) => {
                     let x = v.as_f64().ok_or_else(|| {
@@ -138,7 +143,7 @@ impl Simulation for PlanSim {
                     })?;
                     vec![x; count]
                 }
-                BundleCell::Stoch(xs) => xs.clone(),
+                BundleCell::Stoch(xs) => xs,
             });
         }
         Ok(out)

@@ -1,25 +1,47 @@
-//! Parallel possible-world evaluation.
+//! Parallel possible-world evaluation — the single entry point every layer
+//! above uses to spend a thread budget on Monte Carlo work.
 //!
 //! Monte Carlo worlds are embarrassingly parallel: world `k`'s randomness is
 //! fully determined by `σ_k`, so partitioning the world range across threads
 //! changes nothing about the result (a property the tests assert). This
 //! mirrors MCDB's parallel world evaluation (paper §2.1: "queries are run on
 //! each sampled world in parallel").
+//!
+//! [`eval_worlds`] unifies the two historical evaluation paths — the
+//! sequential [`Simulation::eval_worlds`] trait method and the scoped-thread
+//! splitter — behind one function that accepts a thread budget. Both
+//! [`crate::BlackBoxSim`] and [`crate::PlanSim`] go through it unchanged:
+//! each sub-window executes exactly as the sequential path would over that
+//! window (same seeds per world), and windows are stitched back in
+//! enumeration order, so the output is **bit-identical for any thread
+//! count**.
 
 use crate::error::Result;
 use crate::sim::Simulation;
 
+/// Resolve a thread-budget knob: `0` means "all available cores", any other
+/// value is taken literally. Every budgeted entry point (this module,
+/// `jigsaw-core`'s sweep executor and Markov stepping) resolves the
+/// sentinel through here, so `0` behaves the same everywhere.
+pub fn resolve_thread_budget(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        t => t,
+    }
+}
+
 /// Evaluate `sim` at `point` over worlds `[start, start+count)` using up to
-/// `threads` OS threads. Returns `out[col][world_in_window]`, identical to
-/// the sequential [`Simulation::eval_worlds`].
-pub fn eval_worlds_parallel(
+/// `threads` OS threads (`0` = all available cores). Returns
+/// `out[col][world_in_window]`, identical to the sequential
+/// [`Simulation::eval_worlds`] for every thread budget.
+pub fn eval_worlds(
     sim: &dyn Simulation,
     point: &[f64],
     start: usize,
     count: usize,
     threads: usize,
 ) -> Result<Vec<Vec<f64>>> {
-    let threads = threads.max(1).min(count.max(1));
+    let threads = resolve_thread_budget(threads).min(count.max(1));
     if threads <= 1 || count == 0 {
         return sim.eval_worlds(point, start, count);
     }
@@ -50,7 +72,11 @@ pub fn eval_worlds_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::BlackBoxSim;
+    use crate::catalog::Catalog;
+    use crate::exec::DirectEngine;
+    use crate::expr::Expr;
+    use crate::plan::Plan;
+    use crate::sim::{BlackBoxSim, PlanSim};
     use jigsaw_blackbox::{FnBlackBox, ParamDecl, ParamSpace};
     use jigsaw_prng::SeedSet;
     use std::sync::Arc;
@@ -63,12 +89,39 @@ mod tests {
         )
     }
 
+    fn plan_sim() -> PlanSim {
+        let seeds = SeedSet::new(4);
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| {
+            p[0] * 3.0 + (s.0 % 101) as f64
+        })));
+        let cat = Arc::new(cat);
+        let plan = Plan::OneRow
+            .project(vec![("out", Expr::call("F", vec![Expr::param("w")]))])
+            .bind(&cat, &["w".to_string()])
+            .unwrap();
+        let space = ParamSpace::new(vec![ParamDecl::range("w", 0, 9, 1)]);
+        PlanSim::new(Arc::new(DirectEngine::new()), plan, cat, space, seeds)
+    }
+
     #[test]
     fn parallel_equals_sequential() {
         let s = sim();
         let seq = s.eval_worlds(&[1.0], 0, 103).unwrap();
         for threads in [2, 3, 8] {
-            let par = eval_worlds_parallel(&s, &[1.0], 0, 103, threads).unwrap();
+            let par = eval_worlds(&s, &[1.0], 0, 103, threads).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plan_sim_parallel_equals_sequential() {
+        // The DBMS path splits into per-window engine executions; world
+        // seeds are addressed absolutely, so the split is invisible.
+        let s = plan_sim();
+        let seq = s.eval_worlds(&[2.0], 0, 37).unwrap();
+        for threads in [2, 5, 16] {
+            let par = eval_worlds(&s, &[2.0], 0, 37, threads).unwrap();
             assert_eq!(seq, par, "threads={threads}");
         }
     }
@@ -76,9 +129,9 @@ mod tests {
     #[test]
     fn offset_windows_compose() {
         let s = sim();
-        let all = eval_worlds_parallel(&s, &[2.0], 0, 50, 4).unwrap();
-        let head = eval_worlds_parallel(&s, &[2.0], 0, 20, 4).unwrap();
-        let tail = eval_worlds_parallel(&s, &[2.0], 20, 30, 4).unwrap();
+        let all = eval_worlds(&s, &[2.0], 0, 50, 4).unwrap();
+        let head = eval_worlds(&s, &[2.0], 0, 20, 4).unwrap();
+        let tail = eval_worlds(&s, &[2.0], 20, 30, 4).unwrap();
         let glued: Vec<f64> = head[0].iter().chain(tail[0].iter()).copied().collect();
         assert_eq!(all[0], glued);
     }
@@ -86,14 +139,25 @@ mod tests {
     #[test]
     fn zero_count_is_empty() {
         let s = sim();
-        let out = eval_worlds_parallel(&s, &[0.0], 0, 0, 4).unwrap();
+        let out = eval_worlds(&s, &[0.0], 0, 0, 4).unwrap();
         assert!(out[0].is_empty());
     }
 
     #[test]
-    fn more_threads_than_worlds() {
+    fn count_below_thread_budget() {
+        // count < threads: the budget clamps to the window, one world per
+        // thread, and the stitched output still equals the serial path.
         let s = sim();
-        let out = eval_worlds_parallel(&s, &[0.0], 0, 3, 16).unwrap();
+        let seq = s.eval_worlds(&[0.0], 5, 3).unwrap();
+        let out = eval_worlds(&s, &[0.0], 5, 3, 16).unwrap();
+        assert_eq!(out, seq);
         assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn zero_thread_budget_means_sequential() {
+        let s = sim();
+        let seq = s.eval_worlds(&[3.0], 0, 17).unwrap();
+        assert_eq!(eval_worlds(&s, &[3.0], 0, 17, 0).unwrap(), seq);
     }
 }

@@ -1,0 +1,125 @@
+//! Determinism under parallelism: the batch-synchronous executor must give
+//! bit-identical sweeps — points, metrics, `reused_from`, basis sets, and
+//! deterministic telemetry counters — for every thread budget, and the
+//! unified world-evaluation entry point must equal the serial path for
+//! awkward window splits.
+
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::{Demand, SynthBasis};
+use jigsaw::blackbox::{ParamDecl, ParamSpace};
+use jigsaw::core::{JigsawConfig, SweepResult, SweepRunner};
+use jigsaw::pdb::{eval_worlds, BlackBoxSim, Simulation};
+use jigsaw::prng::SeedSet;
+use proptest::prelude::*;
+
+const THREAD_LADDER: [usize; 3] = [1, 2, 8];
+
+/// Full bit-level equality: every point (index, materialized parameters,
+/// per-column metrics, per-column reuse provenance) plus the deterministic
+/// counter snapshot (reuse counts, worlds evaluated, bases per column,
+/// pairings tested).
+fn assert_bit_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.point_idx, y.point_idx, "{what}");
+        assert_eq!(x.point, y.point, "{what}: point {}", x.point_idx);
+        assert_eq!(x.reused_from, y.reused_from, "{what}: point {}", x.point_idx);
+        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: point {}", x.point_idx);
+        for (ma, mb) in x.metrics.iter().zip(&y.metrics) {
+            // Sample-vector equality is the strongest statement: every
+            // derived metric (mean, sd, quantiles, histograms) follows.
+            assert_eq!(ma.samples(), mb.samples(), "{what}: point {}", x.point_idx);
+            assert_eq!(ma.expectation().to_bits(), mb.expectation().to_bits(), "{what}");
+            assert_eq!(ma.std_dev().to_bits(), mb.std_dev().to_bits(), "{what}");
+        }
+    }
+    assert_eq!(a.stats.counters(), b.stats.counters(), "{what}: counters");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn demand_sweep_identical_across_thread_ladder(
+        master in 0u64..500,
+        weeks in 8i64..24,
+        wave_pick in 0usize..4,
+    ) {
+        let wave = [0usize, 1, 5, 64][wave_pick];
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 0, weeks, 1),
+            ParamDecl::set("feature", vec![5, 12]),
+        ]);
+        let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(master));
+        let cfg = JigsawConfig::paper().with_n_samples(80).with_wave_size(wave);
+        let base = SweepRunner::new(cfg.with_threads(1)).run(&sim).unwrap();
+        for threads in THREAD_LADDER {
+            let r = SweepRunner::new(cfg.with_threads(threads)).run(&sim).unwrap();
+            assert_bit_identical(&base, &r, &format!("Demand threads={threads} wave={wave}"));
+        }
+    }
+
+    #[test]
+    fn synth_basis_sweep_identical_across_thread_ladder(
+        master in 0u64..500,
+        n_bases in 1usize..8,
+    ) {
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 39, 1)]);
+        let sim = BlackBoxSim::new(
+            Arc::new(SynthBasis::new(n_bases)),
+            space,
+            SeedSet::new(master),
+        );
+        let cfg = JigsawConfig::paper().with_n_samples(60);
+        let base = SweepRunner::new(cfg.with_threads(1)).run(&sim).unwrap();
+        prop_assert_eq!(base.stats.bases_per_column[0], n_bases);
+        for threads in THREAD_LADDER {
+            let r = SweepRunner::new(cfg.with_threads(threads)).run(&sim).unwrap();
+            assert_bit_identical(&base, &r, &format!("SynthBasis threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn world_windows_equal_serial_for_awkward_splits(
+        master in 0u64..500,
+        start in 0usize..50,
+        count in 0usize..40,
+        threads in 1usize..16,
+    ) {
+        let space = ParamSpace::new(vec![ParamDecl::range("week", 0, 9, 1)]);
+        let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(master));
+        let point = [3.0, 5.0];
+        let serial = sim.eval_worlds(&point, start, count).unwrap();
+        let par = eval_worlds(&sim, &point, start, count, threads).unwrap();
+        prop_assert_eq!(serial, par);
+    }
+}
+
+#[test]
+fn window_edge_cases_match_serial() {
+    let space = ParamSpace::new(vec![ParamDecl::range("week", 0, 9, 1)]);
+    let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(7));
+    let point = [2.0, 5.0];
+    // count == 0: empty columns, no worker spawned.
+    let empty = eval_worlds(&sim, &point, 4, 0, 8).unwrap();
+    assert!(empty[0].is_empty());
+    // count < threads: budget clamps to one world per thread.
+    let serial = sim.eval_worlds(&point, 0, 3).unwrap();
+    assert_eq!(eval_worlds(&sim, &point, 0, 3, 64).unwrap(), serial);
+}
+
+#[test]
+fn naive_runner_identical_across_threads() {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 14, 1),
+        ParamDecl::set("feature", vec![5]),
+    ]);
+    let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(3));
+    let cfg = JigsawConfig::paper().with_n_samples(50);
+    let base = SweepRunner::naive(cfg.with_threads(1)).run(&sim).unwrap();
+    for threads in THREAD_LADDER {
+        let r = SweepRunner::naive(cfg.with_threads(threads)).run(&sim).unwrap();
+        assert_bit_identical(&base, &r, &format!("naive threads={threads}"));
+    }
+}
