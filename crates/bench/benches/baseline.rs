@@ -20,10 +20,10 @@ fn demand_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/demand_156pts");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("full"), |b| {
-        b.iter(|| SweepRunner::naive(cfg).run(&sim).unwrap())
+        b.iter(|| SweepRunner::naive(cfg.clone()).run(&sim).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
-        b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+        b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
     });
     group.finish();
 }
@@ -40,10 +40,10 @@ fn overload_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/overload_416pts");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("full"), |b| {
-        b.iter(|| SweepRunner::naive(cfg).run(&sim).unwrap())
+        b.iter(|| SweepRunner::naive(cfg.clone()).run(&sim).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
-        b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+        b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
     });
     group.finish();
 }

@@ -26,7 +26,7 @@ fn structure_sizes(c: &mut Criterion) {
             SeedSet::new(5),
         );
         group.bench_function(BenchmarkId::from_parameter(format!("delay{size}")), |b| {
-            b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+            b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
         });
     }
     group.finish();

@@ -26,7 +26,7 @@ fn sweep_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let cfg = JigsawConfig::paper().with_n_samples(200).with_threads(threads);
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            b.iter(|| SweepRunner::new(cfg).run(&sim).unwrap())
+            b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
         });
     }
     group.finish();

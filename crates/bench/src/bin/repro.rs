@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--exp e1,e2,...] [--threads N] [--deterministic]
+//!       [--save-basis DIR] [--load-basis DIR]
 //! ```
 //!
 //! Default runs all experiments at paper scale; `--quick` shrinks workloads
@@ -13,8 +14,17 @@
 //! columns so two runs (e.g. `--threads 1` vs `--threads 4`) emit
 //! byte-identical markdown; the CI smoke job diffs exactly that. Output is
 //! markdown, suitable for pasting into `EXPERIMENTS.md`.
+//!
+//! `--save-basis DIR` makes E9's cold sweeps persist their basis stores as
+//! snapshots under `DIR`; `--load-basis DIR` warm-starts E9's warm sweeps
+//! from a previous run's `DIR` instead of the snapshots written this run.
+//! Warm-started sweeps are bit-identical to cold ones, so a save run and a
+//! load run emit byte-identical deterministic tables — the CI smoke job
+//! diffs exactly that pair too.
 
-use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8};
+use std::path::PathBuf;
+
+use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -28,6 +38,16 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    let dir_flag = |flag: &str| -> Option<PathBuf> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a directory path");
+                std::process::exit(2);
+            })
+        })
+    };
+    let save_basis = dir_flag("--save-basis");
+    let load_basis = dir_flag("--load-basis");
     let scale = (if quick { Scale::QUICK } else { Scale::FULL }).with_threads(threads);
     let selected: Vec<String> = args
         .iter()
@@ -93,6 +113,13 @@ fn main() {
     if want("e8") {
         eprintln!("[repro] E8: parallel sweep scaling…");
         println!("{}", render(&e8::report(&e8::run(scale))));
+    }
+    if want("e9") {
+        eprintln!("[repro] E9: cold vs warm-started sweeps…");
+        println!(
+            "{}",
+            render(&e9::report(&e9::run(scale, load_basis.as_deref(), save_basis.as_deref())))
+        );
     }
     eprintln!("[repro] done.");
 }

@@ -63,7 +63,7 @@ fn sweep_case(
 
     counter.reset();
     let t0 = Instant::now();
-    let naive = SweepRunner::naive(cfg).run(&sim).expect("naive sweep");
+    let naive = SweepRunner::naive(cfg.clone()).run(&sim).expect("naive sweep");
     let full_secs = t0.elapsed().as_secs_f64();
     let full_invocations = counter.get();
 

@@ -1,0 +1,271 @@
+//! E9 — cold vs snapshot-warm-started sweeps (cross-sweep basis
+//! persistence; this reproduction's extension, not a paper figure).
+//!
+//! Jigsaw amortizes black-box Monte Carlo cost through basis reuse, but a
+//! fresh process starts with an empty store and pays the full cold ramp.
+//! This experiment quantifies what a persisted basis store buys: each
+//! scenario is swept once cold (saving its committed store to a snapshot)
+//! and once warm-started from that snapshot. The warm leg must be
+//! **bit-identical** to the cold leg — same results table, same final basis
+//! sets — while evaluating only fingerprint worlds (`m` per point instead
+//! of up to `n`): every point resolves as a `warm_hit`.
+//!
+//! With `repro --save-basis DIR` the cold legs write their snapshots into
+//! `DIR`; with `repro --load-basis DIR` the warm legs read snapshots from a
+//! *previous* run's `DIR`, exercising cross-process persistence (the CI
+//! smoke job diffs the deterministic tables of a save run and a load run).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use jigsaw_blackbox::models::{Demand, SynthBasis};
+use jigsaw_blackbox::{BlackBox, ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{JigsawConfig, SweepResult, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+use crate::table::{fmt_secs, Table};
+use crate::Scale;
+
+use super::MASTER_SEED;
+
+/// One leg (cold or warm) of one scenario.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"cold"` or `"warm"`.
+    pub leg: &'static str,
+    /// Parameter points swept.
+    pub points: usize,
+    /// Simulation worlds evaluated (the cost the snapshot saves).
+    pub worlds: u64,
+    /// Points that ran a completion simulation.
+    pub full_sims: usize,
+    /// Points resolved against snapshot-loaded bases.
+    pub warm_hits: usize,
+    /// Basis distributions at end of sweep (first column).
+    pub bases: usize,
+    /// Wall-clock seconds for the sweep.
+    pub secs: f64,
+    /// Warm leg: results and final basis sets bit-identical to cold.
+    /// `None` for the cold leg itself.
+    pub identical: Option<bool>,
+}
+
+/// Per-invocation model cost, as in E2/E8: emulates the expensive external
+/// models the paper targets so the wall-clock gap stays honest.
+const MODEL_WORK: Workload = Workload(300);
+
+/// Snapshot file for a scenario inside a `--save-basis` / `--load-basis`
+/// directory.
+pub fn snapshot_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("e9-{}.snap", scenario.to_lowercase()))
+}
+
+/// Exact comparison: per-point results (every metric bit and the
+/// materialized parameters — reuse provenance legitimately differs between
+/// legs) and the final basis sets.
+fn identical(cold: &SweepResult, warm: &SweepResult) -> bool {
+    cold.points.len() == warm.points.len()
+        && cold.stats.bases_per_column == warm.stats.bases_per_column
+        && cold.points.iter().zip(&warm.points).all(|(a, b)| {
+            a.point_idx == b.point_idx
+                && a.point == b.point
+                && a.metrics.len() == b.metrics.len()
+                && a.metrics.iter().zip(&b.metrics).all(|(x, y)| x.samples() == y.samples())
+        })
+}
+
+fn leg_row(scenario: &str, leg: &'static str, r: &SweepResult, secs: f64) -> E9Row {
+    E9Row {
+        scenario: scenario.to_string(),
+        leg,
+        points: r.stats.points,
+        worlds: r.stats.worlds_evaluated,
+        full_sims: r.stats.full_simulations,
+        warm_hits: r.stats.warm_hits,
+        bases: r.stats.bases_per_column[0],
+        secs,
+        identical: None,
+    }
+}
+
+fn scenario_case(
+    name: &str,
+    bb: Arc<dyn BlackBox>,
+    space: ParamSpace,
+    scale: Scale,
+    load_dir: Option<&Path>,
+    save_dir: &Path,
+) -> Vec<E9Row> {
+    let cfg = JigsawConfig::paper()
+        .with_n_samples(scale.n_samples)
+        .with_fingerprint_len(scale.m)
+        .with_threads(scale.threads);
+    let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
+
+    // Cold leg: empty store in, snapshot out.
+    let save_path = snapshot_path(save_dir, name);
+    let t0 = Instant::now();
+    let cold =
+        SweepRunner::new(cfg.clone().with_basis_save(&save_path)).run(&sim).expect("cold sweep");
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    // Warm leg: snapshot in (from a previous run's directory when
+    // `--load-basis` was given, otherwise the one just saved).
+    let load_path = load_dir.map(|d| snapshot_path(d, name)).unwrap_or(save_path);
+    let t1 = Instant::now();
+    let warm = SweepRunner::new(cfg.with_basis_load(&load_path)).run(&sim).unwrap_or_else(|e| {
+        panic!(
+            "warm sweep could not start from {}: {e} (run --save-basis first?)",
+            load_path.display()
+        )
+    });
+    let warm_secs = t1.elapsed().as_secs_f64();
+
+    let mut warm_row = leg_row(name, "warm", &warm, warm_secs);
+    warm_row.identical = Some(identical(&cold, &warm));
+    vec![leg_row(name, "cold", &cold, cold_secs), warm_row]
+}
+
+/// Run both scenarios, cold and warm.
+pub fn run(scale: Scale, load_dir: Option<&Path>, save_dir: Option<&Path>) -> Vec<E9Row> {
+    // Without an explicit save directory the snapshots are transient. The
+    // per-call counter keeps concurrent runs in one process (parallel unit
+    // tests) from sharing — and deleting — each other's directory.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let temp = std::env::temp_dir().join(format!(
+        "jigsaw-e9-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let save_dir_eff = save_dir.unwrap_or(&temp);
+    std::fs::create_dir_all(save_dir_eff).expect("create snapshot directory");
+
+    let div = scale.space_divisor as i64;
+    let mut rows = Vec::new();
+
+    // Demand: affine-exact, collapses to ~1 basis — the snapshot is tiny
+    // yet eliminates every completion simulation.
+    rows.extend(scenario_case(
+        "Demand",
+        Arc::new(Demand::paper().with_work(MODEL_WORK)),
+        ParamSpace::new(vec![
+            ParamDecl::range("week", 0, 300 / div, 1),
+            ParamDecl::set("feature", vec![5, 12]),
+        ]),
+        scale,
+        load_dir,
+        save_dir_eff,
+    ));
+
+    // SynthBasis: basis pinned at 10% of the space — a snapshot an order of
+    // magnitude larger, same guarantee.
+    let points = (800 / div) as usize;
+    rows.extend(scenario_case(
+        "SynthBasis",
+        Arc::new(SynthBasis::new(points / 10).with_work(MODEL_WORK)),
+        ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]),
+        scale,
+        load_dir,
+        save_dir_eff,
+    ));
+
+    if save_dir.is_none() {
+        std::fs::remove_dir_all(&temp).ok();
+    }
+    rows
+}
+
+/// Render the cold-vs-warm table.
+pub fn report(rows: &[E9Row]) -> Table {
+    let mut t = Table::new(
+        "E9 — cold vs snapshot-warm-started sweep (cross-sweep basis persistence)",
+        &[
+            "Scenario",
+            "Leg",
+            "Points",
+            "Worlds evaluated",
+            "Full sims",
+            "Warm hits",
+            "Bases",
+            "Total",
+            "Identical to cold",
+        ],
+    );
+    t.mark_timing(&["Total"]);
+    for r in rows {
+        t.row(vec![
+            r.scenario.clone(),
+            r.leg.to_string(),
+            r.points.to_string(),
+            r.worlds.to_string(),
+            r.full_sims.to_string(),
+            r.warm_hits.to_string(),
+            r.bases.to_string(),
+            fmt_secs(r.secs),
+            match r.identical {
+                None => "—".into(),
+                Some(true) => "yes".into(),
+                Some(false) => "NO".into(),
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MICRO: Scale = Scale { n_samples: 60, m: 10, space_divisor: 8, threads: 1 };
+
+    #[test]
+    fn warm_legs_are_identical_and_strictly_cheaper() {
+        let rows = run(MICRO, None, None);
+        assert_eq!(rows.len(), 4, "two scenarios, two legs each");
+        for pair in rows.chunks(2) {
+            let (cold, warm) = (&pair[0], &pair[1]);
+            assert_eq!(cold.leg, "cold");
+            assert_eq!(warm.leg, "warm");
+            assert_eq!(cold.scenario, warm.scenario);
+            // Bit-identity of results and basis sets.
+            assert_eq!(warm.identical, Some(true), "{} diverged", warm.scenario);
+            assert_eq!(cold.bases, warm.bases);
+            // The whole point: a warm sweep over the same scenario runs no
+            // completion simulations — every point is a warm hit — and its
+            // world count drops to fingerprints only.
+            assert_eq!(warm.full_sims, 0, "{}", warm.scenario);
+            assert_eq!(warm.warm_hits, warm.points, "{}", warm.scenario);
+            assert_eq!(warm.worlds, (warm.points * MICRO.m) as u64);
+            assert!(warm.worlds < cold.worlds, "{}", warm.scenario);
+            // And the cold leg had none (nothing was preloaded).
+            assert_eq!(cold.warm_hits, 0);
+        }
+    }
+
+    #[test]
+    fn explicit_save_then_load_roundtrips_across_calls() {
+        let dir = std::env::temp_dir().join(format!("jigsaw-e9-test-{}", std::process::id()));
+        // First "process": save snapshots.
+        let saved = run(MICRO, None, Some(&dir));
+        assert!(snapshot_path(&dir, "Demand").exists());
+        assert!(snapshot_path(&dir, "SynthBasis").exists());
+        // Second "process": warm legs load the saved snapshots; the
+        // deterministic columns must match run to run.
+        let loaded = run(MICRO, Some(&dir), None);
+        for (a, b) in saved.iter().zip(&loaded) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.leg, b.leg);
+            assert_eq!(a.worlds, b.worlds);
+            assert_eq!(a.full_sims, b.full_sims);
+            assert_eq!(a.warm_hits, b.warm_hits);
+            assert_eq!(a.bases, b.bases);
+            assert_eq!(a.identical, b.identical);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

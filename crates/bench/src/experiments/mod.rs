@@ -8,6 +8,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 
 use std::sync::Arc;
 

@@ -12,6 +12,7 @@
 //! | [`experiments::e6`] | Figure 12 — Markov-jump performance vs branching factor |
 //! | [`experiments::e7`] | §6.2 accuracy — fingerprint length and Markov-jump error |
 //! | [`experiments::e8`] | Parallel sweep scaling at 1/2/4/8 threads (reproduction extension) |
+//! | [`experiments::e9`] | Cold vs snapshot-warm-started sweeps (reproduction extension) |
 //!
 //! The `repro` binary prints them as text tables; `EXPERIMENTS.md` records
 //! paper-vs-measured values. Absolute times differ from the paper's 2009-era

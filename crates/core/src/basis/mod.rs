@@ -27,6 +27,17 @@
 //! Because candidates are proposed in deterministic (insertion) order and
 //! staging happens in enumeration order, a wave replay is bit-identical to
 //! the fully sequential point loop for any thread count.
+//!
+//! ## Cross-sweep persistence
+//!
+//! The [`snapshot`] module serializes committed shards to a versioned,
+//! checksummed binary format so later sweeps and interactive sessions can
+//! warm-start from a prior session's basis sets instead of rebuilding them
+//! from scratch.
+
+pub mod snapshot;
+
+pub use snapshot::{config_fingerprint, SnapshotError, FORMAT_VERSION};
 
 use std::sync::Arc;
 
@@ -234,6 +245,18 @@ impl ShardedBasisStore {
         ShardedBasisStore {
             shards: (0..n_cols).map(|_| BasisStore::new(cfg, family.clone())).collect(),
         }
+    }
+
+    /// Assemble from pre-built per-column stores (snapshot loading and
+    /// interactive-session handoff).
+    pub fn from_shards(shards: Vec<BasisStore>) -> Self {
+        ShardedBasisStore { shards }
+    }
+
+    /// Decompose into the per-column stores (handoff to an
+    /// [`crate::interactive::InteractiveSession`]).
+    pub fn into_shards(self) -> Vec<BasisStore> {
+        self.shards
     }
 
     /// Number of shards (output columns).

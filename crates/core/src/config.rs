@@ -1,5 +1,7 @@
 //! Session configuration.
 
+use std::path::PathBuf;
+
 /// Which candidate-lookup strategy the basis store uses (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexStrategy {
@@ -19,7 +21,7 @@ pub enum IndexStrategy {
 ///
 /// Defaults follow the paper's experimental setup (§6): 1000 sample
 /// instances per parameter point and fingerprints of size 10.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JigsawConfig {
     /// Fingerprint length `m`.
     pub fingerprint_len: usize,
@@ -40,6 +42,15 @@ pub struct JigsawConfig {
     /// default) sizes waves automatically from the thread budget. Pure
     /// performance knob, like `threads`.
     pub wave_size: usize,
+    /// Warm-start the sweep from this basis snapshot (see
+    /// [`crate::basis::snapshot`]). The file must have been written under
+    /// the same basis-identity configuration (fingerprint length, sample
+    /// count, tolerance, index strategy, mapping family); any mismatch
+    /// fails the sweep with a typed error instead of silently diverging.
+    pub basis_load: Option<PathBuf>,
+    /// Save the committed basis store to this snapshot after the sweep, so
+    /// the next session over the same scenario starts warm.
+    pub basis_save: Option<PathBuf>,
 }
 
 impl JigsawConfig {
@@ -53,6 +64,8 @@ impl JigsawConfig {
             index: IndexStrategy::Normalization,
             threads: 1,
             wave_size: 0,
+            basis_load: None,
+            basis_save: None,
         }
     }
 
@@ -89,6 +102,18 @@ impl JigsawConfig {
     /// Override the wave size (`0` = derive from the thread budget).
     pub fn with_wave_size(mut self, wave_size: usize) -> Self {
         self.wave_size = wave_size;
+        self
+    }
+
+    /// Warm-start from a basis snapshot file.
+    pub fn with_basis_load(mut self, path: impl Into<PathBuf>) -> Self {
+        self.basis_load = Some(path.into());
+        self
+    }
+
+    /// Save the committed basis store to a snapshot file after the sweep.
+    pub fn with_basis_save(mut self, path: impl Into<PathBuf>) -> Self {
+        self.basis_save = Some(path.into());
         self
     }
 
@@ -165,6 +190,16 @@ mod tests {
         let auto = c.with_threads(0);
         assert!(auto.effective_threads() >= 1);
         assert!(auto.effective_wave_size() >= 4 * auto.effective_threads());
+    }
+
+    #[test]
+    fn snapshot_knobs_default_off_and_chain() {
+        let c = JigsawConfig::paper();
+        assert!(c.basis_load.is_none() && c.basis_save.is_none());
+        let c = c.with_basis_load("/tmp/a.snap").with_basis_save("/tmp/b.snap");
+        assert_eq!(c.basis_load.as_deref(), Some(std::path::Path::new("/tmp/a.snap")));
+        assert_eq!(c.basis_save.as_deref(), Some(std::path::Path::new("/tmp/b.snap")));
+        c.validate();
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 
-use crate::basis::{BasisId, BasisStore};
+use crate::basis::{BasisId, BasisStore, ShardedBasisStore};
 use crate::config::JigsawConfig;
 use crate::fingerprint::Fingerprint;
 use crate::mapping::{AffineFamily, AffineMap};
@@ -111,16 +111,35 @@ pub struct InteractiveSession<'a> {
 }
 
 impl<'a> InteractiveSession<'a> {
-    /// Start a session focused on point 0.
+    /// Start a session focused on point 0, with empty (cold) basis stores.
     pub fn new(sim: &'a dyn Simulation, cfg: SessionConfig) -> Self {
-        assert!(cfg.batch > 0 && cfg.fingerprint_len >= 2);
         let jcfg = JigsawConfig::paper()
             .with_fingerprint_len(cfg.fingerprint_len)
             .with_n_samples(cfg.n_target.max(cfg.fingerprint_len))
             .with_tolerance(cfg.tolerance);
-        let stores = (0..sim.columns().len())
-            .map(|_| Mutex::new(BasisStore::new(&jcfg, std::sync::Arc::new(AffineFamily))))
-            .collect();
+        let store =
+            ShardedBasisStore::new(sim.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        Self::with_store(sim, cfg, store)
+    }
+
+    /// Start a session from a pre-populated basis store — e.g. one loaded
+    /// from a snapshot of an earlier sweep or session over the same
+    /// scenario (see [`crate::basis::snapshot`]), so the first touches of
+    /// familiar points resolve immediately instead of ramping up cold.
+    ///
+    /// The store must have one shard per output column of `sim`.
+    pub fn with_store(
+        sim: &'a dyn Simulation,
+        cfg: SessionConfig,
+        store: ShardedBasisStore,
+    ) -> Self {
+        assert!(cfg.batch > 0 && cfg.fingerprint_len >= 2);
+        assert_eq!(
+            store.n_shards(),
+            sim.columns().len(),
+            "warm store must have one shard per output column"
+        );
+        let stores = store.into_shards().into_iter().map(Mutex::new).collect();
         InteractiveSession {
             sim,
             cfg,
@@ -130,6 +149,17 @@ impl<'a> InteractiveSession<'a> {
             tick: 0,
             worlds_evaluated: 0,
         }
+    }
+
+    /// End the session and hand back its basis stores (for snapshotting —
+    /// the dual of [`Self::with_store`]).
+    pub fn into_store(self) -> ShardedBasisStore {
+        ShardedBasisStore::from_shards(
+            self.stores
+                .into_iter()
+                .map(|m| m.into_inner().expect("basis store lock poisoned"))
+                .collect(),
+        )
     }
 
     /// Move the user's focus to a new point (e.g. a slider change).
@@ -442,6 +472,70 @@ mod tests {
                 (a, b) => panic!("point {p}: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn warm_store_skips_the_cold_ramp() {
+        let s = sim();
+        // Warm up a session, export its store, and start a new one from it.
+        let mut warmup = InteractiveSession::new(&s, SessionConfig::default());
+        warmup.set_focus(9);
+        for _ in 0..30 {
+            warmup.tick().unwrap();
+        }
+        let store = warmup.into_store();
+        assert!(store.bases_per_column()[0] >= 1);
+        let mut warm = InteractiveSession::with_store(&s, SessionConfig::default(), store);
+        warm.set_focus(9);
+        warm.tick().unwrap();
+        let est = warm.estimate(9, 0).unwrap();
+        // The very first estimate already rides the warmed basis…
+        assert_eq!(est.source, EstimateSource::MappedBasis);
+        // …and carries more sample mass than a cold session's first tick.
+        let mut cold = InteractiveSession::new(&s, SessionConfig::default());
+        cold.set_focus(9);
+        cold.tick().unwrap();
+        let cold_est = cold.estimate(9, 0).unwrap();
+        assert!(
+            est.n_samples > cold_est.n_samples,
+            "warm {} vs cold {}",
+            est.n_samples,
+            cold_est.n_samples
+        );
+    }
+
+    #[test]
+    fn warm_store_roundtrips_through_snapshot_bytes() {
+        let s = sim();
+        let mut warmup = InteractiveSession::new(&s, SessionConfig::default());
+        warmup.set_focus(9);
+        for _ in 0..20 {
+            warmup.tick().unwrap();
+        }
+        let counts = warmup.basis_counts();
+        let jcfg = JigsawConfig::paper();
+        let bytes = warmup.into_store().to_snapshot_bytes(&jcfg, "affine").unwrap();
+        let store = ShardedBasisStore::from_snapshot_bytes(
+            &bytes,
+            &jcfg,
+            std::sync::Arc::new(AffineFamily),
+            1,
+        )
+        .unwrap();
+        assert_eq!(store.bases_per_column(), counts);
+        let mut warm = InteractiveSession::with_store(&s, SessionConfig::default(), store);
+        warm.set_focus(9);
+        warm.tick().unwrap();
+        assert_eq!(warm.estimate(9, 0).unwrap().source, EstimateSource::MappedBasis);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per output column")]
+    fn with_store_checks_shard_count() {
+        let s = sim();
+        let jcfg = JigsawConfig::paper();
+        let store = ShardedBasisStore::new(3, &jcfg, std::sync::Arc::new(AffineFamily));
+        let _ = InteractiveSession::with_store(&s, SessionConfig::default(), store);
     }
 
     #[test]

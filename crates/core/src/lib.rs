@@ -34,7 +34,10 @@ pub mod markov;
 pub mod optimizer;
 pub mod telemetry;
 
-pub use basis::{BasisDistribution, BasisId, BasisStore, FrozenBasisView, ShardedBasisStore};
+pub use basis::{
+    config_fingerprint, BasisDistribution, BasisId, BasisStore, FrozenBasisView, ShardedBasisStore,
+    SnapshotError,
+};
 pub use config::{IndexStrategy, JigsawConfig};
 pub use fingerprint::Fingerprint;
 pub use interactive::{InteractiveSession, SessionConfig};

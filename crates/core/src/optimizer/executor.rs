@@ -31,6 +31,18 @@
 //! telemetry counters are **bit-identical for any thread count and any wave
 //! size**. Threads and waves are pure performance knobs.
 //!
+//! ## Warm starts
+//!
+//! With [`JigsawConfig::basis_load`] set, the sweep begins from a
+//! snapshot's committed bases instead of an empty store
+//! ([`crate::basis::snapshot`]); resolves against loaded bases are counted
+//! as `warm_hits`, distinct from intra-sweep `reused`. With
+//! [`JigsawConfig::basis_save`] set, the committed store is re-saved after
+//! the final wave barrier. A warm-started sweep over the same scenario
+//! produces bit-identical results and final basis sets to its cold
+//! counterpart — only the cost counters (worlds evaluated, full
+//! simulations) shrink.
+//!
 //! [`BasisStore`]: crate::basis::BasisStore
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,7 +112,14 @@ pub fn run_sweep(
     let wave_size = cfg.effective_wave_size().max(1);
     let start = Instant::now();
 
-    let mut stores = ShardedBasisStore::new(n_cols, cfg, family);
+    // Warm start: resume from a snapshot's committed bases. Loaded bases
+    // occupy ids `0..preloaded[c]`; resolves against them are counted as
+    // `warm_hits`, distinct from intra-sweep reuse.
+    let mut stores = match &cfg.basis_load {
+        Some(path) => ShardedBasisStore::load_snapshot(path, cfg, family.clone(), n_cols)?,
+        None => ShardedBasisStore::new(n_cols, cfg, family.clone()),
+    };
+    let preloaded = stores.bases_per_column();
     let total = space.len();
     let mut points: Vec<PointResult> = Vec::with_capacity(total);
     let mut stats = SweepStats { threads, ..Default::default() };
@@ -179,8 +198,19 @@ pub fn run_sweep(
                 stats.worlds_evaluated += tail_count as u64;
                 tails_by_slot[slot_i].take().expect("tail evaluated for miss")?
             } else {
-                stats.reused += 1;
-                wave_reuse.reused += 1;
+                // Fully reused point: a *warm* hit when every column matched
+                // a snapshot-loaded basis, intra-sweep reuse otherwise.
+                let warm = cols.iter().enumerate().all(|(c, plan)| match plan {
+                    ColPlan::Reuse(id, _) => id.0 < preloaded[c],
+                    ColPlan::Fresh(_) => false,
+                });
+                if warm {
+                    stats.warm_hits += 1;
+                    wave_reuse.warm_hits += 1;
+                } else {
+                    stats.reused += 1;
+                    wave_reuse.reused += 1;
+                }
                 Vec::new()
             };
             let mut metrics = Vec::with_capacity(n_cols);
@@ -228,6 +258,14 @@ pub fn run_sweep(
     stats.points = total;
     stats.bases_per_column = stores.bases_per_column();
     stats.pairings_tested = stores.pairings_total();
+
+    // Persist the committed store so the next sweep or session over this
+    // scenario starts warm. All bases are committed here (the wave barrier
+    // invariant), so this cannot hit `SnapshotError::StagedBases`.
+    if let Some(path) = &cfg.basis_save {
+        stores.save_snapshot(cfg, family.name(), path)?;
+    }
+
     stats.elapsed = start.elapsed();
     Ok(SweepResult { points, stats })
 }
@@ -408,13 +446,78 @@ mod tests {
         assert_eq!(r.stats.waves, r.stats.wave_reuse.len());
         let pts: usize = r.stats.wave_reuse.iter().map(|w| w.points).sum();
         let reused: usize = r.stats.wave_reuse.iter().map(|w| w.reused).sum();
+        let warm: usize = r.stats.wave_reuse.iter().map(|w| w.warm_hits).sum();
         let full: usize = r.stats.wave_reuse.iter().map(|w| w.full_simulations).sum();
         assert_eq!(pts, r.stats.points);
         assert_eq!(reused, r.stats.reused);
+        assert_eq!(warm, r.stats.warm_hits);
         assert_eq!(full, r.stats.full_simulations);
+        assert_eq!(warm, 0, "no snapshot loaded, so no warm hits");
         for w in &r.stats.wave_reuse {
-            assert_eq!(w.points, w.reused + w.full_simulations);
+            assert_eq!(w.points, w.reused + w.warm_hits + w.full_simulations);
         }
+    }
+
+    #[test]
+    fn warm_start_replays_cold_results_and_counts_warm_hits() {
+        let sim = demand_sim();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("jigsaw-exec-warm-{}.snap", std::process::id()));
+        let cold = SweepRunner::new(cfg().with_basis_save(&path)).run(&sim).unwrap();
+        assert_eq!(cold.stats.warm_hits, 0);
+        let warm = SweepRunner::new(cfg().with_basis_load(&path)).run(&sim).unwrap();
+        // Same scenario: every point resolves against a loaded basis.
+        assert_eq!(warm.stats.warm_hits, warm.stats.points);
+        assert_eq!(warm.stats.reused, 0);
+        assert_eq!(warm.stats.full_simulations, 0);
+        // Results and final basis sets are bit-identical to the cold sweep.
+        assert_eq!(warm.stats.bases_per_column, cold.stats.bases_per_column);
+        for (c, w) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(c.point_idx, w.point_idx);
+            assert_eq!(c.point, w.point);
+            for (mc, mw) in c.metrics.iter().zip(&w.metrics) {
+                assert_eq!(mc.samples(), mw.samples());
+                assert_eq!(mc.expectation().to_bits(), mw.expectation().to_bits());
+                assert_eq!(mc.std_dev().to_bits(), mw.std_dev().to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warm_start_resave_is_byte_identical() {
+        let sim = demand_sim();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let cold_path = dir.join(format!("jigsaw-exec-resave-cold-{pid}.snap"));
+        let warm_path = dir.join(format!("jigsaw-exec-resave-warm-{pid}.snap"));
+        SweepRunner::new(cfg().with_basis_save(&cold_path)).run(&sim).unwrap();
+        SweepRunner::new(cfg().with_basis_load(&cold_path).with_basis_save(&warm_path))
+            .run(&sim)
+            .unwrap();
+        let a = std::fs::read(&cold_path).unwrap();
+        let b = std::fs::read(&warm_path).unwrap();
+        assert_eq!(a, b, "warm re-save must reproduce the cold snapshot byte for byte");
+        std::fs::remove_file(&cold_path).ok();
+        std::fs::remove_file(&warm_path).ok();
+    }
+
+    #[test]
+    fn config_mismatch_fails_the_sweep_with_typed_error() {
+        let sim = demand_sim();
+        let path =
+            std::env::temp_dir().join(format!("jigsaw-exec-mismatch-{}.snap", std::process::id()));
+        SweepRunner::new(cfg().with_basis_save(&path)).run(&sim).unwrap();
+        let err =
+            match SweepRunner::new(cfg().with_tolerance(1e-6).with_basis_load(&path)).run(&sim) {
+                Err(e) => e,
+                Ok(_) => panic!("mismatched snapshot must not load"),
+            };
+        assert!(
+            err.to_string().contains("basis snapshot"),
+            "expected a snapshot error, got: {err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -478,7 +581,7 @@ mod tests {
         // the fingerprint.
         let sim = demand_sim();
         let c = JigsawConfig::paper().with_fingerprint_len(10).with_n_samples(10);
-        let base = SweepRunner::new(c.with_threads(1)).run(&sim).unwrap();
+        let base = SweepRunner::new(c.clone().with_threads(1)).run(&sim).unwrap();
         let par = SweepRunner::new(c.with_threads(4)).run(&sim).unwrap();
         assert_identical(&base, &par, "n==m");
         for p in &base.points {

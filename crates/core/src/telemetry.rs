@@ -21,8 +21,12 @@ pub struct PhaseTimings {
 pub struct WaveReuse {
     /// Points processed in the wave.
     pub points: usize,
-    /// Points fully served by basis reuse.
+    /// Points fully served by intra-sweep basis reuse (at least one matched
+    /// basis was created during this sweep).
     pub reused: usize,
+    /// Points fully served by bases loaded from a snapshot (cross-sweep
+    /// warm-start reuse; zero when no snapshot was loaded).
+    pub warm_hits: usize,
     /// Points that ran a completion simulation.
     pub full_simulations: usize,
 }
@@ -36,8 +40,10 @@ pub struct SweepCounters {
     pub points: usize,
     /// Points answered by full Monte Carlo simulation.
     pub full_simulations: usize,
-    /// Points answered by basis reuse through a mapping.
+    /// Points answered by intra-sweep basis reuse through a mapping.
     pub reused: usize,
+    /// Points answered by snapshot-loaded (warm-start) bases.
+    pub warm_hits: usize,
     /// Simulation worlds evaluated.
     pub worlds_evaluated: u64,
     /// Basis distributions per output column.
@@ -53,8 +59,12 @@ pub struct SweepStats {
     pub points: usize,
     /// Points answered by full Monte Carlo simulation.
     pub full_simulations: usize,
-    /// Points answered by basis reuse through a mapping.
+    /// Points answered by intra-sweep basis reuse through a mapping.
     pub reused: usize,
+    /// Points answered entirely by bases loaded from a snapshot — the
+    /// cross-sweep warm-start hits, kept distinct from intra-sweep reuse so
+    /// telemetry shows how much a warm store actually saved.
+    pub warm_hits: usize,
     /// Simulation worlds evaluated (fingerprint + completion).
     pub worlds_evaluated: u64,
     /// Basis distributions at end of sweep, per output column.
@@ -81,17 +91,18 @@ impl SweepStats {
             points: self.points,
             full_simulations: self.full_simulations,
             reused: self.reused,
+            warm_hits: self.warm_hits,
             worlds_evaluated: self.worlds_evaluated,
             bases_per_column: self.bases_per_column.clone(),
             pairings_tested: self.pairings_tested,
         }
     }
-    /// Fraction of points served by reuse.
+    /// Fraction of points served by reuse (intra-sweep or warm-start).
     pub fn reuse_rate(&self) -> f64 {
         if self.points == 0 {
             return 0.0;
         }
-        self.reused as f64 / self.points as f64
+        (self.reused + self.warm_hits) as f64 / self.points as f64
     }
 
     /// Wall-clock seconds per parameter point (the paper's "s/pc" unit).
@@ -141,6 +152,62 @@ mod tests {
         let s = SweepStats { points: 10, reused: 4, ..Default::default() };
         assert!((s.reuse_rate() - 0.4).abs() < 1e-12);
         assert_eq!(SweepStats::default().reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn reuse_rate_counts_warm_hits() {
+        // A fully warm-started sweep has zero intra-sweep reuse but a 100%
+        // effective reuse rate.
+        let s = SweepStats { points: 10, reused: 0, warm_hits: 10, ..Default::default() };
+        assert!((s.reuse_rate() - 1.0).abs() < 1e-12);
+        let mixed = SweepStats { points: 10, reused: 3, warm_hits: 4, ..Default::default() };
+        assert!((mixed.reuse_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_capture_every_deterministic_field() {
+        let s = SweepStats {
+            points: 12,
+            full_simulations: 2,
+            reused: 3,
+            warm_hits: 7,
+            worlds_evaluated: 500,
+            bases_per_column: vec![2, 4],
+            pairings_tested: 31,
+            ..Default::default()
+        };
+        let c = s.counters();
+        assert_eq!(c.points, 12);
+        assert_eq!(c.full_simulations, 2);
+        assert_eq!(c.reused, 3);
+        assert_eq!(c.warm_hits, 7);
+        assert_eq!(c.worlds_evaluated, 500);
+        assert_eq!(c.bases_per_column, vec![2, 4]);
+        assert_eq!(c.pairings_tested, 31);
+        // Every counter participates in the equality the determinism tests
+        // rely on: flipping any single field breaks it.
+        let base = s.counters();
+        let variants = [
+            SweepStats { points: 13, ..s.clone() },
+            SweepStats { full_simulations: 3, ..s.clone() },
+            SweepStats { reused: 4, ..s.clone() },
+            SweepStats { warm_hits: 8, ..s.clone() },
+            SweepStats { worlds_evaluated: 501, ..s.clone() },
+            SweepStats { bases_per_column: vec![2, 5], ..s.clone() },
+            SweepStats { pairings_tested: 32, ..s.clone() },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, v.counters(), "field {i} must be part of the snapshot");
+        }
+    }
+
+    #[test]
+    fn wave_reuse_partitions_points() {
+        // The executor's per-wave invariant: every point is exactly one of
+        // warm hit, intra-sweep reuse, or full simulation.
+        let w = WaveReuse { points: 9, reused: 2, warm_hits: 4, full_simulations: 3 };
+        assert_eq!(w.points, w.reused + w.warm_hits + w.full_simulations);
+        assert_eq!(WaveReuse::default(), WaveReuse { points: 0, ..Default::default() });
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum PdbError {
     Unsupported(String),
     /// A type error during evaluation.
     TypeError(String),
+    /// Loading or saving a basis snapshot failed (the stringified
+    /// `jigsaw_core::basis::SnapshotError`; typed handling lives upstream).
+    Snapshot(String),
 }
 
 impl fmt::Display for PdbError {
@@ -46,6 +49,7 @@ impl fmt::Display for PdbError {
             }
             PdbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             PdbError::TypeError(msg) => write!(f, "type error: {msg}"),
+            PdbError::Snapshot(msg) => write!(f, "basis snapshot: {msg}"),
         }
     }
 }

@@ -35,7 +35,7 @@ fn main() {
 
     // 4. Naive baseline: every point fully simulated.
     let t0 = Instant::now();
-    let naive = SweepRunner::naive(cfg).run(&sim).expect("naive sweep");
+    let naive = SweepRunner::naive(cfg.clone()).run(&sim).expect("naive sweep");
     let naive_time = t0.elapsed();
 
     // 5. Jigsaw: fingerprints detect that every point is an affine image of

@@ -1,0 +1,26 @@
+//! Shared helpers for the integration-test suite (not a test target
+//! itself; pulled in with `mod common;`).
+
+use jigsaw::core::SweepResult;
+
+/// Full bit-level equality: every point (index, materialized parameters,
+/// per-column metrics, per-column reuse provenance) plus the deterministic
+/// counter snapshot (reuse counts, warm hits, worlds evaluated, bases per
+/// column, pairings tested).
+pub fn assert_bit_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.point_idx, y.point_idx, "{what}");
+        assert_eq!(x.point, y.point, "{what}: point {}", x.point_idx);
+        assert_eq!(x.reused_from, y.reused_from, "{what}: point {}", x.point_idx);
+        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: point {}", x.point_idx);
+        for (ma, mb) in x.metrics.iter().zip(&y.metrics) {
+            // Sample-vector equality is the strongest statement: every
+            // derived metric (mean, sd, quantiles, histograms) follows.
+            assert_eq!(ma.samples(), mb.samples(), "{what}: point {}", x.point_idx);
+            assert_eq!(ma.expectation().to_bits(), mb.expectation().to_bits(), "{what}");
+            assert_eq!(ma.std_dev().to_bits(), mb.std_dev().to_bits(), "{what}");
+        }
+    }
+    assert_eq!(a.stats.counters(), b.stats.counters(), "{what}: counters");
+}

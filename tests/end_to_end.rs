@@ -42,7 +42,7 @@ fn figure1_scenario_batch_pipeline() {
 
     let cfg = JigsawConfig::paper().with_n_samples(120);
     let outcome = scenario
-        .run_batch(Arc::new(DirectEngine::new()), cat.clone(), SeedSet::new(5), cfg)
+        .run_batch(Arc::new(DirectEngine::new()), cat.clone(), SeedSet::new(5), cfg.clone())
         .expect("batch");
 
     // Reuse must be substantial on this workload.
@@ -81,7 +81,9 @@ fn both_engines_produce_identical_batch_results() {
         [Arc::new(DirectEngine::new()), Arc::new(DbmsEngine::new())];
     let outcomes: Vec<_> = engines
         .iter()
-        .map(|e| scenario.run_batch(e.clone(), cat.clone(), SeedSet::new(5), cfg).expect("batch"))
+        .map(|e| {
+            scenario.run_batch(e.clone(), cat.clone(), SeedSet::new(5), cfg.clone()).expect("batch")
+        })
         .collect();
 
     let (a, b) = (&outcomes[0], &outcomes[1]);
@@ -109,7 +111,7 @@ fn selector_reports_infeasibility() {
     let scenario = compile(&impossible, &cat).expect("compiles");
     let cfg = JigsawConfig::paper().with_n_samples(20);
     let outcome = scenario
-        .run_batch(Arc::new(DirectEngine::new()), cat, SeedSet::new(5), cfg)
+        .run_batch(Arc::new(DirectEngine::new()), cat, SeedSet::new(5), cfg.clone())
         .expect("batch");
     assert!(outcome.selection.is_none());
 }

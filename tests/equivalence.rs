@@ -121,9 +121,9 @@ fn sweep_reuse_is_exact_for_affine_models() {
     ]);
     let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(8));
     let cfg = JigsawConfig::paper().with_n_samples(150);
-    let naive = SweepRunner::naive(cfg).run(&sim).unwrap();
+    let naive = SweepRunner::naive(cfg.clone()).run(&sim).unwrap();
     for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
-        let fast = SweepRunner::new(cfg.with_index(strat)).run(&sim).unwrap();
+        let fast = SweepRunner::new(cfg.clone().with_index(strat)).run(&sim).unwrap();
         for (a, b) in naive.points.iter().zip(&fast.points) {
             assert!(
                 (a.metrics[0].expectation() - b.metrics[0].expectation()).abs() < 1e-9,
@@ -167,7 +167,7 @@ fn basis_counts_strategy_independent() {
     let sim = BlackBoxSim::new(Arc::new(SynthBasis::new(12)), space, SeedSet::new(4));
     let cfg = JigsawConfig::paper().with_n_samples(50);
     for strat in [IndexStrategy::Array, IndexStrategy::Normalization, IndexStrategy::SortedSid] {
-        let sweep = SweepRunner::new(cfg.with_index(strat)).run(&sim).unwrap();
+        let sweep = SweepRunner::new(cfg.clone().with_index(strat)).run(&sim).unwrap();
         assert_eq!(sweep.stats.bases_per_column[0], 12, "{strat:?}");
     }
 }

@@ -1,0 +1,78 @@
+//! Golden-file tests for the deterministic `repro` table output.
+//!
+//! `repro --deterministic` renders experiment tables with wall-clock
+//! columns redacted, so the remaining content is a pure function of the
+//! code — the CI twin-run diff already relies on that. These tests pin the
+//! *rendered form* against checked-in expectations under `tests/golden/`,
+//! so format drift in `Table` rendering (alignment, separators, redaction
+//! placeholders, header wording) or in an experiment's deterministic
+//! columns is caught at test time instead of silently shipped.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! JIGSAW_BLESS=1 cargo test --test golden_tables
+//! ```
+
+use std::path::PathBuf;
+
+use jigsaw_bench::experiments::e9;
+use jigsaw_bench::{Scale, Table};
+
+/// The micro scale used for golden runs: small enough for test time, big
+/// enough to exercise both E9 scenarios meaningfully.
+const MICRO: Scale = Scale { n_samples: 60, m: 10, space_divisor: 8, threads: 1 };
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("JIGSAW_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `JIGSAW_BLESS=1 cargo test --test golden_tables`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "rendered table drifted from {}; if intentional, re-bless with \
+         `JIGSAW_BLESS=1 cargo test --test golden_tables`",
+        path.display()
+    );
+}
+
+/// A synthetic table exercising every rendering feature: column alignment
+/// under mixed widths, the header separator, unicode cells, and timing
+/// redaction in the deterministic render.
+#[test]
+fn table_rendering_golden() {
+    let mut t = Table::new("Rendering fixture", &["model", "time", "ratio", "count"]);
+    t.mark_timing(&["time", "ratio"]);
+    t.row(vec!["Demand".into(), "0.12 s".into(), "10.00×".into(), "5000".into()]);
+    t.row(vec!["C".into(), "1234.56 s".into(), "1.00×".into(), "7".into()]);
+    t.row(vec!["a-very-long-model-name".into(), "9.9 µs".into(), "0.50×".into(), "42".into()]);
+    let rendered = format!(
+        "== to_markdown ==\n{}\n== to_markdown_deterministic ==\n{}",
+        t.to_markdown(),
+        t.to_markdown_deterministic()
+    );
+    check_golden("table_rendering.md", &rendered);
+}
+
+/// E9's deterministic table at micro scale: pins both the rendering and
+/// the experiment's deterministic columns (worlds evaluated, warm hits,
+/// basis counts) — the same table the CI save/load twin-run diffs.
+#[test]
+fn e9_deterministic_table_golden() {
+    let rows = e9::run(MICRO, None, None);
+    check_golden("e9_micro.md", &e9::report(&rows).to_markdown_deterministic());
+}

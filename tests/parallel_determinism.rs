@@ -8,34 +8,15 @@ use std::sync::Arc;
 
 use jigsaw::blackbox::models::{Demand, SynthBasis};
 use jigsaw::blackbox::{ParamDecl, ParamSpace};
-use jigsaw::core::{JigsawConfig, SweepResult, SweepRunner};
+use jigsaw::core::{JigsawConfig, SweepRunner};
 use jigsaw::pdb::{eval_worlds, BlackBoxSim, Simulation};
 use jigsaw::prng::SeedSet;
 use proptest::prelude::*;
 
-const THREAD_LADDER: [usize; 3] = [1, 2, 8];
+mod common;
+use common::assert_bit_identical;
 
-/// Full bit-level equality: every point (index, materialized parameters,
-/// per-column metrics, per-column reuse provenance) plus the deterministic
-/// counter snapshot (reuse counts, worlds evaluated, bases per column,
-/// pairings tested).
-fn assert_bit_identical(a: &SweepResult, b: &SweepResult, what: &str) {
-    assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
-    for (x, y) in a.points.iter().zip(&b.points) {
-        assert_eq!(x.point_idx, y.point_idx, "{what}");
-        assert_eq!(x.point, y.point, "{what}: point {}", x.point_idx);
-        assert_eq!(x.reused_from, y.reused_from, "{what}: point {}", x.point_idx);
-        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: point {}", x.point_idx);
-        for (ma, mb) in x.metrics.iter().zip(&y.metrics) {
-            // Sample-vector equality is the strongest statement: every
-            // derived metric (mean, sd, quantiles, histograms) follows.
-            assert_eq!(ma.samples(), mb.samples(), "{what}: point {}", x.point_idx);
-            assert_eq!(ma.expectation().to_bits(), mb.expectation().to_bits(), "{what}");
-            assert_eq!(ma.std_dev().to_bits(), mb.std_dev().to_bits(), "{what}");
-        }
-    }
-    assert_eq!(a.stats.counters(), b.stats.counters(), "{what}: counters");
-}
+const THREAD_LADDER: [usize; 3] = [1, 2, 8];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -53,9 +34,9 @@ proptest! {
         ]);
         let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(master));
         let cfg = JigsawConfig::paper().with_n_samples(80).with_wave_size(wave);
-        let base = SweepRunner::new(cfg.with_threads(1)).run(&sim).unwrap();
+        let base = SweepRunner::new(cfg.clone().with_threads(1)).run(&sim).unwrap();
         for threads in THREAD_LADDER {
-            let r = SweepRunner::new(cfg.with_threads(threads)).run(&sim).unwrap();
+            let r = SweepRunner::new(cfg.clone().with_threads(threads)).run(&sim).unwrap();
             assert_bit_identical(&base, &r, &format!("Demand threads={threads} wave={wave}"));
         }
     }
@@ -72,10 +53,10 @@ proptest! {
             SeedSet::new(master),
         );
         let cfg = JigsawConfig::paper().with_n_samples(60);
-        let base = SweepRunner::new(cfg.with_threads(1)).run(&sim).unwrap();
+        let base = SweepRunner::new(cfg.clone().with_threads(1)).run(&sim).unwrap();
         prop_assert_eq!(base.stats.bases_per_column[0], n_bases);
         for threads in THREAD_LADDER {
-            let r = SweepRunner::new(cfg.with_threads(threads)).run(&sim).unwrap();
+            let r = SweepRunner::new(cfg.clone().with_threads(threads)).run(&sim).unwrap();
             assert_bit_identical(&base, &r, &format!("SynthBasis threads={threads}"));
         }
     }
@@ -117,9 +98,9 @@ fn naive_runner_identical_across_threads() {
     ]);
     let sim = BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(50);
-    let base = SweepRunner::naive(cfg.with_threads(1)).run(&sim).unwrap();
+    let base = SweepRunner::naive(cfg.clone().with_threads(1)).run(&sim).unwrap();
     for threads in THREAD_LADDER {
-        let r = SweepRunner::naive(cfg.with_threads(threads)).run(&sim).unwrap();
+        let r = SweepRunner::naive(cfg.clone().with_threads(threads)).run(&sim).unwrap();
         assert_bit_identical(&base, &r, &format!("naive threads={threads}"));
     }
 }

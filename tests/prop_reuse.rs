@@ -47,7 +47,7 @@ proptest! {
             SeedSet::new(master),
         );
         let cfg = JigsawConfig::paper().with_n_samples(60).with_index(strat);
-        let naive = SweepRunner::naive(cfg).run(&sim).unwrap();
+        let naive = SweepRunner::naive(cfg.clone()).run(&sim).unwrap();
         let fast = SweepRunner::new(cfg).run(&sim).unwrap();
 
         // Exactness at every point.

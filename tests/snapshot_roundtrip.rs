@@ -1,0 +1,180 @@
+//! Snapshot format properties: save → load → save is byte-identical for
+//! stores produced by real sweeps (Demand and SynthBasis scenarios), and
+//! corrupted inputs — truncations, bit flips, wrong versions — fail with
+//! the right typed [`SnapshotError`] variant instead of panicking or
+//! silently loading garbage.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::{Demand, SynthBasis};
+use jigsaw::blackbox::{BlackBox, ParamDecl, ParamSpace};
+use jigsaw::core::{AffineFamily, JigsawConfig, ShardedBasisStore, SnapshotError, SweepRunner};
+use jigsaw::pdb::BlackBoxSim;
+use jigsaw::prng::SeedSet;
+use proptest::prelude::*;
+
+fn cfg() -> JigsawConfig {
+    JigsawConfig::paper().with_n_samples(40)
+}
+
+fn temp(tag: &str) -> PathBuf {
+    // Tests in one binary run concurrently; a per-call counter keeps every
+    // snapshot file distinct even under a shared tag.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("jigsaw-roundtrip-{tag}-{}-{n}.snap", std::process::id()))
+}
+
+/// Sweep a scenario with `basis_save` set and hand back the snapshot bytes.
+fn sweep_snapshot(tag: &str, bb: Arc<dyn BlackBox>, space: ParamSpace, master: u64) -> Vec<u8> {
+    let path = temp(tag);
+    let sim = BlackBoxSim::new(bb, space, SeedSet::new(master));
+    SweepRunner::new(cfg().with_basis_save(&path)).run(&sim).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn reload(bytes: &[u8]) -> Result<ShardedBasisStore, SnapshotError> {
+    ShardedBasisStore::from_snapshot_bytes(bytes, &cfg(), Arc::new(AffineFamily), 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn demand_sweep_snapshot_roundtrips_byte_identically(
+        master in 0u64..500,
+        weeks in 6i64..18,
+    ) {
+        let space = ParamSpace::new(vec![
+            ParamDecl::range("week", 0, weeks, 1),
+            ParamDecl::set("feature", vec![5, 12]),
+        ]);
+        let bytes = sweep_snapshot(
+            &format!("demand-{master}-{weeks}"),
+            Arc::new(Demand::paper()),
+            space,
+            master,
+        );
+        let store = reload(&bytes).expect("snapshot must load");
+        prop_assert_eq!(
+            store.to_snapshot_bytes(&cfg(), "affine").expect("re-save"),
+            bytes,
+            "save → load → save must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn synth_sweep_snapshot_roundtrips_byte_identically(
+        master in 0u64..500,
+        n_bases in 1usize..7,
+    ) {
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 27, 1)]);
+        let bytes = sweep_snapshot(
+            &format!("synth-{master}-{n_bases}"),
+            Arc::new(SynthBasis::new(n_bases)),
+            space,
+            master,
+        );
+        let store = reload(&bytes).expect("snapshot must load");
+        prop_assert_eq!(store.bases_per_column(), vec![n_bases]);
+        prop_assert_eq!(
+            store.to_snapshot_bytes(&cfg(), "affine").expect("re-save"),
+            bytes,
+            "save → load → save must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking(cut_frac in 0.0f64..1.0) {
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 11, 1)]);
+        let bytes = sweep_snapshot("trunc", Arc::new(SynthBasis::new(3)), space, 42);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(reload(&bytes[..cut]).is_err(), "a {cut}-byte prefix must not load");
+    }
+}
+
+/// One reference snapshot for the targeted corruption tests below.
+fn reference_bytes() -> Vec<u8> {
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 11, 1)]);
+    sweep_snapshot("ref", Arc::new(SynthBasis::new(3)), space, 42)
+}
+
+#[test]
+fn truncated_header_and_body_yield_truncated() {
+    let bytes = reference_bytes();
+    // Mid-header cut and mid-payload cut both surface as Truncated.
+    for cut in [4usize, 20, bytes.len() - 3] {
+        match reload(&bytes[..cut]).err() {
+            Some(SnapshotError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_flip_in_a_shard_payload_yields_checksum_mismatch() {
+    let bytes = reference_bytes();
+    // Header is magic(8) + version(4) + config fp(8) + cols(4) = 24 bytes,
+    // followed by the first shard's length prefix (8) and payload.
+    let mut corrupted = bytes.clone();
+    corrupted[24 + 8 + 10] ^= 0x04;
+    match reload(&corrupted).err() {
+        Some(SnapshotError::ChecksumMismatch { shard: 0 }) => {}
+        other => panic!("expected ChecksumMismatch for shard 0, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_yields_unsupported_version() {
+    let mut bytes = reference_bytes();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    match reload(&bytes).err() {
+        Some(SnapshotError::UnsupportedVersion { found: 7, expected }) => {
+            assert_eq!(expected, 1, "format version expected by this build");
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_file_yields_bad_magic() {
+    match reload(b"definitely not a snapshot file").err() {
+        Some(SnapshotError::BadMagic) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_config_yields_config_mismatch() {
+    let bytes = reference_bytes();
+    let other_cfg = cfg().with_tolerance(1e-4);
+    let r = ShardedBasisStore::from_snapshot_bytes(&bytes, &other_cfg, Arc::new(AffineFamily), 1);
+    match r.err() {
+        Some(SnapshotError::ConfigMismatch { found, expected }) => assert_ne!(found, expected),
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_column_count_yields_column_count_mismatch() {
+    let bytes = reference_bytes();
+    let r = ShardedBasisStore::from_snapshot_bytes(&bytes, &cfg(), Arc::new(AffineFamily), 2);
+    match r.err() {
+        Some(SnapshotError::ColumnCountMismatch { found: 1, expected: 2 }) => {}
+        other => panic!("expected ColumnCountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_yields_corrupt() {
+    let mut bytes = reference_bytes();
+    bytes.extend_from_slice(&[0xAB, 0xCD]);
+    match reload(&bytes).err() {
+        Some(SnapshotError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-sweep basis persistence: a warm-started sweep must be
+//! bit-identical to its cold counterpart — results table, final basis sets
+//! (verified byte-for-byte via re-saved snapshots), and per-column basis
+//! counts — at every thread budget, while the warm run's cost counters
+//! collapse to fingerprint-only work.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use jigsaw::blackbox::models::{Demand, SynthBasis};
+use jigsaw::blackbox::{ParamDecl, ParamSpace};
+use jigsaw::core::{JigsawConfig, SweepResult, SweepRunner};
+use jigsaw::pdb::BlackBoxSim;
+use jigsaw::prng::SeedSet;
+
+mod common;
+use common::assert_bit_identical;
+
+fn cfg() -> JigsawConfig {
+    JigsawConfig::paper().with_n_samples(80)
+}
+
+fn demand_sim() -> BlackBoxSim {
+    let space = ParamSpace::new(vec![
+        ParamDecl::range("week", 0, 19, 1),
+        ParamDecl::set("feature", vec![5, 12]),
+    ]);
+    BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(2024))
+}
+
+fn synth_sim() -> BlackBoxSim {
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, 39, 1)]);
+    BlackBoxSim::new(Arc::new(SynthBasis::new(5)), space, SeedSet::new(7))
+}
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("jigsaw-warmstart-{tag}-{}.snap", std::process::id()))
+}
+
+/// Everything that must hold between a cold sweep and sweeps warm-started
+/// from its snapshot, at thread budgets 1 and 4.
+fn check_scenario(tag: &str, sim: &BlackBoxSim) {
+    let cold_snap = temp(&format!("{tag}-cold"));
+    let cold = SweepRunner::new(cfg().with_basis_save(&cold_snap)).run(sim).unwrap();
+    assert_eq!(cold.stats.warm_hits, 0, "{tag}: cold run cannot have warm hits");
+
+    let mut warm_results: Vec<SweepResult> = Vec::new();
+    for threads in [1usize, 4] {
+        let resave = temp(&format!("{tag}-warm-t{threads}"));
+        let warm = SweepRunner::new(
+            cfg().with_threads(threads).with_basis_load(&cold_snap).with_basis_save(&resave),
+        )
+        .run(sim)
+        .unwrap();
+
+        // Results table: bit-identical metrics at every point.
+        assert_eq!(cold.points.len(), warm.points.len(), "{tag}");
+        for (c, w) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(c.point_idx, w.point_idx, "{tag}");
+            assert_eq!(c.point, w.point, "{tag}");
+            for (mc, mw) in c.metrics.iter().zip(&w.metrics) {
+                assert_eq!(mc.samples(), mw.samples(), "{tag}: point {}", c.point_idx);
+                assert_eq!(mc.expectation().to_bits(), mw.expectation().to_bits(), "{tag}");
+                assert_eq!(mc.std_dev().to_bits(), mw.std_dev().to_bits(), "{tag}");
+            }
+        }
+
+        // Per-column basis counts, and the basis sets themselves: the warm
+        // run adds nothing and changes nothing, so its re-saved snapshot is
+        // byte-identical to the cold one.
+        assert_eq!(cold.stats.bases_per_column, warm.stats.bases_per_column, "{tag}");
+        let a = std::fs::read(&cold_snap).unwrap();
+        let b = std::fs::read(&resave).unwrap();
+        assert_eq!(a, b, "{tag}: warm t{threads} re-save diverged from the cold snapshot");
+        std::fs::remove_file(&resave).ok();
+
+        // Cost counters: the same scenario re-swept warm is all warm hits.
+        assert_eq!(warm.stats.warm_hits, warm.stats.points, "{tag}");
+        assert_eq!(warm.stats.reused, 0, "{tag}");
+        assert_eq!(warm.stats.full_simulations, 0, "{tag}");
+        assert_eq!(
+            warm.stats.worlds_evaluated,
+            (warm.stats.points * cfg().fingerprint_len) as u64,
+            "{tag}: warm run must evaluate fingerprint worlds only"
+        );
+        assert!(warm.stats.worlds_evaluated < cold.stats.worlds_evaluated, "{tag}");
+
+        warm_results.push(warm);
+    }
+
+    // The warm runs themselves are bit-identical across thread budgets —
+    // the full harness including the counters() snapshot applies.
+    let (w1, w4) = (&warm_results[0], &warm_results[1]);
+    assert_bit_identical(w1, w4, &format!("{tag}: warm threads=1 vs threads=4"));
+
+    std::fs::remove_file(&cold_snap).ok();
+}
+
+#[test]
+fn demand_warm_start_bit_identity() {
+    check_scenario("demand", &demand_sim());
+}
+
+#[test]
+fn synth_basis_warm_start_bit_identity() {
+    check_scenario("synth", &synth_sim());
+}
+
+/// A snapshot from one scenario still accelerates a *different* parameter
+/// space of the same model family: affine-related points resolve warm,
+/// genuinely new shapes fall back to full simulation and extend the store.
+#[test]
+fn warm_start_extends_across_a_larger_space() {
+    let small_space = ParamSpace::new(vec![ParamDecl::range("p", 0, 19, 1)]);
+    let small = BlackBoxSim::new(Arc::new(SynthBasis::new(3)), small_space, SeedSet::new(7));
+    let large_space = ParamSpace::new(vec![ParamDecl::range("p", 0, 39, 1)]);
+    let large = BlackBoxSim::new(Arc::new(SynthBasis::new(5)), large_space, SeedSet::new(7));
+
+    let snap = temp("extend");
+    let first = SweepRunner::new(cfg().with_basis_save(&snap)).run(&small).unwrap();
+    assert_eq!(first.stats.bases_per_column, vec![3]);
+
+    let second = SweepRunner::new(cfg().with_basis_load(&snap)).run(&large).unwrap();
+    // The three known bases serve their points warm; the two new shapes
+    // simulate fully and join the store.
+    assert_eq!(second.stats.bases_per_column, vec![5]);
+    assert!(second.stats.warm_hits > 0, "known shapes must hit warm");
+    assert!(second.stats.full_simulations > 0, "new shapes must simulate");
+    assert_eq!(
+        second.stats.points,
+        second.stats.warm_hits + second.stats.reused + second.stats.full_simulations
+    );
+    // And the grown store is identical to what a cold sweep of the large
+    // space would have built.
+    let cold_large = SweepRunner::new(cfg()).run(&large).unwrap();
+    assert_eq!(second.stats.bases_per_column, cold_large.stats.bases_per_column);
+    std::fs::remove_file(&snap).ok();
+}
+
+/// Loading under a changed matching regime must refuse, not diverge.
+#[test]
+fn mismatched_config_refuses_to_warm_start() {
+    let sim = demand_sim();
+    let snap = temp("mismatch");
+    SweepRunner::new(cfg().with_basis_save(&snap)).run(&sim).unwrap();
+    for bad in [
+        cfg().with_tolerance(1e-6),
+        cfg().with_n_samples(120),
+        cfg().with_index(jigsaw::core::IndexStrategy::SortedSid),
+    ] {
+        let r = SweepRunner::new(bad.with_basis_load(&snap)).run(&sim);
+        let err = match r {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("mismatched config must not load"),
+        };
+        assert!(err.contains("basis snapshot"), "unexpected error: {err}");
+    }
+    std::fs::remove_file(&snap).ok();
+}
