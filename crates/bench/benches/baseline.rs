@@ -16,14 +16,18 @@ fn demand_sweep(c: &mut Criterion) {
     ]);
     let sim = BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(200);
+    // One runner per mode, hoisted out of the measured loop (runners are
+    // reusable; nothing about the config needs re-cloning per iteration).
+    let naive = SweepRunner::naive(cfg.clone());
+    let jigsaw = SweepRunner::new(cfg);
 
     let mut group = c.benchmark_group("baseline/demand_156pts");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("full"), |b| {
-        b.iter(|| SweepRunner::naive(cfg.clone()).run(&sim).unwrap())
+        b.iter(|| naive.run(&sim).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
-        b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
+        b.iter(|| jigsaw.run(&sim).unwrap())
     });
     group.finish();
 }
@@ -36,14 +40,16 @@ fn overload_sweep(c: &mut Criterion) {
     ]);
     let sim = BlackBoxSim::new(Arc::new(Overload::enterprise()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(200);
+    let naive = SweepRunner::naive(cfg.clone());
+    let jigsaw = SweepRunner::new(cfg);
 
     let mut group = c.benchmark_group("baseline/overload_416pts");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("full"), |b| {
-        b.iter(|| SweepRunner::naive(cfg.clone()).run(&sim).unwrap())
+        b.iter(|| naive.run(&sim).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("jigsaw"), |b| {
-        b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
+        b.iter(|| jigsaw.run(&sim).unwrap())
     });
     group.finish();
 }

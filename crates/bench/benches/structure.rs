@@ -15,7 +15,7 @@ fn structure_sizes(c: &mut Criterion) {
         ParamDecl::range("p1", 0, 48, 16),
         ParamDecl::range("p2", 0, 48, 16),
     ]);
-    let cfg = JigsawConfig::paper().with_n_samples(200);
+    let runner = SweepRunner::new(JigsawConfig::paper().with_n_samples(200));
 
     let mut group = c.benchmark_group("structure/capacity_sweep");
     group.sample_size(10);
@@ -26,7 +26,7 @@ fn structure_sizes(c: &mut Criterion) {
             SeedSet::new(5),
         );
         group.bench_function(BenchmarkId::from_parameter(format!("delay{size}")), |b| {
-            b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
+            b.iter(|| runner.run(&sim).unwrap())
         });
     }
     group.finish();

@@ -24,9 +24,10 @@ fn sweep_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_parallel/synth_600pts");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        let cfg = JigsawConfig::paper().with_n_samples(200).with_threads(threads);
+        let runner =
+            SweepRunner::new(JigsawConfig::paper().with_n_samples(200).with_threads(threads));
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            b.iter(|| SweepRunner::new(cfg.clone()).run(&sim).unwrap())
+            b.iter(|| runner.run(&sim).unwrap())
         });
     }
     group.finish();

@@ -1,0 +1,53 @@
+//! `jigsaw-client` — scripted driver for the Jigsaw session server.
+//!
+//! ```text
+//! jigsaw-client --addr HOST:PORT (--script FILE | --command "LINE")...
+//! ```
+//!
+//! Replays a line-oriented script (one protocol command per line; `COMPILE`
+//! takes the scenario source as the rest of its line; blank lines and `#`
+//! comments are skipped) and prints the canonical transcript — each command
+//! echoed with `> `, each response with `< `. Every response field is
+//! deterministic given the server's scenario and configuration, so the CI
+//! smoke job byte-diffs this output against a golden file under
+//! `tests/golden/`.
+//!
+//! Exit status: 0 when the script was replayed (even if some commands drew
+//! `ERR` responses — those are part of the transcript), 1 on a transport or
+//! usage failure.
+
+use jigsaw_server::client::run_script;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(1);
+            })
+        })
+    };
+    let Some(addr) = value_of("--addr") else {
+        eprintln!("usage: jigsaw-client --addr HOST:PORT (--script FILE | --command LINE)");
+        std::process::exit(1);
+    };
+    let script = match (value_of("--script"), value_of("--command")) {
+        (Some(path), None) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        (None, Some(line)) => line.clone(),
+        _ => {
+            eprintln!("error: pass exactly one of --script FILE or --command LINE");
+            std::process::exit(1);
+        }
+    };
+    match run_script(addr.as_str(), &script) {
+        Ok(transcript) => print!("{transcript}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,7 +24,7 @@
 
 use std::path::PathBuf;
 
-use jigsaw_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8, e9};
+use jigsaw_bench::experiments::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -120,6 +120,10 @@ fn main() {
             "{}",
             render(&e9::report(&e9::run(scale, load_basis.as_deref(), save_basis.as_deref())))
         );
+    }
+    if want("e10") {
+        eprintln!("[repro] E10: session server, multi-client warm-store sharing…");
+        println!("{}", render(&e10::report(&e10::run(scale))));
     }
     eprintln!("[repro] done.");
 }

@@ -52,10 +52,14 @@ fn sweep_case(
     scale: Scale,
     tol: f64,
 ) -> E2Row {
-    let cfg = JigsawConfig::paper()
-        .with_n_samples(scale.n_samples)
-        .with_fingerprint_len(scale.m)
-        .with_threads(scale.threads);
+    // One shared config behind an Arc: both runners reference it, no deep
+    // clone per leg.
+    let cfg = Arc::new(
+        JigsawConfig::paper()
+            .with_n_samples(scale.n_samples)
+            .with_fingerprint_len(scale.m)
+            .with_threads(scale.threads),
+    );
     let seeds = SeedSet::new(MASTER_SEED);
     let counted = Arc::new(Counted::new(bb));
     let counter = counted.counter();
@@ -63,7 +67,7 @@ fn sweep_case(
 
     counter.reset();
     let t0 = Instant::now();
-    let naive = SweepRunner::naive(cfg.clone()).run(&sim).expect("naive sweep");
+    let naive = SweepRunner::naive(Arc::clone(&cfg)).run(&sim).expect("naive sweep");
     let full_secs = t0.elapsed().as_secs_f64();
     let full_invocations = counter.get();
 

@@ -100,29 +100,34 @@ fn scenario_case(
     load_dir: Option<&Path>,
     save_dir: &Path,
 ) -> Vec<E9Row> {
-    let cfg = JigsawConfig::paper()
-        .with_n_samples(scale.n_samples)
-        .with_fingerprint_len(scale.m)
-        .with_threads(scale.threads);
+    // The two legs run under genuinely different configs (save vs load
+    // path), so each is built fresh instead of cloning a template.
+    let mk_cfg = || {
+        JigsawConfig::paper()
+            .with_n_samples(scale.n_samples)
+            .with_fingerprint_len(scale.m)
+            .with_threads(scale.threads)
+    };
     let sim = BlackBoxSim::new(bb, space, SeedSet::new(MASTER_SEED));
 
     // Cold leg: empty store in, snapshot out.
     let save_path = snapshot_path(save_dir, name);
     let t0 = Instant::now();
     let cold =
-        SweepRunner::new(cfg.clone().with_basis_save(&save_path)).run(&sim).expect("cold sweep");
+        SweepRunner::new(mk_cfg().with_basis_save(&save_path)).run(&sim).expect("cold sweep");
     let cold_secs = t0.elapsed().as_secs_f64();
 
     // Warm leg: snapshot in (from a previous run's directory when
     // `--load-basis` was given, otherwise the one just saved).
     let load_path = load_dir.map(|d| snapshot_path(d, name)).unwrap_or(save_path);
     let t1 = Instant::now();
-    let warm = SweepRunner::new(cfg.with_basis_load(&load_path)).run(&sim).unwrap_or_else(|e| {
-        panic!(
-            "warm sweep could not start from {}: {e} (run --save-basis first?)",
-            load_path.display()
-        )
-    });
+    let warm =
+        SweepRunner::new(mk_cfg().with_basis_load(&load_path)).run(&sim).unwrap_or_else(|e| {
+            panic!(
+                "warm sweep could not start from {}: {e} (run --save-basis first?)",
+                load_path.display()
+            )
+        });
     let warm_secs = t1.elapsed().as_secs_f64();
 
     let mut warm_row = leg_row(name, "warm", &warm, warm_secs);

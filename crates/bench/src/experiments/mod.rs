@@ -1,6 +1,7 @@
 //! The per-figure experiment implementations.
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;

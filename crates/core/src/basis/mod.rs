@@ -34,10 +34,19 @@
 //! checksummed binary format so later sweeps and interactive sessions can
 //! warm-start from a prior session's basis sets instead of rebuilding them
 //! from scratch.
+//!
+//! ## In-process sharing
+//!
+//! The [`shared`] module wraps one store in a lock for concurrent use by
+//! many sweeps and sessions ([`SharedBasisStore`]) and maps scenario
+//! identities to their one warm store ([`StoreRegistry`]) — the substrate
+//! of the session server's multi-client reuse.
 
+pub mod shared;
 pub mod snapshot;
 
-pub use snapshot::{config_fingerprint, SnapshotError, FORMAT_VERSION};
+pub use shared::{SharedBasisStore, StoreKey, StoreRegistry};
+pub use snapshot::{config_fingerprint, content_hash64, SnapshotError, FORMAT_VERSION};
 
 use std::sync::Arc;
 
@@ -122,6 +131,13 @@ impl BasisStore {
     /// Fetch a basis by id.
     pub fn get(&self, id: BasisId) -> &BasisDistribution {
         &self.bases[id.0]
+    }
+
+    /// Fetch a basis by id, or `None` when the id is out of range — for
+    /// holders of long-lived ids (interactive sessions on a shared store)
+    /// whose store may have been replaced underneath them.
+    pub fn try_get(&self, id: BasisId) -> Option<&BasisDistribution> {
+        self.bases.get(id.0)
     }
 
     /// An immutable resolve view over the current contents.

@@ -178,6 +178,14 @@ fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
+/// FNV-1a 64 from the standard offset basis — the one content hash this
+/// workspace uses for identity strings (snapshot payloads, config
+/// fingerprints, the session server's scenario scopes), exported so no
+/// caller has to re-implement the constants.
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
 /// Stable tag for the index strategy (part of the config fingerprint; the
 /// candidate ordering a strategy produces is part of basis identity).
 fn index_tag(strategy: IndexStrategy) -> u8 {

@@ -1,11 +1,10 @@
 //! The interactive event loop (paper Algorithm 5).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 
-use crate::basis::{BasisId, BasisStore, ShardedBasisStore};
+use crate::basis::{BasisId, ShardedBasisStore, SharedBasisStore};
 use crate::config::JigsawConfig;
 use crate::fingerprint::Fingerprint;
 use crate::mapping::{AffineFamily, AffineMap};
@@ -57,6 +56,22 @@ impl SessionConfig {
         self.threads = threads;
         self
     }
+
+    /// Derive a session configuration compatible with a sweep
+    /// configuration: same fingerprint length and tolerance (so the
+    /// session's fingerprints match bases a sweep built), `n_target` capped
+    /// at the sweep's sample count (so refining a point never outgrows —
+    /// and therefore never mutates — a sweep-built basis), and the same
+    /// thread budget. The session server attaches every client this way.
+    pub fn from_jigsaw(cfg: &JigsawConfig) -> Self {
+        SessionConfig {
+            batch: 10,
+            fingerprint_len: cfg.fingerprint_len,
+            tolerance: cfg.tolerance,
+            n_target: cfg.n_samples,
+            threads: cfg.threads,
+        }
+    }
 }
 
 /// Where an estimate's numbers come from.
@@ -99,15 +114,32 @@ struct PointState {
 }
 
 /// An interactive what-if session over one simulation.
+///
+/// The session owns its per-point progress but only *borrows into* a
+/// [`SharedBasisStore`]: created standalone ([`Self::new`] /
+/// [`Self::with_store`]) the store has a single attachment, while
+/// [`Self::attach`] joins an existing shared store so several sessions (and
+/// sweeps) amortize one warm basis set. Touches fully served by bases the
+/// session did not itself create are counted in [`Self::warm_hits`].
 pub struct InteractiveSession<'a> {
     sim: &'a dyn Simulation,
     cfg: SessionConfig,
-    stores: Vec<Mutex<BasisStore>>,
+    store: SharedBasisStore,
+    /// Basis ids (per column) this session inserted itself. Matches against
+    /// any *other* basis are warm hits: work someone else — another
+    /// session, a sweep, a loaded snapshot — already paid for.
+    own: Vec<std::collections::HashSet<usize>>,
+    /// Store generation last observed; a mismatch means the store was
+    /// replaced wholesale and every cached basis link is stale.
+    seen_generation: u64,
     points: HashMap<usize, PointState>,
     focus: usize,
     tick: u64,
     /// Worlds evaluated so far (the online cost metric).
     pub worlds_evaluated: u64,
+    /// Points whose first touch was fully served by bases this session did
+    /// not itself create (cross-session / cross-sweep warm reuse).
+    pub warm_hits: u64,
 }
 
 impl<'a> InteractiveSession<'a> {
@@ -118,8 +150,8 @@ impl<'a> InteractiveSession<'a> {
             .with_n_samples(cfg.n_target.max(cfg.fingerprint_len))
             .with_tolerance(cfg.tolerance);
         let store =
-            ShardedBasisStore::new(sim.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
-        Self::with_store(sim, cfg, store)
+            SharedBasisStore::new(sim.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        Self::attach(sim, cfg, store)
     }
 
     /// Start a session from a pre-populated basis store — e.g. one loaded
@@ -133,33 +165,54 @@ impl<'a> InteractiveSession<'a> {
         cfg: SessionConfig,
         store: ShardedBasisStore,
     ) -> Self {
+        Self::attach(sim, cfg, SharedBasisStore::from_store(store))
+    }
+
+    /// Attach to a *shared* basis store: the session reads and grows the
+    /// same store every other attachment uses, so its first touches of
+    /// points other clients already explored resolve warm. Matches against
+    /// bases the session did not itself create count toward
+    /// [`Self::warm_hits`].
+    ///
+    /// The store must have one shard per output column of `sim`.
+    pub fn attach(sim: &'a dyn Simulation, cfg: SessionConfig, store: SharedBasisStore) -> Self {
         assert!(cfg.batch > 0 && cfg.fingerprint_len >= 2);
         assert_eq!(
             store.n_shards(),
             sim.columns().len(),
             "warm store must have one shard per output column"
         );
-        let stores = store.into_shards().into_iter().map(Mutex::new).collect();
+        let seen_generation = store.generation();
+        let n_cols = sim.columns().len();
         InteractiveSession {
             sim,
             cfg,
-            stores,
+            store,
+            own: vec![std::collections::HashSet::new(); n_cols],
+            seen_generation,
             points: HashMap::new(),
             focus: 0,
             tick: 0,
             worlds_evaluated: 0,
+            warm_hits: 0,
         }
     }
 
-    /// End the session and hand back its basis stores (for snapshotting —
-    /// the dual of [`Self::with_store`]).
+    /// End the session and reclaim its basis store (for snapshotting — the
+    /// dual of [`Self::with_store`]).
+    ///
+    /// Panics if other attachments to the store are still alive; a session
+    /// on a shared store snapshots through
+    /// [`SharedBasisStore::to_snapshot_bytes`] instead.
     pub fn into_store(self) -> ShardedBasisStore {
-        ShardedBasisStore::from_shards(
-            self.stores
-                .into_iter()
-                .map(|m| m.into_inner().expect("basis store lock poisoned"))
-                .collect(),
-        )
+        self.store
+            .try_into_store()
+            .unwrap_or_else(|_| panic!("cannot reclaim a basis store other sessions still share"))
+    }
+
+    /// The shared store this session is attached to.
+    pub fn shared_store(&self) -> SharedBasisStore {
+        self.store.clone()
     }
 
     /// Move the user's focus to a new point (e.g. a slider change).
@@ -171,6 +224,35 @@ impl<'a> InteractiveSession<'a> {
     /// The current focus.
     pub fn focus(&self) -> usize {
         self.focus
+    }
+
+    /// Notice a wholesale store replacement (the server's snapshot `LOAD`):
+    /// every cached basis link and ownership record is stale, so drop them
+    /// all — the new contents count as someone else's work.
+    ///
+    /// `generation` must have been observed **under the same lock
+    /// acquisition** that the caller is about to dereference ids in
+    /// ([`SharedBasisStore::with_store_mut_versioned`]); a racing `replace`
+    /// between a standalone generation read and the dereference would
+    /// otherwise let a stale id alias an unrelated basis at the same index.
+    fn drop_stale_links(
+        seen: &mut u64,
+        generation: u64,
+        own: &mut [std::collections::HashSet<usize>],
+        points: &mut HashMap<usize, PointState>,
+    ) {
+        if generation == *seen {
+            return;
+        }
+        *seen = generation;
+        for set in own.iter_mut() {
+            set.clear();
+        }
+        for state in points.values_mut() {
+            for col in &mut state.cols {
+                col.basis = None;
+            }
+        }
     }
 
     /// The paper's `TaskHeuristic`: rotate refinement / validation /
@@ -210,29 +292,54 @@ impl<'a> InteractiveSession<'a> {
 
     /// First contact with a point: generate its fingerprint and try to match
     /// a basis; on miss, seed a new basis with the fingerprint samples.
+    ///
+    /// (Already-touched points return immediately: their cached links are
+    /// guarded at every dereference site by a generation check under the
+    /// store lock, so no eager sync is needed here.)
     fn touch(&mut self, point_idx: usize) -> Result<()> {
         if self.points.contains_key(&point_idx) {
             return Ok(());
         }
         let m = self.cfg.fingerprint_len;
         let point = self.sim.space().point_at(point_idx);
+        // Monte Carlo work happens outside the store lock; only the
+        // resolve/insert bookkeeping below holds it.
         let head = jigsaw_pdb::eval_worlds(self.sim, &point, 0, m, self.cfg.threads)?;
         self.worlds_evaluated += m as u64;
-        let mut cols = Vec::with_capacity(head.len());
-        for samples in head {
-            let c = cols.len();
-            let metrics = OutputMetrics::from_samples(samples);
-            let fp = Fingerprint::new(metrics.samples().to_vec());
-            let mut store = self.stores[c].lock().expect("basis store lock poisoned");
-            // On a miss the point seeds a new basis and keeps an identity
-            // mapping to it, so its own refinements grow the shared basis
-            // (paper §5: refinement "improves the accuracy of the basis
-            // distribution's precomputed metrics").
-            let basis = match store.find_match(&fp) {
-                Some(hit) => Some(hit),
-                None => Some((store.insert(fp, metrics.clone()), AffineMap::IDENTITY)),
-            };
-            cols.push(PointColState { n_direct: m, metrics, basis });
+        let own = &mut self.own;
+        let points = &mut self.points;
+        let seen = &mut self.seen_generation;
+        let (cols, warm) = self.store.with_store_mut_versioned(|generation, stores| {
+            Self::drop_stale_links(seen, generation, own, points);
+            let mut cols = Vec::with_capacity(head.len());
+            let mut warm = !head.is_empty();
+            for samples in head {
+                let c = cols.len();
+                let metrics = OutputMetrics::from_samples(samples);
+                let fp = Fingerprint::new(metrics.samples().to_vec());
+                let store = stores.shard_mut(c);
+                // On a miss the point seeds a new basis and keeps an identity
+                // mapping to it, so its own refinements grow the shared basis
+                // (paper §5: refinement "improves the accuracy of the basis
+                // distribution's precomputed metrics").
+                let basis = match store.find_match(&fp) {
+                    Some(hit) => {
+                        warm &= !own[c].contains(&hit.0 .0);
+                        Some(hit)
+                    }
+                    None => {
+                        warm = false;
+                        let id = store.insert(fp, metrics.clone());
+                        own[c].insert(id.0);
+                        Some((id, AffineMap::IDENTITY))
+                    }
+                };
+                cols.push(PointColState { n_direct: m, metrics, basis });
+            }
+            (cols, warm)
+        });
+        if warm {
+            self.warm_hits += 1;
         }
         self.points.insert(point_idx, PointState { cols });
         Ok(())
@@ -243,54 +350,71 @@ impl<'a> InteractiveSession<'a> {
     /// and the progressive fingerprint validation.
     fn generate_batch(&mut self, point_idx: usize) -> Result<()> {
         let point = self.sim.space().point_at(point_idx);
-        let batch = self.cfg.batch;
-        let state = self.points.get_mut(&point_idx).expect("touched");
-        let start = state.cols.iter().map(|c| c.n_direct).min().unwrap_or(0);
+        let tolerance = self.cfg.tolerance;
+        let start = {
+            let state = self.points.get(&point_idx).expect("touched");
+            state.cols.iter().map(|c| c.n_direct).min().unwrap_or(0)
+        };
         if start >= self.cfg.n_target {
             return Ok(());
         }
+        // Clamp the last batch to the refinement ceiling: sample ids must
+        // never pass `n_target`, or the fold-back below would extend — i.e.
+        // mutate — a basis that a sweep built with exactly `n_target`
+        // samples (the invariant [`SessionConfig::from_jigsaw`] documents).
+        let batch = self.cfg.batch.min(self.cfg.n_target - start);
         let out = jigsaw_pdb::eval_worlds(self.sim, &point, start, batch, self.cfg.threads)?;
         self.worlds_evaluated += batch as u64;
-        for (c, samples) in out.iter().enumerate() {
-            let col = &mut state.cols[c];
-            col.metrics.extend(samples);
-            col.n_direct = start + batch;
-            if let Some((id, map)) = col.basis {
-                // Validate the mapping on the fresh samples: the basis
-                // predicts M(basis_sample_k) for the same sample ids.
-                let mut store = self.stores[c].lock().expect("basis store lock poisoned");
-                let basis_samples = store.get(id).metrics.samples();
-                let consistent = samples.iter().enumerate().all(|(i, &x)| {
-                    let k = start + i;
-                    basis_samples
-                        .get(k)
-                        .map(|&b| {
-                            crate::fingerprint::approx_eq(map.apply(b), x, self.cfg.tolerance)
-                        })
-                        // Sample id beyond basis coverage: fold it back
-                        // through the inverse mapping instead.
-                        .unwrap_or(true)
-                });
-                if consistent {
-                    if let Some(inv) = map.invert() {
-                        let back: Vec<f64> = samples
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, _)| start + i >= basis_samples.len())
-                            .map(|(_, &x)| inv.apply(x))
-                            .collect();
-                        if !back.is_empty() {
-                            store.refine(id, &back);
+        let own = &mut self.own;
+        let points = &mut self.points;
+        let seen = &mut self.seen_generation;
+        self.store.with_store_mut_versioned(|generation, stores| {
+            // The stale-link check and every id dereference below share one
+            // lock acquisition: a concurrent store replacement can never
+            // slip between them and let a stale id alias (and refine!) an
+            // unrelated basis at the same index.
+            Self::drop_stale_links(seen, generation, own, points);
+            let state = points.get_mut(&point_idx).expect("touched");
+            for (c, samples) in out.iter().enumerate() {
+                let col = &mut state.cols[c];
+                col.metrics.extend(samples);
+                col.n_direct = start + batch;
+                if let Some((id, map)) = col.basis {
+                    // Validate the mapping on the fresh samples: the basis
+                    // predicts M(basis_sample_k) for the same sample ids.
+                    let store = stores.shard_mut(c);
+                    let basis = store.get(id);
+                    let basis_samples = basis.metrics.samples();
+                    let consistent = samples.iter().enumerate().all(|(i, &x)| {
+                        let k = start + i;
+                        basis_samples
+                            .get(k)
+                            .map(|&b| crate::fingerprint::approx_eq(map.apply(b), x, tolerance))
+                            // Sample id beyond basis coverage: fold it back
+                            // through the inverse mapping instead.
+                            .unwrap_or(true)
+                    });
+                    if consistent {
+                        if let Some(inv) = map.invert() {
+                            let back: Vec<f64> = samples
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| start + i >= basis_samples.len())
+                                .map(|(_, &x)| inv.apply(x))
+                                .collect();
+                            if !back.is_empty() {
+                                store.refine(id, &back);
+                            }
                         }
+                    } else {
+                        // Mapping refuted by new evidence: detach and fall
+                        // back to direct estimation (Algorithm 5's
+                        // FindMatch-on-mismatch).
+                        col.basis = None;
                     }
-                } else {
-                    // Mapping refuted by new evidence: detach and fall
-                    // back to direct estimation (Algorithm 5's
-                    // FindMatch-on-mismatch).
-                    col.basis = None;
                 }
             }
-        }
+        });
         Ok(())
     }
 
@@ -316,10 +440,22 @@ impl<'a> InteractiveSession<'a> {
         let state = self.points.get(&point_idx)?;
         let c = &state.cols[col];
         if let Some((id, map)) = c.basis {
-            let store = self.stores[col].lock().expect("basis store lock poisoned");
-            let basis = store.get(id);
-            if basis.metrics.n() > c.metrics.n() {
-                let mapped = map.apply_metrics(&basis.metrics);
+            // `&self` cannot drop stale links, but it can refuse to follow
+            // them: if the store was replaced since this session last
+            // synced (generation observed under the same lock as the
+            // dereference), the cached id may alias an unrelated basis at
+            // the same index — fall back to the direct samples instead.
+            let mapped = self.store.with_store_versioned(|generation, stores| {
+                if generation != self.seen_generation {
+                    return None;
+                }
+                stores
+                    .shard(col)
+                    .try_get(id)
+                    .filter(|basis| basis.metrics.n() > c.metrics.n())
+                    .map(|basis| map.apply_metrics(&basis.metrics))
+            });
+            if let Some(mapped) = mapped {
                 return Some(Estimate {
                     point_idx,
                     expectation: mapped.expectation(),
@@ -338,9 +474,19 @@ impl<'a> InteractiveSession<'a> {
         })
     }
 
+    /// Touch `point_idx` (fingerprint + match, if this is first contact)
+    /// and return the resulting estimate for `col` — the one-shot what-if
+    /// probe the session server's `ESTIMATE` command performs.
+    pub fn estimate_now(&mut self, point_idx: usize, col: usize) -> Result<Estimate> {
+        assert!(point_idx < self.sim.space().len(), "estimate point out of range");
+        assert!(col < self.sim.columns().len(), "estimate column out of range");
+        self.touch(point_idx)?;
+        Ok(self.estimate(point_idx, col).expect("point touched above"))
+    }
+
     /// Number of basis distributions per column.
     pub fn basis_counts(&self) -> Vec<usize> {
-        self.stores.iter().map(|s| s.lock().expect("basis store lock poisoned").len()).collect()
+        self.store.bases_per_column()
     }
 
     /// Number of touched points.
@@ -491,17 +637,125 @@ mod tests {
         let est = warm.estimate(9, 0).unwrap();
         // The very first estimate already rides the warmed basis…
         assert_eq!(est.source, EstimateSource::MappedBasis);
+        // …and is counted as a warm hit: the session didn't pay for it.
+        assert_eq!(warm.warm_hits, 1);
         // …and carries more sample mass than a cold session's first tick.
         let mut cold = InteractiveSession::new(&s, SessionConfig::default());
         cold.set_focus(9);
         cold.tick().unwrap();
         let cold_est = cold.estimate(9, 0).unwrap();
+        assert_eq!(cold.warm_hits, 0, "cold session pays for its own bases");
         assert!(
             est.n_samples > cold_est.n_samples,
             "warm {} vs cold {}",
             est.n_samples,
             cold_est.n_samples
         );
+    }
+
+    #[test]
+    fn attached_sessions_share_one_store() {
+        let s = sim();
+        let jcfg = JigsawConfig::paper().with_n_samples(1000);
+        let shared =
+            SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        // Session A pays the cold ramp.
+        let mut a = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        a.set_focus(9);
+        for _ in 0..30 {
+            a.tick().unwrap();
+        }
+        assert_eq!(a.warm_hits, 0, "first session has nobody to ride on");
+        let bases_after_a = shared.bases_per_column();
+        assert!(bases_after_a[0] >= 1);
+        // Session B attaches to the same store: its first touch of a
+        // related point rides A's basis and is counted as a warm hit.
+        let mut b = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        b.set_focus(19);
+        b.tick().unwrap();
+        assert_eq!(b.warm_hits, 1, "B's first touch rides A's basis");
+        let est = b.estimate(19, 0).unwrap();
+        assert_eq!(est.source, EstimateSource::MappedBasis);
+        assert!(est.n_samples > SessionConfig::default().fingerprint_len);
+        // Both sessions observe the same store.
+        assert_eq!(a.basis_counts(), b.basis_counts());
+        // And the store cannot be reclaimed while both are attached.
+        assert!(shared.handles() >= 3);
+    }
+
+    #[test]
+    fn refinement_never_passes_n_target() {
+        // (n_target - fingerprint_len) deliberately not a multiple of
+        // `batch`: the last batch must clamp, or the fold-back would push
+        // samples past the ceiling and grow the basis beyond what a sweep
+        // with the same config would have built.
+        let s = sim();
+        let cfg = SessionConfig { n_target: 25, ..SessionConfig::default() };
+        let mut session = InteractiveSession::new(&s, cfg);
+        session.set_focus(9);
+        for _ in 0..12 {
+            session.tick().unwrap();
+        }
+        let est = session.estimate(9, 0).unwrap();
+        assert_eq!(est.n_samples, 25, "refinement stops exactly at n_target");
+        let store = session.into_store();
+        for basis in store.shard(0).bases() {
+            assert!(
+                basis.metrics.n() <= 25,
+                "basis grew past n_target: {} samples",
+                basis.metrics.n()
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_now_touches_and_estimates() {
+        let s = sim();
+        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        assert!(session.estimate(9, 0).is_none(), "untouched point has no estimate");
+        let est = session.estimate_now(9, 0).unwrap();
+        assert_eq!(est.point_idx, 9);
+        assert_eq!(est.n_samples, SessionConfig::default().fingerprint_len);
+        assert_eq!(session.touched_points(), 1);
+        // A second probe reuses the touch (no extra worlds).
+        let worlds = session.worlds_evaluated;
+        session.estimate_now(9, 0).unwrap();
+        assert_eq!(session.worlds_evaluated, worlds);
+    }
+
+    #[test]
+    fn store_replacement_detaches_stale_links() {
+        let s = sim();
+        let jcfg = JigsawConfig::paper().with_n_samples(1000);
+        let shared =
+            SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        // Warm the store with one session, then attach a second whose
+        // estimates genuinely ride the shared basis (mapped source).
+        let mut warmup = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        warmup.set_focus(9);
+        for _ in 0..30 {
+            warmup.tick().unwrap();
+        }
+        drop(warmup);
+        let mut session = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        session.set_focus(9);
+        session.tick().unwrap();
+        assert_eq!(session.estimate(9, 0).unwrap().source, EstimateSource::MappedBasis);
+        // Replace the store wholesale (the server's LOAD): stale basis
+        // links must never be followed — estimate() refuses them via the
+        // generation check even before any mutating op re-syncs…
+        shared.replace(crate::basis::ShardedBasisStore::new(
+            s.columns().len(),
+            &jcfg,
+            std::sync::Arc::new(AffineFamily),
+        ));
+        let est = session.estimate(9, 0).unwrap();
+        assert_eq!(est.source, EstimateSource::Direct, "stale link must not be followed");
+        // …and the next mutating op drops every link for good.
+        session.tick().unwrap();
+        let est = session.estimate(9, 0).unwrap();
+        // Direct samples survive; the mapped basis is gone until re-matched.
+        assert!(est.n_samples > 0);
     }
 
     #[test]
@@ -530,6 +784,21 @@ mod tests {
     }
 
     #[test]
+    fn session_config_derives_from_jigsaw_config() {
+        let jcfg = JigsawConfig::paper()
+            .with_fingerprint_len(12)
+            .with_n_samples(300)
+            .with_tolerance(1e-7)
+            .with_threads(4);
+        let scfg = SessionConfig::from_jigsaw(&jcfg);
+        assert_eq!(scfg.fingerprint_len, 12);
+        assert_eq!(scfg.n_target, 300);
+        assert_eq!(scfg.tolerance, 1e-7);
+        assert_eq!(scfg.threads, 4);
+        assert_eq!(scfg.batch, SessionConfig::default().batch);
+    }
+
+    #[test]
     #[should_panic(expected = "one shard per output column")]
     fn with_store_checks_shard_count() {
         let s = sim();
@@ -544,5 +813,16 @@ mod tests {
         let s = sim();
         let mut session = InteractiveSession::new(&s, SessionConfig::default());
         session.set_focus(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "other sessions still share")]
+    fn into_store_refuses_while_shared() {
+        let s = sim();
+        let jcfg = JigsawConfig::paper();
+        let shared =
+            SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        let session = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let _ = session.into_store();
     }
 }

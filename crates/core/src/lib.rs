@@ -36,12 +36,12 @@ pub mod telemetry;
 
 pub use basis::{
     config_fingerprint, BasisDistribution, BasisId, BasisStore, FrozenBasisView, ShardedBasisStore,
-    SnapshotError,
+    SharedBasisStore, SnapshotError, StoreKey, StoreRegistry,
 };
 pub use config::{IndexStrategy, JigsawConfig};
 pub use fingerprint::Fingerprint;
 pub use interactive::{InteractiveSession, SessionConfig};
 pub use mapping::{AffineFamily, AffineMap, IdentityFamily, MappingFamily, PureScaleFamily};
 pub use markov::{BasisRetention, MarkovJumpConfig, MarkovJumpResult, MarkovJumpRunner};
-pub use optimizer::{OptimizeGoal, PointResult, SweepResult, SweepRunner};
+pub use optimizer::{OptimizeGoal, PointResult, ScopedPool, SweepResult, SweepRunner, WorkerPool};
 pub use telemetry::{MarkovStats, PhaseTimings, SweepCounters, SweepStats, WaveReuse};

@@ -46,7 +46,7 @@
 //! [`BasisStore`]: crate::basis::BasisStore
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
@@ -54,9 +54,57 @@ use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 use crate::basis::{BasisId, ShardedBasisStore};
 use crate::config::JigsawConfig;
 use crate::fingerprint::Fingerprint;
-use crate::mapping::{AffineMap, MappingFamily};
+use crate::mapping::AffineMap;
 use crate::optimizer::{PointResult, SweepResult};
 use crate::telemetry::{SweepStats, WaveReuse};
+
+/// Executes batches of independent tasks under a thread budget — the seam
+/// between the executor's *scheduling* (which is fixed and deterministic)
+/// and its *thread provisioning* (which is pluggable).
+///
+/// The executor hands a pool `n_tasks` independent jobs per parallel phase;
+/// the pool must invoke `run(t)` exactly once for every `t in 0..n_tasks`,
+/// from at most `threads` concurrent workers. Which worker runs which task
+/// — and in what order — is entirely the pool's business: callers stitch
+/// results back by task index, so any faithful pool produces bit-identical
+/// output. The default [`ScopedPool`] spawns scoped threads per phase; a
+/// long-lived server can substitute a persistent pool that keeps workers
+/// alive across waves without touching the executor.
+pub trait WorkerPool: Send + Sync {
+    /// Run `run(t)` for every `t in 0..n_tasks`, using at most `threads`
+    /// concurrent workers. Must not return before every task has run.
+    fn scatter(&self, threads: usize, n_tasks: usize, run: &(dyn Fn(usize) + Sync));
+}
+
+/// The default pool: scoped worker threads spawned per phase, pulling task
+/// indices off a shared cursor (load-balanced, amortized by large waves).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScopedPool;
+
+impl WorkerPool for ScopedPool {
+    fn scatter(&self, threads: usize, n_tasks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if threads <= 1 || n_tasks <= 1 {
+            for t in 0..n_tasks {
+                run(t);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(n_tasks);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= n_tasks {
+                        break;
+                    }
+                    run(t);
+                });
+            }
+        });
+    }
+}
 
 /// How one column of one wave slot obtains its metrics at commit time.
 enum ColPlan {
@@ -93,32 +141,35 @@ struct EvalJob<'a> {
 /// One job's evaluated worlds, `out[col][world_in_window]`.
 type JobOutput = Result<Vec<Vec<f64>>>;
 
-/// Run the fingerprint-memoized sweep over `sim`'s entire parameter space.
+/// Run the sweep against an *existing* store — warm or cold, owned or
+/// borrowed out of a [`crate::basis::SharedBasisStore`] — leaving snapshot
+/// persistence (`cfg.basis_load` / `cfg.basis_save`) to the caller.
 ///
-/// This is the engine behind [`crate::optimizer::SweepRunner`]; the runner
-/// is a thin configuration facade over this function.
-pub fn run_sweep(
+/// Bases already present when the sweep starts count resolves as
+/// `warm_hits` (exactly as snapshot-loaded bases do in
+/// [`crate::optimizer::SweepRunner::run`], which owns the snapshot
+/// load/save path around this function);
+/// bases created by this sweep count as intra-sweep `reused`. The store is
+/// fully committed on return (the wave-barrier invariant), so the caller
+/// may snapshot it immediately. (No mapping family is taken: basis identity
+/// is pinned by the family the store was created with.)
+pub fn run_sweep_on(
     cfg: &JigsawConfig,
-    family: Arc<dyn MappingFamily>,
     disable_reuse: bool,
     sim: &dyn Simulation,
+    stores: &mut ShardedBasisStore,
+    pool: &dyn WorkerPool,
 ) -> Result<SweepResult> {
     cfg.validate();
     let space = sim.space();
     let n_cols = sim.columns().len();
+    assert_eq!(stores.n_shards(), n_cols, "store must have one shard per output column");
     let m = cfg.fingerprint_len;
     let n = cfg.n_samples;
     let threads = cfg.effective_threads();
     let wave_size = cfg.effective_wave_size().max(1);
     let start = Instant::now();
 
-    // Warm start: resume from a snapshot's committed bases. Loaded bases
-    // occupy ids `0..preloaded[c]`; resolves against them are counted as
-    // `warm_hits`, distinct from intra-sweep reuse.
-    let mut stores = match &cfg.basis_load {
-        Some(path) => ShardedBasisStore::load_snapshot(path, cfg, family.clone(), n_cols)?,
-        None => ShardedBasisStore::new(n_cols, cfg, family.clone()),
-    };
     let preloaded = stores.bases_per_column();
     let total = space.len();
     let mut points: Vec<PointResult> = Vec::with_capacity(total);
@@ -135,7 +186,7 @@ pub fn run_sweep(
             (wave_start..wave_start + wave_len).map(|i| space.point_at(i)).collect();
         let fp_jobs: Vec<EvalJob<'_>> =
             wave_points.iter().map(|p| EvalJob { point: p, start: 0, count: m }).collect();
-        let heads = run_jobs(sim, &fp_jobs, threads);
+        let heads = run_jobs(sim, &fp_jobs, threads, pool);
         drop(fp_jobs);
         stats.phase.fingerprint += t0.elapsed();
         stats.worlds_evaluated += (wave_len * m) as u64;
@@ -178,7 +229,7 @@ pub fn run_sweep(
             .iter()
             .map(|&i| EvalJob { point: &slots[i].point, start: m, count: tail_count })
             .collect();
-        let tails = run_jobs(sim, &tail_jobs, threads);
+        let tails = run_jobs(sim, &tail_jobs, threads, pool);
         drop(tail_jobs);
         let mut tails_by_slot: Vec<Option<JobOutput>> = Vec::with_capacity(wave_len);
         tails_by_slot.resize_with(wave_len, || None);
@@ -258,14 +309,6 @@ pub fn run_sweep(
     stats.points = total;
     stats.bases_per_column = stores.bases_per_column();
     stats.pairings_tested = stores.pairings_total();
-
-    // Persist the committed store so the next sweep or session over this
-    // scenario starts warm. All bases are committed here (the wave barrier
-    // invariant), so this cannot hit `SnapshotError::StagedBases`.
-    if let Some(path) = &cfg.basis_save {
-        stores.save_snapshot(cfg, family.name(), path)?;
-    }
-
     stats.elapsed = start.elapsed();
     Ok(SweepResult { points, stats })
 }
@@ -273,14 +316,19 @@ pub fn run_sweep(
 /// Evaluate a batch of world-window jobs with up to `threads` workers,
 /// returning each job's `out[col][world_in_window]` in job order.
 ///
-/// Jobs are split into world chunks and pulled off a shared cursor, so the
+/// Jobs are split into world chunks handed to the [`WorkerPool`], so the
 /// schedule is load-balanced; results stitch back in `(job, window)` order,
 /// making the output independent of which worker ran what.
-fn run_jobs(sim: &dyn Simulation, jobs: &[EvalJob<'_>], threads: usize) -> Vec<JobOutput> {
+fn run_jobs(
+    sim: &dyn Simulation,
+    jobs: &[EvalJob<'_>],
+    threads: usize,
+    pool: &dyn WorkerPool,
+) -> Vec<JobOutput> {
     if jobs.is_empty() {
         return Vec::new();
     }
-    // Tiny batches are not worth a thread-spawn round; the cutoff is a pure
+    // Tiny batches are not worth a dispatch round; the cutoff is a pure
     // performance heuristic (results are identical either way).
     if threads <= 1 || jobs.iter().map(|j| j.count).sum::<usize>() <= 32 {
         return jobs.iter().map(|j| sim.eval_worlds(j.point, j.start, j.count)).collect();
@@ -308,37 +356,16 @@ fn run_jobs(sim: &dyn Simulation, jobs: &[EvalJob<'_>], threads: usize) -> Vec<J
         }
     }
 
-    let cursor = AtomicUsize::new(0);
-    let workers = threads.min(tasks.len());
-    let per_worker: Vec<Vec<(usize, JobOutput)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let tasks = &tasks;
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                loop {
-                    let t = cursor.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks.len() {
-                        break;
-                    }
-                    let task = &tasks[t];
-                    let j = &jobs[task.job];
-                    local.push((t, sim.eval_worlds(j.point, task.lo, task.hi - task.lo)));
-                }
-                local
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    // One write-once slot per task; whichever worker the pool assigns a
+    // task fills its slot, and stitching below goes purely by task index.
+    let mut slots: Vec<OnceLock<JobOutput>> = Vec::with_capacity(tasks.len());
+    slots.resize_with(tasks.len(), OnceLock::new);
+    pool.scatter(threads, tasks.len(), &|t| {
+        let task = &tasks[t];
+        let j = &jobs[task.job];
+        let r = sim.eval_worlds(j.point, task.lo, task.hi - task.lo);
+        slots[t].set(r).expect("pool ran a task twice");
     });
-
-    let mut by_task: Vec<Option<JobOutput>> = Vec::with_capacity(tasks.len());
-    by_task.resize_with(tasks.len(), || None);
-    for worker in per_worker {
-        for (t, r) in worker {
-            by_task[t] = Some(r);
-        }
-    }
 
     // Stitch chunks back per job. Tasks were emitted job-contiguously and in
     // window order, so a linear pass reassembles everything; a job's first
@@ -350,7 +377,7 @@ fn run_jobs(sim: &dyn Simulation, jobs: &[EvalJob<'_>], threads: usize) -> Vec<J
         let mut acc: Vec<Vec<f64>> = vec![Vec::with_capacity(j.count); n_cols];
         let mut err = None;
         while ti < tasks.len() && tasks[ti].job == ji {
-            let r = by_task[ti].take().expect("every task ran");
+            let r = slots[ti].take().expect("pool ran every task");
             ti += 1;
             if err.is_some() {
                 continue;
@@ -380,6 +407,7 @@ mod tests {
     use jigsaw_blackbox::{FnBlackBox, ParamDecl, ParamSpace};
     use jigsaw_pdb::{BlackBoxSim, Catalog, DirectEngine, Expr, Plan, PlanSim};
     use jigsaw_prng::SeedSet;
+    use std::sync::Arc;
 
     fn cfg() -> JigsawConfig {
         JigsawConfig::paper().with_n_samples(120)
@@ -518,6 +546,55 @@ mod tests {
             "expected a snapshot error, got: {err}"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    /// An intentionally awkward pool: runs every task serially in *reverse*
+    /// index order. Any faithful [`WorkerPool`] must yield bit-identical
+    /// sweeps, because the executor stitches results by task index.
+    struct ReversePool;
+    impl WorkerPool for ReversePool {
+        fn scatter(&self, _threads: usize, n_tasks: usize, run: &(dyn Fn(usize) + Sync)) {
+            for t in (0..n_tasks).rev() {
+                run(t);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_worker_pool_is_bit_identical() {
+        let sim = demand_sim();
+        let base = SweepRunner::new(cfg().with_threads(1)).run(&sim).unwrap();
+        let rev = SweepRunner::new(cfg().with_threads(4))
+            .with_pool(Arc::new(ReversePool))
+            .run(&sim)
+            .unwrap();
+        assert_identical(&base, &rev, "reverse-order pool");
+    }
+
+    #[test]
+    fn run_on_counts_preexisting_bases_as_warm_hits() {
+        let sim = demand_sim();
+        let c = cfg();
+        let runner = SweepRunner::new(c.clone());
+        let mut stores =
+            ShardedBasisStore::new(sim.columns().len(), &c, Arc::new(crate::mapping::AffineFamily));
+        // First sweep on the empty store: pays the cold ramp.
+        let cold = runner.run_on(&sim, &mut stores).unwrap();
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert!(cold.stats.full_simulations > 0);
+        // Second sweep on the *same* store: every point rides bases the
+        // first sweep built — all warm hits, zero completions, and results
+        // bit-identical to the cold leg.
+        let warm = runner.run_on(&sim, &mut stores).unwrap();
+        assert_eq!(warm.stats.warm_hits, warm.stats.points);
+        assert_eq!(warm.stats.full_simulations, 0);
+        assert_eq!(warm.stats.bases_per_column, cold.stats.bases_per_column);
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.point, b.point);
+            for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(ma.samples(), mb.samples());
+            }
+        }
     }
 
     #[test]

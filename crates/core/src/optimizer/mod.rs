@@ -24,6 +24,7 @@ use crate::config::JigsawConfig;
 use crate::mapping::{AffineFamily, MappingFamily};
 use crate::telemetry::SweepStats;
 
+pub use executor::{run_sweep_on, ScopedPool, WorkerPool};
 pub use selector::{
     Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection,
 };
@@ -57,32 +58,53 @@ impl SweepResult {
 }
 
 /// Sweep executor.
+///
+/// The configuration is held behind an [`Arc`], so cloning a runner — or
+/// constructing many runners over one configuration (benchmark loops, the
+/// session server's per-`SWEEP` runners) — never deep-copies the config.
 pub struct SweepRunner {
-    cfg: JigsawConfig,
+    cfg: Arc<JigsawConfig>,
     family: Arc<dyn MappingFamily>,
+    pool: Arc<dyn executor::WorkerPool>,
     /// Disable fingerprint reuse entirely (the "Full Evaluation" baseline of
     /// Figure 8).
     pub disable_reuse: bool,
 }
 
 impl SweepRunner {
-    /// Runner with the paper's affine mapping family.
-    pub fn new(cfg: JigsawConfig) -> Self {
+    /// Runner with the paper's affine mapping family. Accepts an owned
+    /// [`JigsawConfig`] or an `Arc` to one (shared, not cloned).
+    pub fn new(cfg: impl Into<Arc<JigsawConfig>>) -> Self {
+        let cfg = cfg.into();
         cfg.validate();
-        SweepRunner { cfg, family: Arc::new(AffineFamily), disable_reuse: false }
+        SweepRunner {
+            cfg,
+            family: Arc::new(AffineFamily),
+            pool: Arc::new(executor::ScopedPool),
+            disable_reuse: false,
+        }
     }
 
     /// Runner with a custom mapping family.
-    pub fn with_family(cfg: JigsawConfig, family: Arc<dyn MappingFamily>) -> Self {
-        cfg.validate();
-        SweepRunner { cfg, family, disable_reuse: false }
+    pub fn with_family(cfg: impl Into<Arc<JigsawConfig>>, family: Arc<dyn MappingFamily>) -> Self {
+        let mut r = Self::new(cfg);
+        r.family = family;
+        r
     }
 
     /// The naive baseline: every point fully simulated.
-    pub fn naive(cfg: JigsawConfig) -> Self {
+    pub fn naive(cfg: impl Into<Arc<JigsawConfig>>) -> Self {
         let mut r = Self::new(cfg);
         r.disable_reuse = true;
         r
+    }
+
+    /// Substitute the worker pool the parallel phases run on (default:
+    /// per-phase scoped threads). Any faithful [`executor::WorkerPool`]
+    /// yields bit-identical sweeps; this is a pure provisioning knob.
+    pub fn with_pool(mut self, pool: Arc<dyn executor::WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The configuration.
@@ -97,7 +119,34 @@ impl SweepRunner {
     /// with any other thread budget it produces bit-identical output
     /// faster.
     pub fn run(&self, sim: &dyn Simulation) -> Result<SweepResult> {
-        executor::run_sweep(&self.cfg, self.family.clone(), self.disable_reuse, sim)
+        let n_cols = sim.columns().len();
+        let mut stores = match &self.cfg.basis_load {
+            Some(path) => crate::basis::ShardedBasisStore::load_snapshot(
+                path,
+                &self.cfg,
+                self.family.clone(),
+                n_cols,
+            )?,
+            None => crate::basis::ShardedBasisStore::new(n_cols, &self.cfg, self.family.clone()),
+        };
+        let result = self.run_on(sim, &mut stores)?;
+        if let Some(path) = &self.cfg.basis_save {
+            stores.save_snapshot(&self.cfg, self.family.name(), path)?;
+        }
+        Ok(result)
+    }
+
+    /// Run the sweep against an existing store (warm or cold), leaving
+    /// snapshot persistence to the caller — the entry point the session
+    /// server drives with a store borrowed out of a
+    /// [`crate::basis::SharedBasisStore`]. Bases already present count
+    /// resolves as `warm_hits`.
+    pub fn run_on(
+        &self,
+        sim: &dyn Simulation,
+        stores: &mut crate::basis::ShardedBasisStore,
+    ) -> Result<SweepResult> {
+        executor::run_sweep_on(&self.cfg, self.disable_reuse, sim, stores, &*self.pool)
     }
 }
 

@@ -32,6 +32,11 @@ pub enum PdbError {
     /// Loading or saving a basis snapshot failed (the stringified
     /// `jigsaw_core::basis::SnapshotError`; typed handling lives upstream).
     Snapshot(String),
+    /// A session-server wire-protocol exchange failed (the stringified
+    /// `jigsaw_server::protocol::ProtocolError`; typed handling lives
+    /// upstream). Carried here so protocol failures flow through the same
+    /// `Result` plumbing as every other engine error.
+    Protocol(String),
 }
 
 impl fmt::Display for PdbError {
@@ -50,6 +55,7 @@ impl fmt::Display for PdbError {
             PdbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             PdbError::TypeError(msg) => write!(f, "type error: {msg}"),
             PdbError::Snapshot(msg) => write!(f, "basis snapshot: {msg}"),
+            PdbError::Protocol(msg) => write!(f, "protocol: {msg}"),
         }
     }
 }
@@ -71,5 +77,9 @@ mod tests {
             "`F` expects 2 argument(s), got 3"
         );
         assert_eq!(PdbError::UnknownParam("p".into()).to_string(), "unknown parameter `@p`");
+        assert_eq!(
+            PdbError::Protocol("frame truncated".into()).to_string(),
+            "protocol: frame truncated"
+        );
     }
 }

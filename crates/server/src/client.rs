@@ -1,0 +1,58 @@
+//! A minimal client: typed request/response exchange plus the scripted
+//! driver behind the `jigsaw-client` binary and the golden-transcript CI
+//! gate.
+
+use std::fmt::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{recv_response, send_request, ProtocolError, Request, Response};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running session server. Disables Nagle's algorithm:
+    /// the protocol is strict request/response with small frames, where
+    /// write coalescing only adds delayed-ACK latency.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response. The protocol is strictly
+    /// request/response, so `Err(Truncated)` here means the server went
+    /// away mid-exchange.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        send_request(&mut self.stream, req)?;
+        recv_response(&mut self.stream)?.ok_or(ProtocolError::Truncated)
+    }
+
+    /// Replay a line-oriented script (blank lines and `#` comments
+    /// skipped), returning the canonical transcript: each command echoed
+    /// with a `> ` prefix, each response with `< `. Every response field is
+    /// deterministic given the server's scenario and configuration, so the
+    /// transcript can be byte-diffed against a golden file.
+    pub fn run_script(&mut self, script: &str) -> Result<String, ProtocolError> {
+        let mut transcript = String::new();
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let req = Request::from_script_line(line)?;
+            let resp = self.request(&req)?;
+            let _ = writeln!(transcript, "> {line}");
+            let _ = writeln!(transcript, "< {}", resp.encode());
+        }
+        Ok(transcript)
+    }
+}
+
+/// Connect, replay `script`, and return the transcript (the one-call form
+/// the `jigsaw-client` binary and the CI smoke job use).
+pub fn run_script(addr: impl ToSocketAddrs, script: &str) -> Result<String, ProtocolError> {
+    Client::connect(addr)?.run_script(script)
+}

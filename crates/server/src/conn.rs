@@ -1,0 +1,316 @@
+//! Per-connection command handling.
+//!
+//! A connection is a tiny state machine: before `COMPILE` only compilation
+//! (and `QUIT`) is meaningful; after it, the connection owns a compiled
+//! scenario, a simulation, and an [`InteractiveSession`] *attached to the
+//! shared basis store* for that scenario's registry key. `COMPILE` may be
+//! issued again at any time to switch scenarios (the old session detaches,
+//! the store stays warm in the registry for the next client).
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use jigsaw_core::basis::{config_fingerprint, SharedBasisStore, StoreKey};
+use jigsaw_core::interactive::{InteractiveSession, SessionConfig};
+use jigsaw_core::{AffineFamily, ShardedBasisStore, SweepRunner};
+use jigsaw_pdb::{DirectEngine, PlanSim};
+use jigsaw_prng::SeedSet;
+use jigsaw_sql::{compile, Scenario};
+
+use crate::protocol::{
+    recv_request, send_response, ErrorCode, ProtocolError, Request, Response, MAX_FRAME,
+};
+use crate::server::{fnv64, snapshot_family, snapshot_filename, ServerState, FAMILY};
+
+/// Upper bound on `TICK` counts per request, so one client cannot pin a
+/// connection thread indefinitely with a single command.
+pub const MAX_TICKS_PER_REQUEST: u32 = 10_000;
+
+/// A compiled scenario and everything hanging off it.
+struct Compiled {
+    scenario: Scenario,
+    sim: PlanSim,
+    key: StoreKey,
+    shared: SharedBasisStore,
+}
+
+/// [`AffineFamily`] under a scenario-scoped name: stores loaded from
+/// snapshots carry [`snapshot_family`]'s name so the header check refuses
+/// another scenario's file, while matching behaves exactly like affine.
+struct ScopedAffine(String);
+
+impl jigsaw_core::MappingFamily for ScopedAffine {
+    fn name(&self) -> &str {
+        &self.0
+    }
+
+    fn find(
+        &self,
+        from: &jigsaw_core::Fingerprint,
+        to: &jigsaw_core::Fingerprint,
+        tol: f64,
+    ) -> Option<jigsaw_core::AffineMap> {
+        jigsaw_core::MappingFamily::find(&AffineFamily, from, to, tol)
+    }
+}
+
+impl Compiled {
+    /// Compile `src` against the server catalog and attach (or create) the
+    /// shared store for its `(catalog, scenario, config)` identity.
+    fn build(state: &ServerState, src: &str) -> Result<Compiled, Response> {
+        if src.len() > MAX_FRAME {
+            return Err(err(ErrorCode::Compile, "scenario script too large"));
+        }
+        let scenario =
+            compile(src, &state.catalog).map_err(|e| err(ErrorCode::Compile, &e.to_string()))?;
+        let sim = scenario.simulation(
+            Arc::new(DirectEngine::new()),
+            Arc::clone(&state.catalog),
+            SeedSet::new(state.config.master_seed),
+        );
+        // Bases are only meaningful for the simulation that produced them,
+        // so the scope hashes the *parsed* scenario (whitespace-insensitive)
+        // alongside the catalog name; the config fingerprint covers every
+        // knob that affects basis identity. Clients compiling the same
+        // scenario under the same server therefore share one store.
+        let key = StoreKey {
+            scope: format!(
+                "{}:{:016x}",
+                state.config.catalog_name,
+                fnv64(&format!("{:?}", scenario.script))
+            ),
+            config_fp: config_fingerprint(&state.cfg, FAMILY),
+        };
+        let n_cols = scenario.columns.len();
+        let cfg = Arc::clone(&state.cfg);
+        let shared = state.registry.get_or_create(key.clone(), || {
+            SharedBasisStore::new(n_cols, &cfg, Arc::new(AffineFamily))
+        });
+        Ok(Compiled { scenario, sim, key, shared })
+    }
+}
+
+fn err(code: ErrorCode, message: &str) -> Response {
+    Response::Error { code, message: message.to_string() }
+}
+
+/// What the session loop wants the outer loop to do next.
+enum Next {
+    /// Client sent `QUIT` or closed the stream.
+    Done,
+    /// Client sent a new `COMPILE`; switch scenarios.
+    Recompile(String),
+}
+
+/// Serve one client until it quits, disconnects, or breaks framing.
+pub(crate) fn serve_client(stream: TcpStream, state: &ServerState) -> Result<(), ProtocolError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut pending: Option<String> = None;
+    loop {
+        let req = match pending.take() {
+            Some(src) => Request::Compile { src },
+            None => match read_or_report(&mut reader, &mut writer)? {
+                Some(req) => req,
+                None => return Ok(()),
+            },
+        };
+        match req {
+            Request::Quit => {
+                send_response(&mut writer, &Response::Bye)?;
+                return Ok(());
+            }
+            Request::Compile { src } => match Compiled::build(state, &src) {
+                Err(e) => send_response(&mut writer, &e)?,
+                Ok(compiled) => {
+                    send_response(
+                        &mut writer,
+                        &Response::Compiled {
+                            points: compiled.scenario.space.len(),
+                            columns: compiled.scenario.columns.clone(),
+                        },
+                    )?;
+                    match session_loop(&mut reader, &mut writer, state, &compiled)? {
+                        Next::Done => return Ok(()),
+                        Next::Recompile(src) => pending = Some(src),
+                    }
+                }
+            },
+            _ => send_response(
+                &mut writer,
+                &err(ErrorCode::State, "compile a scenario first (COMPILE <script>)"),
+            )?,
+        }
+    }
+}
+
+/// Read one request; malformed-but-framed requests are answered with an
+/// `ERR malformed` and skipped (`Ok(Some)` only for well-formed requests is
+/// handled by looping), while framing-level failures tear the connection
+/// down. `Ok(None)` is a clean disconnect.
+fn read_or_report(
+    reader: &mut TcpStream,
+    writer: &mut TcpStream,
+) -> Result<Option<Request>, ProtocolError> {
+    loop {
+        match recv_request(reader) {
+            Ok(req) => return Ok(req),
+            Err(ProtocolError::Malformed(m)) => {
+                send_response(writer, &err(ErrorCode::Malformed, &m))?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Drive one scenario's session until quit/disconnect/recompile.
+fn session_loop(
+    reader: &mut TcpStream,
+    writer: &mut TcpStream,
+    state: &ServerState,
+    compiled: &Compiled,
+) -> Result<Next, ProtocolError> {
+    let space_len = compiled.scenario.space.len();
+    let n_cols = compiled.scenario.columns.len();
+    // The session shares the store with every other client of this
+    // scenario; SessionConfig::from_jigsaw keeps its fingerprints and
+    // refinement ceiling aligned with sweep-built bases.
+    let mut session = InteractiveSession::attach(
+        &compiled.sim,
+        SessionConfig::from_jigsaw(&state.cfg),
+        compiled.shared.clone(),
+    );
+    loop {
+        let req = match read_or_report(reader, writer)? {
+            Some(req) => req,
+            None => return Ok(Next::Done),
+        };
+        let resp = match req {
+            Request::Quit => {
+                send_response(writer, &Response::Bye)?;
+                return Ok(Next::Done);
+            }
+            Request::Compile { src } => return Ok(Next::Recompile(src)),
+            Request::Sweep => {
+                let runner = SweepRunner::new(Arc::clone(&state.cfg));
+                // World evaluation dominates a sweep and runs outside any
+                // per-shard probe; holding the store lock for the sweep
+                // serializes concurrent sweeps of one scenario, which is
+                // exactly what makes the second one all warm hits.
+                match compiled.shared.with_store_mut(|stores| runner.run_on(&compiled.sim, stores))
+                {
+                    Ok(result) => Response::Swept {
+                        points: result.stats.points,
+                        worlds: result.stats.worlds_evaluated,
+                        full_sims: result.stats.full_simulations,
+                        reused: result.stats.reused,
+                        warm_hits: result.stats.warm_hits,
+                        bases: result.stats.bases_per_column.clone(),
+                    },
+                    Err(e) => err(ErrorCode::Exec, &e.to_string()),
+                }
+            }
+            Request::Focus { point } => {
+                if point >= space_len {
+                    err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
+                } else {
+                    session.set_focus(point);
+                    Response::Focused { point }
+                }
+            }
+            Request::Estimate { point, col } => {
+                if point >= space_len {
+                    err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
+                } else if col >= n_cols {
+                    err(ErrorCode::State, &format!("column {col} out of range 0..{n_cols}"))
+                } else {
+                    match session.estimate_now(point, col) {
+                        Ok(est) => Response::Estimated {
+                            point,
+                            col,
+                            n_samples: est.n_samples,
+                            source: est.source,
+                            expectation_bits: est.expectation.to_bits(),
+                            std_dev_bits: est.std_dev.to_bits(),
+                        },
+                        Err(e) => err(ErrorCode::Exec, &e.to_string()),
+                    }
+                }
+            }
+            Request::Tick { count } => {
+                if count > MAX_TICKS_PER_REQUEST {
+                    err(
+                        ErrorCode::State,
+                        &format!("tick count {count} exceeds the {MAX_TICKS_PER_REQUEST} cap"),
+                    )
+                } else {
+                    match (0..count).try_for_each(|_| session.tick().map(|_| ())) {
+                        Ok(()) => {
+                            Response::Ticked { ticks: count, worlds: session.worlds_evaluated }
+                        }
+                        Err(e) => err(ErrorCode::Exec, &e.to_string()),
+                    }
+                }
+            }
+            Request::Stats => Response::Stats {
+                bases: session.basis_counts(),
+                touched: session.touched_points(),
+                warm_hits: session.warm_hits,
+                worlds: session.worlds_evaluated,
+                generation: compiled.shared.generation(),
+            },
+            // SAVE/LOAD names are scoped per scenario — both in the
+            // filename and in the snapshot header's family string — so one
+            // scenario's snapshot can neither clobber nor load into
+            // another's store.
+            Request::Save { name } => match &state.config.snapshot_dir {
+                None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
+                Some(dir) => {
+                    match compiled
+                        .shared
+                        .to_snapshot_bytes(&state.cfg, &snapshot_family(&compiled.key))
+                    {
+                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                        Ok(bytes) => {
+                            let path = dir.join(snapshot_filename(&name, &compiled.key));
+                            match std::fs::write(&path, &bytes) {
+                                Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                                Ok(()) => {
+                                    state.mark_persisted(compiled.key.clone(), path);
+                                    Response::Saved { name, bytes: bytes.len() }
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            Request::Load { name } => match &state.config.snapshot_dir {
+                None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
+                Some(dir) => {
+                    let path = dir.join(snapshot_filename(&name, &compiled.key));
+                    match std::fs::read(&path) {
+                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                        Ok(bytes) => match ShardedBasisStore::from_snapshot_bytes(
+                            &bytes,
+                            &state.cfg,
+                            Arc::new(ScopedAffine(snapshot_family(&compiled.key))),
+                            n_cols,
+                        ) {
+                            Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                            Ok(store) => {
+                                let bases = store.bases_per_column();
+                                // Bumps the store generation: every attached
+                                // session drops its stale basis links at its
+                                // next touch/tick.
+                                compiled.shared.replace(store);
+                                state.mark_persisted(compiled.key.clone(), path);
+                                Response::Loaded { name, bases }
+                            }
+                        },
+                    }
+                }
+            },
+        };
+        send_response(writer, &resp)?;
+    }
+}

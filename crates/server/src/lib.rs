@@ -1,0 +1,51 @@
+//! # jigsaw-server — multi-client what-if sessions over one warm basis store
+//!
+//! The single-process optimizer turned into a service: a dependency-free
+//! TCP server (std only) that exposes scenario compilation, batch sweeps,
+//! and interactive what-if sessions over a length-prefixed line protocol
+//! ([`protocol`]). Every client connection compiles its scenario against
+//! the server's model catalog and attaches to the **one shared warm
+//! [`SharedBasisStore`](jigsaw_core::SharedBasisStore)** for that
+//! `(catalog, scenario, config-fingerprint)` identity — so the Nth user's
+//! queries resolve against Monte Carlo work the first user paid for, and
+//! every sweep/session reports how much it rode warm (`warm_hits`).
+//!
+//! Determinism carries over from the core: all clients share one master
+//! seed, worlds are seed-addressed, and store mutations happen under the
+//! store lock with world evaluation outside it — so estimates served over
+//! the wire are **bit-identical** to a local
+//! [`InteractiveSession`](jigsaw_core::InteractiveSession) over the same
+//! scenario and warm store (`tests/server_session.rs` enforces this at
+//! thread budgets 1 and 4). `SAVE`/`LOAD` bridge the in-memory registry to
+//! PR 4's versioned snapshots: saved stores are re-snapshotted at shutdown,
+//! so a restarted server resumes warm.
+//!
+//! ```no_run
+//! use jigsaw_server::{default_catalog, JigsawServer, ServerConfig};
+//!
+//! let server =
+//!     JigsawServer::bind("127.0.0.1:0", default_catalog(), ServerConfig::default()).unwrap();
+//! let handle = server.start().unwrap();
+//! let transcript = jigsaw_server::client::run_script(
+//!     handle.addr(),
+//!     "COMPILE DECLARE PARAMETER @week AS RANGE 0 TO 9 STEP BY 1; \
+//!      SELECT Demand(@week, @week) AS demand INTO results;\nSWEEP\nESTIMATE 3 0\nQUIT",
+//! )
+//! .unwrap();
+//! println!("{transcript}");
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+mod conn;
+pub mod protocol;
+mod server;
+
+pub use catalog::default_catalog;
+pub use client::Client;
+pub use conn::MAX_TICKS_PER_REQUEST;
+pub use protocol::{ErrorCode, ProtocolError, Request, Response};
+pub use server::{JigsawServer, ServerConfig, ServerHandle};

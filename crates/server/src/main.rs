@@ -1,0 +1,65 @@
+//! `jigsaw-server` — run a session server over the default model catalog.
+//!
+//! ```text
+//! jigsaw-server [--addr HOST:PORT] [--threads N] [--n-samples N]
+//!               [--fingerprint-len M] [--seed N] [--snapshot-dir DIR]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, i.e. an ephemeral loopback port), prints
+//! one `LISTENING <addr>` line to stdout, and serves until killed. The CI
+//! smoke job scrapes that line, replays a scripted `jigsaw-client` session
+//! against it, and byte-diffs the transcript against a golden file.
+
+use std::path::PathBuf;
+
+use jigsaw_server::{default_catalog, JigsawServer, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let parse_num = |flag: &str| -> Option<usize> {
+        value_of(flag).map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} requires an integer, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    let addr = value_of("--addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
+    let mut config = ServerConfig::default();
+    if let Some(threads) = parse_num("--threads") {
+        config.cfg = config.cfg.with_threads(threads);
+    }
+    if let Some(n) = parse_num("--n-samples") {
+        config.cfg = config.cfg.with_n_samples(n);
+    }
+    if let Some(m) = parse_num("--fingerprint-len") {
+        config.cfg = config.cfg.with_fingerprint_len(m);
+    }
+    if let Some(seed) = parse_num("--seed") {
+        config.master_seed = seed as u64;
+    }
+    config.snapshot_dir = value_of("--snapshot-dir").map(PathBuf::from);
+
+    let server = JigsawServer::bind(&addr, default_catalog(), config).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = server.local_addr().expect("bound listener has an address");
+    // The machine-readable handshake line the smoke job scrapes.
+    println!("LISTENING {local}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    if let Err(e) = server.run() {
+        eprintln!("error: server terminated: {e}");
+        std::process::exit(1);
+    }
+}

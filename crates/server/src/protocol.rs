@@ -1,0 +1,740 @@
+//! The session-server wire protocol: length-prefixed UTF-8 line frames.
+//!
+//! Dependency-free by design (U-relations-style succinctness argues for a
+//! compact, self-describing wire format): every message is one **frame** —
+//! a little-endian `u32` byte length followed by that many bytes of UTF-8
+//! payload. The payload is a single command line (verb + space-separated
+//! arguments); only `COMPILE` carries a body (the scenario script) after
+//! the first newline, which the length prefix makes unambiguous.
+//!
+//! ## Grammar
+//!
+//! Requests:
+//!
+//! ```text
+//! COMPILE\n<script>          compile a scenario; attaches the shared store
+//! SWEEP                      run the wave executor over the whole space
+//! FOCUS <point>              move the session focus
+//! ESTIMATE <point> <col>     touch a point and return its estimate
+//! TICK <count>               run <count> event-loop iterations
+//! STATS                      session + shared-store telemetry
+//! SAVE <name>                snapshot the shared store server-side
+//! LOAD <name>                replace the shared store from a snapshot
+//! QUIT                       close the connection
+//! ```
+//!
+//! Responses (one per request, in order):
+//!
+//! ```text
+//! COMPILED <points> <n_cols> <col>…
+//! SWEPT <points> <worlds> <full_sims> <reused> <warm_hits> <bases>
+//! FOCUSED <point>
+//! EST <point> <col> <n> <basis|direct> <mean_bits> <sd_bits>
+//! TICKED <ticks> <worlds>
+//! STATS <bases> <touched> <warm_hits> <worlds> <generation>
+//! SAVED <name> <bytes>
+//! LOADED <name> <bases>
+//! BYE
+//! ERR <code> <message>
+//! ```
+//!
+//! `<bases>` is a comma-joined per-column basis count (`-` when empty);
+//! `<mean_bits>`/`<sd_bits>` are the IEEE-754 bit patterns of the estimate
+//! in fixed-width hex, so estimates cross the wire **bit-exactly** — the
+//! server-vs-local identity tests compare them as integers.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use jigsaw_core::interactive::EstimateSource;
+use jigsaw_pdb::PdbError;
+
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation is sized from them.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame or message could not be read, written, or parsed.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket/file I/O failed.
+    Io(std::io::Error),
+    /// A frame declared a payload longer than [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// The stream ended inside a frame (mid-prefix or mid-payload).
+    Truncated,
+    /// The payload bytes are not valid UTF-8.
+    NotUtf8,
+    /// The payload parsed as text but not as a protocol message.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "frame I/O: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for PdbError {
+    fn from(e: ProtocolError) -> Self {
+        PdbError::Protocol(e.to_string())
+    }
+}
+
+/// Write one frame: `u32` LE payload length, then the payload bytes.
+///
+/// Prefix and payload go out in a single `write_all` — on a TCP socket,
+/// two small writes per frame interact with Nagle + delayed ACK into
+/// tens-of-milliseconds round trips ([`TcpStream::set_nodelay`] on both
+/// ends guards the same latency; see [`crate::Client::connect`]).
+///
+/// [`TcpStream::set_nodelay`]: std::net::TcpStream::set_nodelay
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME, "oversized frame composed locally");
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); EOF *inside* a frame is [`ProtocolError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(ProtocolError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => ProtocolError::Truncated,
+        _ => ProtocolError::Io(e),
+    })?;
+    String::from_utf8(payload).map(Some).map_err(|_| ProtocolError::NotUtf8)
+}
+
+/// A client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile a scenario script and attach its shared basis store.
+    Compile {
+        /// The scenario source (the `DECLARE …; SELECT …;` dialect).
+        src: String,
+    },
+    /// Run the batch sweep over the whole parameter space.
+    Sweep,
+    /// Move the interactive focus.
+    Focus {
+        /// Parameter-space point index.
+        point: usize,
+    },
+    /// Touch a point and return its estimate for one column.
+    Estimate {
+        /// Parameter-space point index.
+        point: usize,
+        /// Output-column index.
+        col: usize,
+    },
+    /// Run event-loop iterations.
+    Tick {
+        /// Number of ticks.
+        count: u32,
+    },
+    /// Session and shared-store telemetry.
+    Stats,
+    /// Snapshot the shared store server-side under `name`.
+    Save {
+        /// Snapshot name (restricted charset; no paths).
+        name: String,
+    },
+    /// Replace the shared store from the server-side snapshot `name`.
+    Load {
+        /// Snapshot name (restricted charset; no paths).
+        name: String,
+    },
+    /// Close the connection.
+    Quit,
+}
+
+/// True for names safe to embed in the wire format and in server-side
+/// snapshot filenames: non-empty ASCII alphanumerics plus `-`/`_`/`.`,
+/// never starting with a dot (no hidden files, no traversal).
+pub fn valid_snapshot_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Compile { src } => format!("COMPILE\n{src}"),
+            Request::Sweep => "SWEEP".into(),
+            Request::Focus { point } => format!("FOCUS {point}"),
+            Request::Estimate { point, col } => format!("ESTIMATE {point} {col}"),
+            Request::Tick { count } => format!("TICK {count}"),
+            Request::Stats => "STATS".into(),
+            Request::Save { name } => format!("SAVE {name}"),
+            Request::Load { name } => format!("LOAD {name}"),
+            Request::Quit => "QUIT".into(),
+        }
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &str) -> Result<Request, ProtocolError> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((line, body)) => (line, Some(body)),
+            None => (payload, None),
+        };
+        let mut words = line.split(' ');
+        let verb = words.next().unwrap_or("");
+        let args: Vec<&str> = words.collect();
+        let arity = |n: usize| -> Result<(), ProtocolError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ProtocolError::Malformed(format!(
+                    "{verb} takes {n} argument(s), got {}",
+                    args.len()
+                )))
+            }
+        };
+        let parse_num = |what: &str, s: &str| -> Result<usize, ProtocolError> {
+            s.parse().map_err(|_| ProtocolError::Malformed(format!("{what} `{s}` is not a number")))
+        };
+        if body.is_some() && verb != "COMPILE" {
+            return Err(ProtocolError::Malformed(format!("{verb} does not take a body")));
+        }
+        match verb {
+            "COMPILE" => {
+                arity(0)?;
+                match body {
+                    Some(src) => Ok(Request::Compile { src: src.to_string() }),
+                    None => Err(ProtocolError::Malformed("COMPILE requires a script body".into())),
+                }
+            }
+            "SWEEP" => arity(0).map(|()| Request::Sweep),
+            "FOCUS" => {
+                arity(1)?;
+                Ok(Request::Focus { point: parse_num("point", args[0])? })
+            }
+            "ESTIMATE" => {
+                arity(2)?;
+                Ok(Request::Estimate {
+                    point: parse_num("point", args[0])?,
+                    col: parse_num("column", args[1])?,
+                })
+            }
+            "TICK" => {
+                arity(1)?;
+                let count = args[0].parse::<u32>().map_err(|_| {
+                    ProtocolError::Malformed(format!("count `{}` is not a u32", args[0]))
+                })?;
+                Ok(Request::Tick { count })
+            }
+            "STATS" => arity(0).map(|()| Request::Stats),
+            "SAVE" | "LOAD" => {
+                arity(1)?;
+                let name = args[0].to_string();
+                if !valid_snapshot_name(&name) {
+                    return Err(ProtocolError::Malformed(format!(
+                        "invalid snapshot name `{name}`"
+                    )));
+                }
+                Ok(if verb == "SAVE" { Request::Save { name } } else { Request::Load { name } })
+            }
+            "QUIT" => arity(0).map(|()| Request::Quit),
+            other => Err(ProtocolError::Malformed(format!("unknown request verb `{other}`"))),
+        }
+    }
+
+    /// Parse one line of a *client script* — the same syntax as the wire
+    /// verb line, except `COMPILE` takes the scenario source as the rest of
+    /// the line (scripts are line-oriented; the wire format is not).
+    pub fn from_script_line(line: &str) -> Result<Request, ProtocolError> {
+        match line.split_once(' ') {
+            Some(("COMPILE", src)) => Ok(Request::Compile { src: src.to_string() }),
+            _ => Request::decode(line),
+        }
+    }
+}
+
+/// Machine-readable failure class of a [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be parsed.
+    Malformed,
+    /// The request is valid but not in this connection state (e.g. `SWEEP`
+    /// before `COMPILE`) or its arguments are out of range.
+    State,
+    /// Scenario compilation failed.
+    Compile,
+    /// Sweep or session execution failed.
+    Exec,
+    /// Snapshot save/load failed.
+    Snapshot,
+    /// The server is not configured for the operation.
+    Unsupported,
+}
+
+impl ErrorCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::State => "state",
+            ErrorCode::Compile => "compile",
+            ErrorCode::Exec => "exec",
+            ErrorCode::Snapshot => "snapshot",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "malformed" => ErrorCode::Malformed,
+            "state" => ErrorCode::State,
+            "compile" => ErrorCode::Compile,
+            "exec" => ErrorCode::Exec,
+            "snapshot" => ErrorCode::Snapshot,
+            "unsupported" => ErrorCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+/// A server reply. Every field is deterministic given the scenario and
+/// configuration — no wall-clock values cross the wire, so transcripts can
+/// be byte-diffed against goldens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Scenario compiled; session attached to the shared store.
+    Compiled {
+        /// Parameter-space size.
+        points: usize,
+        /// Output-column names.
+        columns: Vec<String>,
+    },
+    /// Sweep finished (the deterministic counters of `SweepStats`).
+    Swept {
+        /// Points swept.
+        points: usize,
+        /// Simulation worlds evaluated.
+        worlds: u64,
+        /// Points that ran a completion simulation.
+        full_sims: usize,
+        /// Points served by intra-sweep reuse.
+        reused: usize,
+        /// Points served by bases that pre-dated this sweep (paid for by an
+        /// earlier sweep — possibly another client's).
+        warm_hits: usize,
+        /// Basis count per output column after the sweep.
+        bases: Vec<usize>,
+    },
+    /// Focus moved.
+    Focused {
+        /// The new focus.
+        point: usize,
+    },
+    /// An estimate, bit-exact (IEEE-754 bit patterns).
+    Estimated {
+        /// Point index.
+        point: usize,
+        /// Column index.
+        col: usize,
+        /// Samples backing the estimate.
+        n_samples: usize,
+        /// Provenance (mapped basis vs direct samples).
+        source: EstimateSource,
+        /// `f64::to_bits` of the expectation.
+        expectation_bits: u64,
+        /// `f64::to_bits` of the standard deviation.
+        std_dev_bits: u64,
+    },
+    /// Event-loop iterations ran.
+    Ticked {
+        /// Ticks executed.
+        ticks: u32,
+        /// Session worlds evaluated so far (cumulative).
+        worlds: u64,
+    },
+    /// Telemetry snapshot.
+    Stats {
+        /// Shared-store basis count per column.
+        bases: Vec<usize>,
+        /// Points this session has touched.
+        touched: usize,
+        /// This session's warm hits (first touches fully served by bases
+        /// the session did not itself create).
+        warm_hits: u64,
+        /// This session's worlds evaluated.
+        worlds: u64,
+        /// Shared-store replacement generation.
+        generation: u64,
+    },
+    /// Shared store snapshotted server-side.
+    Saved {
+        /// Snapshot name.
+        name: String,
+        /// Snapshot size in bytes.
+        bytes: usize,
+    },
+    /// Shared store replaced from a server-side snapshot.
+    Loaded {
+        /// Snapshot name.
+        name: String,
+        /// Basis count per column after the load.
+        bases: Vec<usize>,
+    },
+    /// Connection closing.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail (single line).
+        message: String,
+    },
+}
+
+/// Join per-column counts for the wire (`-` for a zero-column store).
+fn encode_counts(counts: &[usize]) -> String {
+    if counts.is_empty() {
+        "-".into()
+    } else {
+        counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn decode_counts(s: &str) -> Result<Vec<usize>, ProtocolError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| {
+            x.parse()
+                .map_err(|_| ProtocolError::Malformed(format!("basis count `{x}` is not a number")))
+        })
+        .collect()
+}
+
+fn decode_bits(s: &str) -> Result<u64, ProtocolError> {
+    u64::from_str_radix(s, 16)
+        .map_err(|_| ProtocolError::Malformed(format!("`{s}` is not a hex bit pattern")))
+}
+
+impl Response {
+    /// Serialize to a frame payload (single line; newlines in error
+    /// messages are flattened to spaces).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Compiled { points, columns } => {
+                let mut out = format!("COMPILED {points} {}", columns.len());
+                for c in columns {
+                    out.push(' ');
+                    out.push_str(c);
+                }
+                out
+            }
+            Response::Swept { points, worlds, full_sims, reused, warm_hits, bases } => format!(
+                "SWEPT {points} {worlds} {full_sims} {reused} {warm_hits} {}",
+                encode_counts(bases)
+            ),
+            Response::Focused { point } => format!("FOCUSED {point}"),
+            Response::Estimated {
+                point,
+                col,
+                n_samples,
+                source,
+                expectation_bits,
+                std_dev_bits,
+            } => {
+                let src = match source {
+                    EstimateSource::MappedBasis => "basis",
+                    EstimateSource::Direct => "direct",
+                };
+                format!(
+                    "EST {point} {col} {n_samples} {src} {expectation_bits:016x} {std_dev_bits:016x}"
+                )
+            }
+            Response::Ticked { ticks, worlds } => format!("TICKED {ticks} {worlds}"),
+            Response::Stats { bases, touched, warm_hits, worlds, generation } => format!(
+                "STATS {} {touched} {warm_hits} {worlds} {generation}",
+                encode_counts(bases)
+            ),
+            Response::Saved { name, bytes } => format!("SAVED {name} {bytes}"),
+            Response::Loaded { name, bases } => {
+                format!("LOADED {name} {}", encode_counts(bases))
+            }
+            Response::Bye => "BYE".into(),
+            Response::Error { code, message } => {
+                format!("ERR {} {}", code.as_str(), message.replace('\n', " "))
+            }
+        }
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &str) -> Result<Response, ProtocolError> {
+        let mut words = payload.split(' ');
+        let verb = words.next().unwrap_or("");
+        let args: Vec<&str> = match verb {
+            // ERR keeps its trailing message verbatim (it may contain spaces).
+            "ERR" => Vec::new(),
+            _ => words.collect(),
+        };
+        let arity = |n: usize| -> Result<(), ProtocolError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ProtocolError::Malformed(format!(
+                    "{verb} takes {n} field(s), got {}",
+                    args.len()
+                )))
+            }
+        };
+        let num = |what: &str, s: &str| -> Result<u64, ProtocolError> {
+            s.parse().map_err(|_| ProtocolError::Malformed(format!("{what} `{s}` is not a number")))
+        };
+        match verb {
+            "COMPILED" => {
+                if args.len() < 2 {
+                    return Err(ProtocolError::Malformed("COMPILED needs points + n_cols".into()));
+                }
+                let points = num("points", args[0])? as usize;
+                let n_cols = num("column count", args[1])? as usize;
+                if args.len() != 2 + n_cols {
+                    return Err(ProtocolError::Malformed(format!(
+                        "COMPILED declares {n_cols} column(s) but carries {}",
+                        args.len() - 2
+                    )));
+                }
+                let columns = args[2..].iter().map(|s| s.to_string()).collect();
+                Ok(Response::Compiled { points, columns })
+            }
+            "SWEPT" => {
+                arity(6)?;
+                Ok(Response::Swept {
+                    points: num("points", args[0])? as usize,
+                    worlds: num("worlds", args[1])?,
+                    full_sims: num("full_sims", args[2])? as usize,
+                    reused: num("reused", args[3])? as usize,
+                    warm_hits: num("warm_hits", args[4])? as usize,
+                    bases: decode_counts(args[5])?,
+                })
+            }
+            "FOCUSED" => {
+                arity(1)?;
+                Ok(Response::Focused { point: num("point", args[0])? as usize })
+            }
+            "EST" => {
+                arity(6)?;
+                let source = match args[3] {
+                    "basis" => EstimateSource::MappedBasis,
+                    "direct" => EstimateSource::Direct,
+                    other => {
+                        return Err(ProtocolError::Malformed(format!(
+                            "unknown estimate source `{other}`"
+                        )))
+                    }
+                };
+                Ok(Response::Estimated {
+                    point: num("point", args[0])? as usize,
+                    col: num("column", args[1])? as usize,
+                    n_samples: num("n_samples", args[2])? as usize,
+                    source,
+                    expectation_bits: decode_bits(args[4])?,
+                    std_dev_bits: decode_bits(args[5])?,
+                })
+            }
+            "TICKED" => {
+                arity(2)?;
+                let ticks = args[0].parse::<u32>().map_err(|_| {
+                    ProtocolError::Malformed(format!("ticks `{}` is not a u32", args[0]))
+                })?;
+                Ok(Response::Ticked { ticks, worlds: num("worlds", args[1])? })
+            }
+            "STATS" => {
+                arity(5)?;
+                Ok(Response::Stats {
+                    bases: decode_counts(args[0])?,
+                    touched: num("touched", args[1])? as usize,
+                    warm_hits: num("warm_hits", args[2])?,
+                    worlds: num("worlds", args[3])?,
+                    generation: num("generation", args[4])?,
+                })
+            }
+            "SAVED" => {
+                arity(2)?;
+                Ok(Response::Saved {
+                    name: args[0].to_string(),
+                    bytes: num("bytes", args[1])? as usize,
+                })
+            }
+            "LOADED" => {
+                arity(2)?;
+                Ok(Response::Loaded { name: args[0].to_string(), bases: decode_counts(args[1])? })
+            }
+            "BYE" => {
+                arity(0)?;
+                Ok(Response::Bye)
+            }
+            "ERR" => {
+                let rest = payload.strip_prefix("ERR ").ok_or_else(|| {
+                    ProtocolError::Malformed("ERR needs a code and message".into())
+                })?;
+                let (code, message) = rest.split_once(' ').ok_or_else(|| {
+                    ProtocolError::Malformed("ERR needs a message after the code".into())
+                })?;
+                let code = ErrorCode::parse(code).ok_or_else(|| {
+                    ProtocolError::Malformed(format!("unknown error code `{code}`"))
+                })?;
+                Ok(Response::Error { code, message: message.to_string() })
+            }
+            other => Err(ProtocolError::Malformed(format!("unknown response verb `{other}`"))),
+        }
+    }
+}
+
+/// Send a request as one frame.
+pub fn send_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
+    write_frame(w, &req.encode())
+}
+
+/// Send a response as one frame.
+pub fn send_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write_frame(w, &resp.encode())
+}
+
+/// Receive one request; `Ok(None)` is a clean disconnect.
+pub fn recv_request(r: &mut impl Read) -> Result<Option<Request>, ProtocolError> {
+    match read_frame(r)? {
+        Some(payload) => Request::decode(&payload).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Receive one response; `Ok(None)` is a clean disconnect.
+pub fn recv_response(r: &mut impl Read) -> Result<Option<Response>, ProtocolError> {
+    match read_frame(r)? {
+        Some(payload) => Response::decode(&payload).map(Some),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "SWEEP").unwrap();
+        write_frame(&mut buf, "FOCUS 9").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("SWEEP"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("FOCUS 9"));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let r = read_frame(&mut std::io::Cursor::new(buf));
+        assert!(matches!(r, Err(ProtocolError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn non_utf8_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let r = read_frame(&mut std::io::Cursor::new(buf));
+        assert!(matches!(r, Err(ProtocolError::NotUtf8)));
+    }
+
+    #[test]
+    fn request_wire_forms() {
+        let compile = Request::Compile { src: "SELECT D(@x) AS d INTO r;".into() };
+        assert!(compile.encode().starts_with("COMPILE\n"));
+        assert_eq!(Request::decode(&compile.encode()).unwrap(), compile);
+        assert_eq!(
+            Request::decode("ESTIMATE 9 0").unwrap(),
+            Request::Estimate { point: 9, col: 0 }
+        );
+        assert!(Request::decode("ESTIMATE 9").is_err());
+        assert!(Request::decode("NONSENSE").is_err());
+        assert!(Request::decode("SWEEP extra").is_err());
+        assert!(Request::decode("SAVE ../etc/passwd").is_err(), "paths are not snapshot names");
+        assert!(Request::decode("SAVE .hidden").is_err());
+        assert!(Request::decode("FOCUS 9\nbody").is_err(), "only COMPILE takes a body");
+    }
+
+    #[test]
+    fn script_lines_put_compile_source_inline() {
+        let req = Request::from_script_line("COMPILE SELECT D(@x) AS d INTO r;").unwrap();
+        assert_eq!(req, Request::Compile { src: "SELECT D(@x) AS d INTO r;".into() });
+        assert_eq!(Request::from_script_line("TICK 4").unwrap(), Request::Tick { count: 4 });
+    }
+
+    #[test]
+    fn response_wire_forms() {
+        let est = Response::Estimated {
+            point: 9,
+            col: 0,
+            n_samples: 210,
+            source: EstimateSource::MappedBasis,
+            expectation_bits: 10.03f64.to_bits(),
+            std_dev_bits: 1.5f64.to_bits(),
+        };
+        let wire = est.encode();
+        assert!(wire.starts_with("EST 9 0 210 basis "), "{wire}");
+        assert_eq!(Response::decode(&wire).unwrap(), est);
+        let err =
+            Response::Error { code: ErrorCode::State, message: "compile a scenario first".into() };
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+        assert!(Response::decode("EST 9 0 210 basis xyz 0").is_err());
+        assert!(Response::decode("COMPILED 10 2 one").is_err(), "column count must match");
+        assert!(Response::decode("BONKERS").is_err());
+    }
+
+    #[test]
+    fn empty_bases_vector_roundtrips() {
+        let stats =
+            Response::Stats { bases: vec![], touched: 0, warm_hits: 0, worlds: 0, generation: 0 };
+        assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+}

@@ -1,0 +1,235 @@
+//! The TCP accept loop and shared server state.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use jigsaw_core::basis::{StoreKey, StoreRegistry};
+use jigsaw_core::JigsawConfig;
+use jigsaw_pdb::Catalog;
+
+use crate::conn::serve_client;
+
+/// The mapping family every server store is built on.
+pub(crate) const FAMILY: &str = "affine";
+
+/// FNV-1a 64 over a string (scenario identity inside store keys and
+/// snapshot scoping) — the workspace's one content hash.
+pub(crate) fn fnv64(s: &str) -> u64 {
+    jigsaw_core::basis::content_hash64(s.as_bytes())
+}
+
+/// The family name written into (and demanded from) this key's snapshot
+/// headers: the base family plus the scenario scope. Bases are only
+/// meaningful for the simulation that produced them, so a snapshot saved
+/// under one scenario must refuse — with a typed `ConfigMismatch` — to
+/// load into another, even if someone copies the file across names.
+pub(crate) fn snapshot_family(key: &StoreKey) -> String {
+    format!("{FAMILY}+{:016x}", fnv64(&key.scope))
+}
+
+/// The on-disk file for a `SAVE`/`LOAD` name under this key. The scope hash
+/// in the filename keeps two scenarios' same-named snapshots from
+/// clobbering each other (and from being re-snapshotted into one path in
+/// arbitrary order at shutdown).
+pub(crate) fn snapshot_filename(name: &str, key: &StoreKey) -> String {
+    format!("{name}-{:016x}.snap", fnv64(&key.scope))
+}
+
+/// Server-wide tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The sweep/session configuration every client runs under. Part of
+    /// basis identity: the store registry keys on its
+    /// [`config_fingerprint`](jigsaw_core::basis::config_fingerprint), so
+    /// all clients of one server share warm stores by construction.
+    pub cfg: JigsawConfig,
+    /// Master seed for scenario simulations. All clients share it — that
+    /// is what makes their Monte Carlo worlds, and therefore their
+    /// fingerprints and bases, interchangeable.
+    pub master_seed: u64,
+    /// Directory for `SAVE`/`LOAD` snapshots; `None` disables both
+    /// commands (and the shutdown re-snapshot).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Catalog name, folded into every store key.
+    pub catalog_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cfg: JigsawConfig::paper(),
+            master_seed: 2024,
+            snapshot_dir: None,
+            catalog_name: "default".into(),
+        }
+    }
+}
+
+/// State shared by every connection: the catalog, the configuration, and
+/// the warm-store registry.
+pub struct ServerState {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) config: ServerConfig,
+    pub(crate) cfg: Arc<JigsawConfig>,
+    pub(crate) registry: StoreRegistry,
+    /// Stores that have been `SAVE`d (or `LOAD`ed), and where — these are
+    /// re-snapshotted on shutdown so a restart resumes warm.
+    pub(crate) persisted: Mutex<HashMap<StoreKey, PathBuf>>,
+    /// Live connections: the handler thread plus a socket handle that
+    /// [`ServerHandle::shutdown`] closes to unblock pending reads.
+    clients: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(catalog: Catalog, config: ServerConfig) -> Self {
+        config.cfg.validate();
+        let cfg = Arc::new(config.cfg.clone());
+        ServerState {
+            catalog: Arc::new(catalog),
+            config,
+            cfg,
+            registry: StoreRegistry::new(),
+            persisted: Mutex::new(HashMap::new()),
+            clients: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Record that `key`'s store lives at `path` on disk, so shutdown can
+    /// re-snapshot it.
+    pub(crate) fn mark_persisted(&self, key: StoreKey, path: PathBuf) {
+        self.persisted.lock().expect("persisted map poisoned").insert(key, path);
+    }
+
+    /// Re-snapshot every store with a recorded on-disk home. Called on
+    /// `SAVE` (for the one store) and at shutdown (for all of them), so the
+    /// disk copy never lags the warm in-memory store by more than the work
+    /// done since the last call.
+    pub(crate) fn resnapshot_persisted(&self) -> std::io::Result<()> {
+        let persisted = self.persisted.lock().expect("persisted map poisoned");
+        for (key, path) in persisted.iter() {
+            let Some(store) = self.registry.get(key) else { continue };
+            let bytes = store
+                .to_snapshot_bytes(&self.cfg, &snapshot_family(key))
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            std::fs::write(path, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// A bound-but-not-yet-running session server.
+pub struct JigsawServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl JigsawServer {
+    /// Bind to `addr` (use port 0 for an ephemeral loopback port) with the
+    /// given model catalog and configuration.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        if let Some(dir) = &config.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(JigsawServer { listener, state: Arc::new(ServerState::new(catalog, config)) })
+    }
+
+    /// The bound address (needed when binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections on the calling thread until the process exits
+    /// (the `jigsaw-server` binary's mode).
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        accept_loop(self.listener, state);
+        Ok(())
+    }
+
+    /// Serve connections on a background thread; the returned handle stops
+    /// the server and re-snapshots persisted stores on
+    /// [`ServerHandle::shutdown`].
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let listener = self.listener;
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+        Ok(ServerHandle { addr, state, accept: Some(accept) })
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Small request/response frames: Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        let Ok(socket) = stream.try_clone() else { continue };
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            // A connection failing (protocol garbage, dropped socket) only
+            // affects that client; the shared stores stay consistent
+            // because every mutation happens under their locks.
+            let _ = serve_client(stream, &conn_state);
+        });
+        let mut clients = state.clients.lock().expect("client list poisoned");
+        clients.retain(|(h, _)| !h.is_finished());
+        clients.push((handle, socket));
+    }
+}
+
+/// A handle to a running server (see [`JigsawServer::start`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of shared stores currently registered.
+    pub fn store_count(&self) -> usize {
+        self.state.registry.len()
+    }
+
+    /// Stop the server: close every live connection, join all handler
+    /// threads and the accept loop, then re-snapshot every store with an
+    /// on-disk home (`SAVE`d or `LOAD`ed) so a restart resumes warm.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection, then join it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Close every connection socket to unblock pending reads, then join
+        // the handler threads so no store mutation races the re-snapshot.
+        let clients =
+            std::mem::take(&mut *self.state.clients.lock().expect("client list poisoned"));
+        for (_, socket) in &clients {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        for (handle, _) in clients {
+            let _ = handle.join();
+        }
+        self.state.resnapshot_persisted()
+    }
+}

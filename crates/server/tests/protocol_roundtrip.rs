@@ -1,0 +1,210 @@
+//! Protocol framing properties, mirroring `tests/snapshot_roundtrip.rs`'s
+//! corruption-variant style: every request/response variant round-trips
+//! through encode → decode, frames round-trip through write → read, and
+//! truncated or garbage bytes are rejected with a typed
+//! [`ProtocolError`] instead of panicking or silently misparsing.
+
+use jigsaw_core::interactive::EstimateSource;
+use jigsaw_server::protocol::{read_frame, valid_snapshot_name, write_frame, MAX_FRAME};
+use jigsaw_server::{ErrorCode, ProtocolError, Request, Response};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable palette for free-text fields (scripts may contain newlines;
+/// the length prefix keeps them unambiguous).
+const TEXT: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\n', ';', ',', '(', ')', '@', '.', '-', '_', '*', 'é',
+    '→',
+];
+
+/// Single-line palette (error messages; newlines are flattened at encode).
+const LINE: &[char] = &['a', 'b', 'z', 'A', 'Z', '0', '9', ' '];
+
+fn text(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    vec(0usize..TEXT.len(), len).prop_map(|ix| ix.into_iter().map(|i| TEXT[i]).collect())
+}
+
+fn line(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    vec(0usize..LINE.len(), len).prop_map(|ix| ix.into_iter().map(|i| LINE[i]).collect())
+}
+
+/// Snapshot names: leading alphanumeric, then the full name charset.
+fn name() -> impl Strategy<Value = String> {
+    const HEAD: &[u8] = b"abcXYZ019";
+    const TAIL: &[u8] = b"abcXYZ019-_.";
+    (vec(0usize..HEAD.len(), 1..2), vec(0usize..TAIL.len(), 0..12)).prop_map(|(h, t)| {
+        let mut s = String::new();
+        s.push(HEAD[h[0]] as char);
+        s.extend(t.into_iter().map(|i| TAIL[i] as char));
+        s
+    })
+}
+
+/// SQL-ish identifiers (column names on the wire: non-empty, no spaces).
+fn ident() -> impl Strategy<Value = String> {
+    const CS: &[u8] = b"abcdxyz_09";
+    vec(0usize..CS.len(), 1..10).prop_map(|ix| ix.into_iter().map(|i| CS[i] as char).collect())
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        text(0..60).prop_map(|src| Request::Compile { src }),
+        Just(Request::Sweep),
+        (0usize..10_000).prop_map(|point| Request::Focus { point }),
+        (0usize..10_000, 0usize..8).prop_map(|(point, col)| Request::Estimate { point, col }),
+        (0u32..100_000).prop_map(|count| Request::Tick { count }),
+        Just(Request::Stats),
+        name().prop_map(|name| Request::Save { name }),
+        name().prop_map(|name| Request::Load { name }),
+        Just(Request::Quit),
+    ]
+}
+
+fn source() -> impl Strategy<Value = EstimateSource> {
+    prop_oneof![Just(EstimateSource::MappedBasis), Just(EstimateSource::Direct)]
+}
+
+fn code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::State),
+        Just(ErrorCode::Compile),
+        Just(ErrorCode::Exec),
+        Just(ErrorCode::Snapshot),
+        Just(ErrorCode::Unsupported),
+    ]
+}
+
+fn counts() -> impl Strategy<Value = Vec<usize>> {
+    vec(0usize..1_000_000, 0..5)
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0usize..100_000, vec(ident(), 1..5))
+            .prop_map(|(points, columns)| Response::Compiled { points, columns }),
+        (
+            0usize..100_000,
+            any::<u64>(),
+            0usize..100_000,
+            0usize..100_000,
+            0usize..100_000,
+            counts()
+        )
+            .prop_map(|(points, worlds, full_sims, reused, warm_hits, bases)| {
+                Response::Swept { points, worlds, full_sims, reused, warm_hits, bases }
+            }),
+        (0usize..10_000).prop_map(|point| Response::Focused { point }),
+        (0usize..10_000, 0usize..8, 0usize..100_000, source(), any::<u64>(), any::<u64>())
+            .prop_map(|(point, col, n_samples, source, expectation_bits, std_dev_bits)| {
+                Response::Estimated {
+                    point,
+                    col,
+                    n_samples,
+                    source,
+                    expectation_bits,
+                    std_dev_bits,
+                }
+            }),
+        (0u32..100_000, any::<u64>())
+            .prop_map(|(ticks, worlds)| Response::Ticked { ticks, worlds }),
+        (counts(), 0usize..10_000, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(bases, touched, warm_hits, worlds, generation)| Response::Stats {
+                bases,
+                touched,
+                warm_hits,
+                worlds,
+                generation
+            }
+        ),
+        (name(), 0usize..1_000_000).prop_map(|(name, bytes)| Response::Saved { name, bytes }),
+        (name(), counts()).prop_map(|(name, bases)| Response::Loaded { name, bases }),
+        Just(Response::Bye),
+        (code(), line(0..30)).prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn request_encode_decode_roundtrips(req in request()) {
+        let wire = req.encode();
+        prop_assert!(wire.len() <= MAX_FRAME);
+        let back = Request::decode(&wire).expect("own encoding must decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_encode_decode_roundtrips(resp in response()) {
+        let wire = resp.encode();
+        prop_assert!(wire.len() <= MAX_FRAME);
+        let back = Response::decode(&wire).expect("own encoding must decode");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_every_truncation(req in request()) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &req.encode()).unwrap();
+        // Whole frame: reads back exactly, then clean EOF.
+        let mut cursor = std::io::Cursor::new(framed.clone());
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(req.encode()));
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        // Every strict prefix is a clean EOF (0 bytes) or a truncation error
+        // — never a successful read, never a panic.
+        for cut in 0..framed.len() {
+            match read_frame(&mut std::io::Cursor::new(&framed[..cut])) {
+                Ok(None) => prop_assert_eq!(cut, 0, "only the empty prefix is a clean EOF"),
+                Ok(Some(_)) => panic!("prefix of {cut}/{} bytes must not parse", framed.len()),
+                Err(ProtocolError::Truncated) => {}
+                Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_are_rejected_not_panicked(noise in text(0..40)) {
+        // Arbitrary text never crashes the decoders; anything that decodes
+        // must re-encode canonically (decode is a partial inverse of encode).
+        match Request::decode(&noise) {
+            Ok(req) => prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req),
+            Err(ProtocolError::Malformed(_)) => {}
+            Err(e) => panic!("decoding garbage must yield Malformed, got {e}"),
+        }
+        match Response::decode(&noise) {
+            Ok(resp) => prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp),
+            Err(ProtocolError::Malformed(_)) => {}
+            Err(e) => panic!("decoding garbage must yield Malformed, got {e}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_after_a_frame_do_not_parse_as_one(
+        req in request(),
+        junk in vec(any::<u8>(), 1..4),
+    ) {
+        // A valid frame followed by a few trailing junk bytes: the first
+        // read succeeds, the next is a truncation (junk is shorter than a
+        // length prefix), never a parsed frame.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &req.encode()).unwrap();
+        framed.extend_from_slice(&junk);
+        let mut cursor = std::io::Cursor::new(framed);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_some());
+        match read_frame(&mut cursor) {
+            Err(ProtocolError::Truncated) => {}
+            other => panic!("trailing junk must truncate, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_name_validation_blocks_path_escapes() {
+    for good in ["a", "basis-1", "run_2.snap", "X9"] {
+        assert!(valid_snapshot_name(good), "{good}");
+    }
+    for bad in ["", ".", "..", ".hidden", "a/b", "..\\up", "a b", "caf\u{e9}"] {
+        assert!(!valid_snapshot_name(bad), "{bad}");
+    }
+}

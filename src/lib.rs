@@ -15,7 +15,9 @@
 //!   execution engines;
 //! * [`core`] — fingerprints, mapping functions, basis indexes, the batch
 //!   optimizer, Markov jumps, and the interactive what-if session;
-//! * [`sql`] — the `DECLARE PARAMETER` / `OPTIMIZE` / `GRAPH` dialect.
+//! * [`sql`] — the `DECLARE PARAMETER` / `OPTIMIZE` / `GRAPH` dialect;
+//! * [`server`] — the session server: sweeps and what-if sessions over a
+//!   framed TCP protocol, every client sharing one warm basis store.
 //!
 //! ## Quickstart
 //!
@@ -44,4 +46,5 @@ pub use jigsaw_blackbox as blackbox;
 pub use jigsaw_core as core;
 pub use jigsaw_pdb as pdb;
 pub use jigsaw_prng as prng;
+pub use jigsaw_server as server;
 pub use jigsaw_sql as sql;

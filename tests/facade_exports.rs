@@ -1,7 +1,7 @@
-//! The facade contract: `jigsaw::{prng, blackbox, pdb, core, sql}` must all
-//! resolve and interoperate. Compile-time resolution is most of the test;
-//! the body exercises one value from each re-exported crate end to end.
-//! (The `src/lib.rs` quickstart runs separately as a doctest.)
+//! The facade contract: `jigsaw::{prng, blackbox, pdb, core, sql, server}`
+//! must all resolve and interoperate. Compile-time resolution is most of
+//! the test; the body exercises one value from each re-exported crate end
+//! to end. (The `src/lib.rs` quickstart runs separately as a doctest.)
 
 use std::sync::Arc;
 
@@ -66,10 +66,40 @@ fn facade_aliases_are_the_underlying_crates() {
     fn via_sql(src: &str) -> Result<jigsaw::sql::Script, jigsaw_sql::SqlError> {
         jigsaw_sql::parse_script(src)
     }
+    fn via_server(payload: &str) -> Result<jigsaw::server::Request, jigsaw_server::ProtocolError> {
+        jigsaw_server::Request::decode(payload)
+    }
 
     assert_eq!(via_prng(3), jigsaw::prng::SeedSet::new(3));
     assert_eq!(via_blackbox(0, 4).len(), 5);
     assert!(via_pdb().function_names().is_empty());
     assert_eq!(via_core(), jigsaw::core::JigsawConfig::paper());
     assert!(via_sql("DECLARE PARAMETER @x AS SET (1);").is_ok());
+    assert_eq!(via_server("FOCUS 3").unwrap(), jigsaw::server::Request::Focus { point: 3 });
+}
+
+#[test]
+fn server_reexport_serves_a_round_trip() {
+    // server: a loopback server compiled against the facade's own catalog
+    // types answers a scripted client.
+    let server = jigsaw::server::JigsawServer::bind(
+        "127.0.0.1:0",
+        jigsaw::server::default_catalog(),
+        jigsaw::server::ServerConfig {
+            cfg: jigsaw::core::JigsawConfig::paper().with_n_samples(30),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.start().expect("start");
+    let transcript = jigsaw::server::client::run_script(
+        handle.addr(),
+        "COMPILE DECLARE PARAMETER @week AS RANGE 0 TO 4 STEP BY 1; \
+         SELECT Demand(@week, 5) AS demand INTO results;\nESTIMATE 2 0\nQUIT",
+    )
+    .expect("scripted round trip");
+    assert!(transcript.contains("< COMPILED 5 1 demand"), "{transcript}");
+    assert!(transcript.contains("< EST 2 0 "), "{transcript}");
+    assert!(transcript.ends_with("< BYE\n"), "{transcript}");
+    handle.shutdown().expect("shutdown");
 }

@@ -1,0 +1,60 @@
+//! Golden-transcript test for the session server: replay the scripted
+//! client session from `tests/golden/server_session.script` against an
+//! in-process loopback server and byte-compare the transcript with
+//! `tests/golden/server_session.txt`.
+//!
+//! The same script is replayed by the CI smoke job through the real
+//! `jigsaw-server` / `jigsaw-client` binaries (separate processes, real
+//! sockets) and diffed against the same golden file — so the wire format,
+//! the server's default configuration, and the client's rendering cannot
+//! drift apart unnoticed. Re-bless after an intentional change with:
+//!
+//! ```text
+//! JIGSAW_BLESS=1 cargo test --test server_transcript
+//! ```
+
+use std::path::PathBuf;
+
+use jigsaw::server::{client, default_catalog, JigsawServer, ServerConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+#[test]
+fn scripted_session_matches_golden_transcript() {
+    let script =
+        std::fs::read_to_string(golden_path("server_session.script")).expect("script exists");
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("jigsaw-transcript-{}", std::process::id()));
+    // Default configuration — the binaries replay with defaults too; only
+    // the snapshot dir is test-local (SAVE must have somewhere to write).
+    let config = ServerConfig { snapshot_dir: Some(snapshot_dir.clone()), ..Default::default() };
+    let handle = JigsawServer::bind("127.0.0.1:0", default_catalog(), config)
+        .expect("bind loopback")
+        .start()
+        .expect("start server");
+    let transcript = client::run_script(handle.addr(), &script).expect("replay script");
+    handle.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&snapshot_dir).ok();
+
+    let path = golden_path("server_session.txt");
+    if std::env::var("JIGSAW_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &transcript).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `JIGSAW_BLESS=1 cargo test --test server_transcript`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        transcript,
+        "server transcript drifted from {}; if intentional, re-bless with \
+         `JIGSAW_BLESS=1 cargo test --test server_transcript`",
+        path.display()
+    );
+}
