@@ -18,8 +18,8 @@ fn demand_sweep(c: &mut Criterion) {
     let cfg = JigsawConfig::paper().with_n_samples(200);
     // One runner per mode, hoisted out of the measured loop (runners are
     // reusable; nothing about the config needs re-cloning per iteration).
-    let naive = SweepRunner::naive(cfg.clone());
-    let jigsaw = SweepRunner::new(cfg);
+    let mut naive = SweepRunner::naive(cfg.clone());
+    let mut jigsaw = SweepRunner::new(cfg);
 
     let mut group = c.benchmark_group("baseline/demand_156pts");
     group.sample_size(10);
@@ -40,8 +40,8 @@ fn overload_sweep(c: &mut Criterion) {
     ]);
     let sim = BlackBoxSim::new(Arc::new(Overload::enterprise()), space, SeedSet::new(3));
     let cfg = JigsawConfig::paper().with_n_samples(200);
-    let naive = SweepRunner::naive(cfg.clone());
-    let jigsaw = SweepRunner::new(cfg);
+    let mut naive = SweepRunner::naive(cfg.clone());
+    let mut jigsaw = SweepRunner::new(cfg);
 
     let mut group = c.benchmark_group("baseline/overload_416pts");
     group.sample_size(10);

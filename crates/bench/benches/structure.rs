@@ -15,7 +15,7 @@ fn structure_sizes(c: &mut Criterion) {
         ParamDecl::range("p1", 0, 48, 16),
         ParamDecl::range("p2", 0, 48, 16),
     ]);
-    let runner = SweepRunner::new(JigsawConfig::paper().with_n_samples(200));
+    let mut runner = SweepRunner::new(JigsawConfig::paper().with_n_samples(200));
 
     let mut group = c.benchmark_group("structure/capacity_sweep");
     group.sample_size(10);

@@ -24,7 +24,7 @@ fn sweep_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_parallel/synth_600pts");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        let runner =
+        let mut runner =
             SweepRunner::new(JigsawConfig::paper().with_n_samples(200).with_threads(threads));
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
             b.iter(|| runner.run(&sim).unwrap())

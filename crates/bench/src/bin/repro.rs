@@ -123,7 +123,9 @@ fn main() {
     }
     if want("e10") {
         eprintln!("[repro] E10: session server, multi-client warm-store sharing…");
-        println!("{}", render(&e10::report(&e10::run(scale))));
+        let (rows, ladder) = e10::run(scale);
+        println!("{}", render(&e10::report(&rows)));
+        println!("{}", render(&e10::report_ladder(&ladder)));
     }
     eprintln!("[repro] done.");
 }

@@ -15,6 +15,13 @@
 //!
 //! Every deterministic column (worlds, warm hits, estimate provenance) is
 //! identical run to run; only the latency columns are wall-clock.
+//!
+//! The second half (ISSUE 6) is the **connection ladder**: after the store
+//! is warm, N concurrent scripted clients — N climbing to 400 — connect,
+//! compile, and estimate against a server running a handful of readiness
+//! event loops. Every client's estimates must be bit-identical to every
+//! other's (same store, same seeds), and the reported metric is mean
+//! µs/estimate as a function of connection count.
 
 use std::time::Instant;
 
@@ -22,7 +29,7 @@ use jigsaw_blackbox::models::SynthBasis;
 use jigsaw_blackbox::Workload;
 use jigsaw_core::JigsawConfig;
 use jigsaw_pdb::Catalog;
-use jigsaw_server::{default_catalog, Client, JigsawServer, Request, Response, ServerConfig};
+use jigsaw_server::{default_catalog, Client, JigsawServer, Request, Response, ServerHandle};
 
 use crate::table::{fmt_secs, Table};
 use crate::Scale;
@@ -47,6 +54,21 @@ pub struct E10Row {
     /// How many of them were served from a mapped basis.
     pub mapped: usize,
     /// Mean wall-clock seconds per estimate (round trip over loopback).
+    pub est_secs: f64,
+}
+
+/// One rung of the connection ladder: N concurrent clients estimating
+/// against the warm store through the readiness-driven connection layer.
+#[derive(Debug, Clone)]
+pub struct E10Ladder {
+    /// Concurrent client connections in this rung.
+    pub conns: usize,
+    /// `ESTIMATE` probes each client issued.
+    pub estimates_per_client: usize,
+    /// Whether every estimate (across every client) was served from a
+    /// mapped basis — i.e. the rung ran all-warm.
+    pub all_mapped: bool,
+    /// Mean wall-clock seconds per estimate, averaged over all clients.
     pub est_secs: f64,
 }
 
@@ -116,19 +138,76 @@ fn drive_client(
     (client, row)
 }
 
-/// Run the multi-client experiment on an in-process loopback server.
-pub fn run(scale: Scale) -> Vec<E10Row> {
-    let config = ServerConfig {
-        cfg: JigsawConfig::paper()
-            .with_n_samples(scale.n_samples)
-            .with_fingerprint_len(scale.m)
-            .with_threads(scale.threads),
-        ..ServerConfig::default()
-    };
+/// One ladder rung: `n` concurrent client threads, each connect, compile,
+/// and estimate every probe, with every reply's bits cross-checked against
+/// client 0's. Returns the rung's row.
+fn ladder_rung(handle: &ServerHandle, n: usize, src: &str, probes: &[usize]) -> E10Ladder {
+    let addr = handle.local_addr();
+    let threads: Vec<_> = (0..n)
+        .map(|_| {
+            let src = src.to_string();
+            let probes = probes.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to loopback server");
+                match client.request(&Request::Compile { src }).expect("compile") {
+                    Response::Compiled { .. } => {}
+                    other => panic!("ladder client: unexpected compile reply {other:?}"),
+                }
+                let mut replies = Vec::with_capacity(probes.len());
+                let t0 = Instant::now();
+                for &p in &probes {
+                    match client.request(&Request::Estimate { point: p, col: 0 }).expect("estimate")
+                    {
+                        Response::Estimated {
+                            point,
+                            expectation_bits,
+                            std_dev_bits,
+                            source,
+                            ..
+                        } => replies.push((
+                            point,
+                            expectation_bits,
+                            std_dev_bits,
+                            source == jigsaw_core::interactive::EstimateSource::MappedBasis,
+                        )),
+                        other => panic!("ladder client: unexpected estimate reply {other:?}"),
+                    }
+                }
+                (replies, t0.elapsed().as_secs_f64())
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads.into_iter().map(|t| t.join().expect("ladder client")).collect();
+    // Bit-identity across every concurrent client: the shared warm store
+    // plus seed-addressed worlds leave nothing for concurrency to perturb.
+    let reference = &results[0].0;
+    for (replies, _) in &results[1..] {
+        assert_eq!(replies, reference, "concurrent clients diverged at {n} connections");
+    }
+    let all_mapped = results.iter().all(|(replies, _)| replies.iter().all(|r| r.3));
+    let est_secs = results.iter().map(|(_, secs)| secs / probes.len().max(1) as f64).sum::<f64>()
+        / n.max(1) as f64;
+    E10Ladder { conns: n, estimates_per_client: probes.len(), all_mapped, est_secs }
+}
+
+/// Run the multi-client experiment on an in-process loopback server:
+/// first the cold/warm client legs, then the connection ladder over the
+/// now-warm store.
+pub fn run(scale: Scale) -> (Vec<E10Row>, Vec<E10Ladder>) {
     let points = (800 / scale.space_divisor).max(20);
-    let server = JigsawServer::bind("127.0.0.1:0", catalog_with_work(points), config)
-        .expect("bind loopback");
-    let handle = server.start().expect("start server");
+    let handle = JigsawServer::builder()
+        .config(
+            JigsawConfig::paper()
+                .with_n_samples(scale.n_samples)
+                .with_fingerprint_len(scale.m)
+                .with_threads(scale.threads),
+        )
+        .catalog(catalog_with_work(points))
+        .conn_threads(4)
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .serve()
+        .expect("start server");
 
     let src = format!(
         "DECLARE PARAMETER @p AS RANGE 0 TO {} STEP BY 1; \
@@ -140,18 +219,45 @@ pub fn run(scale: Scale) -> Vec<E10Row> {
     let mut rows = Vec::new();
     // C1 pays the cold ramp; its connection stays open while the warm
     // clients attach, so the store is genuinely concurrently shared.
-    let (c1, cold_row) = drive_client(handle.addr(), "C1", "cold", &src, &probes);
+    let (c1, cold_row) = drive_client(handle.local_addr(), "C1", "cold", &src, &probes);
     rows.push(cold_row);
     let mut open = vec![c1];
     for i in 0..WARM_CLIENTS {
         let label = format!("C{}", i + 2);
-        let (client, row) = drive_client(handle.addr(), &label, "warm", &src, &probes);
+        let (client, row) = drive_client(handle.local_addr(), &label, "warm", &src, &probes);
         rows.push(row);
         open.push(client);
     }
     drop(open);
+
+    // The ladder: the store is warm, so each rung measures pure
+    // connection-layer throughput. Ten probes per client keep a 400-client
+    // rung at 4000 round trips.
+    let ladder_probes: Vec<usize> = probes.iter().copied().take(10).collect();
+    let rungs: &[usize] =
+        if scale.space_divisor > 1 { &[4, 25, 100] } else { &[4, 50, 100, 200, 400] };
+    let ladder = rungs.iter().map(|&n| ladder_rung(&handle, n, &src, &ladder_probes)).collect();
+
     handle.shutdown().expect("server shutdown");
-    rows
+    (rows, ladder)
+}
+
+/// Render the connection-ladder table (µs/estimate vs connection count).
+pub fn report_ladder(rungs: &[E10Ladder]) -> Table {
+    let mut t = Table::new(
+        "E10 — connection ladder: concurrent clients vs µs/estimate (warm store)",
+        &["Connections", "Estimates/client", "All mapped", "us/estimate"],
+    );
+    t.mark_timing(&["us/estimate"]);
+    for r in rungs {
+        t.row(vec![
+            r.conns.to_string(),
+            r.estimates_per_client.to_string(),
+            r.all_mapped.to_string(),
+            format!("{:.1}", r.est_secs * 1e6),
+        ]);
+    }
+    t
 }
 
 /// Render the per-client table.
@@ -195,7 +301,7 @@ mod tests {
 
     #[test]
     fn warm_clients_ride_the_cold_clients_store() {
-        let rows = run(MICRO);
+        let (rows, ladder) = run(MICRO);
         assert_eq!(rows.len(), 1 + WARM_CLIENTS);
         let cold = &rows[0];
         assert_eq!(cold.leg, "cold");
@@ -215,6 +321,13 @@ mod tests {
         for pair in rows[1..].windows(2) {
             assert_eq!(pair[0].sweep_worlds, pair[1].sweep_worlds);
             assert_eq!(pair[0].sweep_warm_hits, pair[1].sweep_warm_hits);
+        }
+        // The ladder climbed to at least 100 concurrent connections, every
+        // rung all-warm (ladder_rung itself asserts bit-identity).
+        assert!(ladder.iter().any(|r| r.conns >= 100), "ladder must reach 100 connections");
+        for rung in &ladder {
+            assert!(rung.all_mapped, "{} connections: estimate fell off the warm path", rung.conns);
+            assert!(rung.est_secs > 0.0);
         }
     }
 }

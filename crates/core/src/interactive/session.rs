@@ -1,6 +1,7 @@
 //! The interactive event loop (paper Algorithm 5).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation};
 
@@ -121,8 +122,12 @@ struct PointState {
 /// [`Self::attach`] joins an existing shared store so several sessions (and
 /// sweeps) amortize one warm basis set. Touches fully served by bases the
 /// session did not itself create are counted in [`Self::warm_hits`].
-pub struct InteractiveSession<'a> {
-    sim: &'a dyn Simulation,
+///
+/// The simulation is shared via [`Arc`], so a session is `'static` and can
+/// be owned by long-lived infrastructure (the server's event-driven
+/// connections) alongside the simulation it runs.
+pub struct InteractiveSession {
+    sim: Arc<dyn Simulation>,
     cfg: SessionConfig,
     store: SharedBasisStore,
     /// Basis ids (per column) this session inserted itself. Matches against
@@ -142,15 +147,14 @@ pub struct InteractiveSession<'a> {
     pub warm_hits: u64,
 }
 
-impl<'a> InteractiveSession<'a> {
+impl InteractiveSession {
     /// Start a session focused on point 0, with empty (cold) basis stores.
-    pub fn new(sim: &'a dyn Simulation, cfg: SessionConfig) -> Self {
+    pub fn new(sim: Arc<dyn Simulation>, cfg: SessionConfig) -> Self {
         let jcfg = JigsawConfig::paper()
             .with_fingerprint_len(cfg.fingerprint_len)
             .with_n_samples(cfg.n_target.max(cfg.fingerprint_len))
             .with_tolerance(cfg.tolerance);
-        let store =
-            SharedBasisStore::new(sim.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
+        let store = SharedBasisStore::new(sim.columns().len(), &jcfg, Arc::new(AffineFamily));
         Self::attach(sim, cfg, store)
     }
 
@@ -161,7 +165,7 @@ impl<'a> InteractiveSession<'a> {
     ///
     /// The store must have one shard per output column of `sim`.
     pub fn with_store(
-        sim: &'a dyn Simulation,
+        sim: Arc<dyn Simulation>,
         cfg: SessionConfig,
         store: ShardedBasisStore,
     ) -> Self {
@@ -175,7 +179,7 @@ impl<'a> InteractiveSession<'a> {
     /// [`Self::warm_hits`].
     ///
     /// The store must have one shard per output column of `sim`.
-    pub fn attach(sim: &'a dyn Simulation, cfg: SessionConfig, store: SharedBasisStore) -> Self {
+    pub fn attach(sim: Arc<dyn Simulation>, cfg: SessionConfig, store: SharedBasisStore) -> Self {
         assert!(cfg.batch > 0 && cfg.fingerprint_len >= 2);
         assert_eq!(
             store.n_shards(),
@@ -304,7 +308,7 @@ impl<'a> InteractiveSession<'a> {
         let point = self.sim.space().point_at(point_idx);
         // Monte Carlo work happens outside the store lock; only the
         // resolve/insert bookkeeping below holds it.
-        let head = jigsaw_pdb::eval_worlds(self.sim, &point, 0, m, self.cfg.threads)?;
+        let head = jigsaw_pdb::eval_worlds(&*self.sim, &point, 0, m, self.cfg.threads)?;
         self.worlds_evaluated += m as u64;
         let own = &mut self.own;
         let points = &mut self.points;
@@ -363,7 +367,7 @@ impl<'a> InteractiveSession<'a> {
         // mutate — a basis that a sweep built with exactly `n_target`
         // samples (the invariant [`SessionConfig::from_jigsaw`] documents).
         let batch = self.cfg.batch.min(self.cfg.n_target - start);
-        let out = jigsaw_pdb::eval_worlds(self.sim, &point, start, batch, self.cfg.threads)?;
+        let out = jigsaw_pdb::eval_worlds(&*self.sim, &point, start, batch, self.cfg.threads)?;
         self.worlds_evaluated += batch as u64;
         let own = &mut self.own;
         let points = &mut self.points;
@@ -504,18 +508,18 @@ mod tests {
     use jigsaw_prng::SeedSet;
     use std::sync::Arc;
 
-    fn sim() -> BlackBoxSim {
+    fn sim() -> Arc<BlackBoxSim> {
         let space = ParamSpace::new(vec![
             ParamDecl::range("week", 1, 30, 1),
             ParamDecl::set("feature", vec![50]),
         ]);
-        BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(77))
+        Arc::new(BlackBoxSim::new(Arc::new(Demand::paper()), space, SeedSet::new(77)))
     }
 
     #[test]
     fn ticks_rotate_tasks() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         let tasks: Vec<TaskKind> = (0..8).map(|_| session.tick().unwrap()).collect();
         assert_eq!(
             tasks,
@@ -535,7 +539,7 @@ mod tests {
     #[test]
     fn estimates_improve_with_ticks() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         session.set_focus(9); // week 10
         session.tick().unwrap();
         let early = session.estimate(9, 0).expect("touched");
@@ -551,7 +555,7 @@ mod tests {
     #[test]
     fn second_point_starts_from_mapped_basis() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         session.set_focus(9);
         for _ in 0..30 {
             session.tick().unwrap();
@@ -569,7 +573,7 @@ mod tests {
     #[test]
     fn exploration_prewarms_neighbors() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         session.set_focus(10);
         for _ in 0..12 {
             session.tick().unwrap();
@@ -582,7 +586,7 @@ mod tests {
     #[test]
     fn basis_store_stays_small_for_affine_model() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         for f in [5usize, 10, 15, 20, 25] {
             session.set_focus(f);
             for _ in 0..8 {
@@ -596,8 +600,8 @@ mod tests {
     #[test]
     fn thread_budget_does_not_change_estimates() {
         let s = sim();
-        let mut seq = InteractiveSession::new(&s, SessionConfig::default());
-        let mut par = InteractiveSession::new(&s, SessionConfig::default().with_threads(4));
+        let mut seq = InteractiveSession::new(s.clone(), SessionConfig::default());
+        let mut par = InteractiveSession::new(s.clone(), SessionConfig::default().with_threads(4));
         for session in [&mut seq, &mut par] {
             session.set_focus(9);
             for _ in 0..20 {
@@ -624,14 +628,14 @@ mod tests {
     fn warm_store_skips_the_cold_ramp() {
         let s = sim();
         // Warm up a session, export its store, and start a new one from it.
-        let mut warmup = InteractiveSession::new(&s, SessionConfig::default());
+        let mut warmup = InteractiveSession::new(s.clone(), SessionConfig::default());
         warmup.set_focus(9);
         for _ in 0..30 {
             warmup.tick().unwrap();
         }
         let store = warmup.into_store();
         assert!(store.bases_per_column()[0] >= 1);
-        let mut warm = InteractiveSession::with_store(&s, SessionConfig::default(), store);
+        let mut warm = InteractiveSession::with_store(s.clone(), SessionConfig::default(), store);
         warm.set_focus(9);
         warm.tick().unwrap();
         let est = warm.estimate(9, 0).unwrap();
@@ -640,7 +644,7 @@ mod tests {
         // …and is counted as a warm hit: the session didn't pay for it.
         assert_eq!(warm.warm_hits, 1);
         // …and carries more sample mass than a cold session's first tick.
-        let mut cold = InteractiveSession::new(&s, SessionConfig::default());
+        let mut cold = InteractiveSession::new(s.clone(), SessionConfig::default());
         cold.set_focus(9);
         cold.tick().unwrap();
         let cold_est = cold.estimate(9, 0).unwrap();
@@ -660,7 +664,7 @@ mod tests {
         let shared =
             SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
         // Session A pays the cold ramp.
-        let mut a = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let mut a = InteractiveSession::attach(s.clone(), SessionConfig::default(), shared.clone());
         a.set_focus(9);
         for _ in 0..30 {
             a.tick().unwrap();
@@ -670,7 +674,7 @@ mod tests {
         assert!(bases_after_a[0] >= 1);
         // Session B attaches to the same store: its first touch of a
         // related point rides A's basis and is counted as a warm hit.
-        let mut b = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let mut b = InteractiveSession::attach(s.clone(), SessionConfig::default(), shared.clone());
         b.set_focus(19);
         b.tick().unwrap();
         assert_eq!(b.warm_hits, 1, "B's first touch rides A's basis");
@@ -691,7 +695,7 @@ mod tests {
         // with the same config would have built.
         let s = sim();
         let cfg = SessionConfig { n_target: 25, ..SessionConfig::default() };
-        let mut session = InteractiveSession::new(&s, cfg);
+        let mut session = InteractiveSession::new(s.clone(), cfg);
         session.set_focus(9);
         for _ in 0..12 {
             session.tick().unwrap();
@@ -711,7 +715,7 @@ mod tests {
     #[test]
     fn estimate_now_touches_and_estimates() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         assert!(session.estimate(9, 0).is_none(), "untouched point has no estimate");
         let est = session.estimate_now(9, 0).unwrap();
         assert_eq!(est.point_idx, 9);
@@ -731,13 +735,15 @@ mod tests {
             SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
         // Warm the store with one session, then attach a second whose
         // estimates genuinely ride the shared basis (mapped source).
-        let mut warmup = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let mut warmup =
+            InteractiveSession::attach(s.clone(), SessionConfig::default(), shared.clone());
         warmup.set_focus(9);
         for _ in 0..30 {
             warmup.tick().unwrap();
         }
         drop(warmup);
-        let mut session = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let mut session =
+            InteractiveSession::attach(s.clone(), SessionConfig::default(), shared.clone());
         session.set_focus(9);
         session.tick().unwrap();
         assert_eq!(session.estimate(9, 0).unwrap().source, EstimateSource::MappedBasis);
@@ -761,7 +767,7 @@ mod tests {
     #[test]
     fn warm_store_roundtrips_through_snapshot_bytes() {
         let s = sim();
-        let mut warmup = InteractiveSession::new(&s, SessionConfig::default());
+        let mut warmup = InteractiveSession::new(s.clone(), SessionConfig::default());
         warmup.set_focus(9);
         for _ in 0..20 {
             warmup.tick().unwrap();
@@ -777,7 +783,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(store.bases_per_column(), counts);
-        let mut warm = InteractiveSession::with_store(&s, SessionConfig::default(), store);
+        let mut warm = InteractiveSession::with_store(s.clone(), SessionConfig::default(), store);
         warm.set_focus(9);
         warm.tick().unwrap();
         assert_eq!(warm.estimate(9, 0).unwrap().source, EstimateSource::MappedBasis);
@@ -804,14 +810,14 @@ mod tests {
         let s = sim();
         let jcfg = JigsawConfig::paper();
         let store = ShardedBasisStore::new(3, &jcfg, std::sync::Arc::new(AffineFamily));
-        let _ = InteractiveSession::with_store(&s, SessionConfig::default(), store);
+        let _ = InteractiveSession::with_store(s.clone(), SessionConfig::default(), store);
     }
 
     #[test]
     #[should_panic(expected = "focus out of range")]
     fn focus_bounds_checked() {
         let s = sim();
-        let mut session = InteractiveSession::new(&s, SessionConfig::default());
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
         session.set_focus(10_000);
     }
 
@@ -822,7 +828,8 @@ mod tests {
         let jcfg = JigsawConfig::paper();
         let shared =
             SharedBasisStore::new(s.columns().len(), &jcfg, std::sync::Arc::new(AffineFamily));
-        let session = InteractiveSession::attach(&s, SessionConfig::default(), shared.clone());
+        let session =
+            InteractiveSession::attach(s.clone(), SessionConfig::default(), shared.clone());
         let _ = session.into_store();
     }
 }

@@ -43,5 +43,7 @@ pub use fingerprint::Fingerprint;
 pub use interactive::{InteractiveSession, SessionConfig};
 pub use mapping::{AffineFamily, AffineMap, IdentityFamily, MappingFamily, PureScaleFamily};
 pub use markov::{BasisRetention, MarkovJumpConfig, MarkovJumpResult, MarkovJumpRunner};
-pub use optimizer::{OptimizeGoal, PointResult, ScopedPool, SweepResult, SweepRunner, WorkerPool};
+pub use optimizer::{
+    OptimizeGoal, PersistentPool, PointResult, ScopedPool, SweepResult, SweepRunner, WorkerPool,
+};
 pub use telemetry::{MarkovStats, PhaseTimings, SweepCounters, SweepStats, WaveReuse};

@@ -145,6 +145,26 @@ type JobOutput = Result<Vec<Vec<f64>>>;
 /// borrowed out of a [`crate::basis::SharedBasisStore`] — leaving snapshot
 /// persistence (`cfg.basis_load` / `cfg.basis_save`) to the caller.
 ///
+/// Deprecated free-function spelling of the store-attached sweep; use the
+/// [`crate::optimizer::SweepRunner`] builder instead:
+///
+/// ```ignore
+/// SweepRunner::new(cfg).store(&mut stores).run(&sim)
+/// ```
+#[deprecated(since = "0.6.0", note = "use SweepRunner::new(cfg).store(stores).run(sim)")]
+pub fn run_sweep_on(
+    cfg: &JigsawConfig,
+    disable_reuse: bool,
+    sim: &dyn Simulation,
+    stores: &mut ShardedBasisStore,
+    pool: &dyn WorkerPool,
+) -> Result<SweepResult> {
+    execute(cfg, disable_reuse, sim, stores, pool)
+}
+
+/// The batch-synchronous wave executor: sweep `sim`'s whole parameter space
+/// against an existing store under `pool`'s thread provisioning.
+///
 /// Bases already present when the sweep starts count resolves as
 /// `warm_hits` (exactly as snapshot-loaded bases do in
 /// [`crate::optimizer::SweepRunner::run`], which owns the snapshot
@@ -153,7 +173,7 @@ type JobOutput = Result<Vec<Vec<f64>>>;
 /// fully committed on return (the wave-barrier invariant), so the caller
 /// may snapshot it immediately. (No mapping family is taken: basis identity
 /// is pinned by the family the store was created with.)
-pub fn run_sweep_on(
+pub(crate) fn execute(
     cfg: &JigsawConfig,
     disable_reuse: bool,
     sim: &dyn Simulation,
@@ -564,10 +584,8 @@ mod tests {
     fn custom_worker_pool_is_bit_identical() {
         let sim = demand_sim();
         let base = SweepRunner::new(cfg().with_threads(1)).run(&sim).unwrap();
-        let rev = SweepRunner::new(cfg().with_threads(4))
-            .with_pool(Arc::new(ReversePool))
-            .run(&sim)
-            .unwrap();
+        let rev =
+            SweepRunner::new(cfg().with_threads(4)).pool(Arc::new(ReversePool)).run(&sim).unwrap();
         assert_identical(&base, &rev, "reverse-order pool");
     }
 
@@ -575,17 +593,17 @@ mod tests {
     fn run_on_counts_preexisting_bases_as_warm_hits() {
         let sim = demand_sim();
         let c = cfg();
-        let runner = SweepRunner::new(c.clone());
         let mut stores =
             ShardedBasisStore::new(sim.columns().len(), &c, Arc::new(crate::mapping::AffineFamily));
+        let mut runner = SweepRunner::new(c.clone()).store(&mut stores);
         // First sweep on the empty store: pays the cold ramp.
-        let cold = runner.run_on(&sim, &mut stores).unwrap();
+        let cold = runner.run(&sim).unwrap();
         assert_eq!(cold.stats.warm_hits, 0);
         assert!(cold.stats.full_simulations > 0);
         // Second sweep on the *same* store: every point rides bases the
         // first sweep built — all warm hits, zero completions, and results
         // bit-identical to the cold leg.
-        let warm = runner.run_on(&sim, &mut stores).unwrap();
+        let warm = runner.run(&sim).unwrap();
         assert_eq!(warm.stats.warm_hits, warm.stats.points);
         assert_eq!(warm.stats.full_simulations, 0);
         assert_eq!(warm.stats.bases_per_column, cold.stats.bases_per_column);

@@ -13,6 +13,7 @@
 //! applies the `OPTIMIZE` goal to the sweep results.
 
 pub mod executor;
+pub mod pool;
 pub mod selector;
 
 use std::sync::Arc;
@@ -24,7 +25,10 @@ use crate::config::JigsawConfig;
 use crate::mapping::{AffineFamily, MappingFamily};
 use crate::telemetry::SweepStats;
 
-pub use executor::{run_sweep_on, ScopedPool, WorkerPool};
+#[allow(deprecated)]
+pub use executor::run_sweep_on;
+pub use executor::{ScopedPool, WorkerPool};
+pub use pool::PersistentPool;
 pub use selector::{
     Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection,
 };
@@ -57,21 +61,38 @@ impl SweepResult {
     }
 }
 
-/// Sweep executor.
+/// Fluent sweep builder and executor facade — the single entry point for
+/// both the self-contained sweep (snapshot load/save handled for you) and
+/// the store-attached sweep the session server drives.
+///
+/// ```ignore
+/// // Self-contained: cfg.basis_load / basis_save drive persistence.
+/// let result = SweepRunner::new(cfg).run(&sim)?;
+///
+/// // Attached to a borrowed store, on a long-lived pool:
+/// let mut runner = SweepRunner::new(cfg)
+///     .pool(Arc::new(PersistentPool::new(4)))
+///     .store(&mut stores);
+/// let cold = runner.run(&sim)?;
+/// let warm = runner.run(&sim)?; // same store: all warm hits
+/// ```
 ///
 /// The configuration is held behind an [`Arc`], so cloning a runner — or
 /// constructing many runners over one configuration (benchmark loops, the
 /// session server's per-`SWEEP` runners) — never deep-copies the config.
-pub struct SweepRunner {
+/// The lifetime parameter is `'static` until [`SweepRunner::store`]
+/// attaches a borrowed store.
+pub struct SweepRunner<'s> {
     cfg: Arc<JigsawConfig>,
     family: Arc<dyn MappingFamily>,
     pool: Arc<dyn executor::WorkerPool>,
+    store: Option<&'s mut crate::basis::ShardedBasisStore>,
     /// Disable fingerprint reuse entirely (the "Full Evaluation" baseline of
     /// Figure 8).
     pub disable_reuse: bool,
 }
 
-impl SweepRunner {
+impl SweepRunner<'static> {
     /// Runner with the paper's affine mapping family. Accepts an owned
     /// [`JigsawConfig`] or an `Arc` to one (shared, not cloned).
     pub fn new(cfg: impl Into<Arc<JigsawConfig>>) -> Self {
@@ -81,6 +102,7 @@ impl SweepRunner {
             cfg,
             family: Arc::new(AffineFamily),
             pool: Arc::new(executor::ScopedPool),
+            store: None,
             disable_reuse: false,
         }
     }
@@ -98,13 +120,37 @@ impl SweepRunner {
         r.disable_reuse = true;
         r
     }
+}
 
+impl<'s> SweepRunner<'s> {
     /// Substitute the worker pool the parallel phases run on (default:
-    /// per-phase scoped threads). Any faithful [`executor::WorkerPool`]
-    /// yields bit-identical sweeps; this is a pure provisioning knob.
-    pub fn with_pool(mut self, pool: Arc<dyn executor::WorkerPool>) -> Self {
+    /// per-phase scoped threads; a long-lived process wants a
+    /// [`PersistentPool`]). Any faithful [`executor::WorkerPool`] yields
+    /// bit-identical sweeps; this is a pure provisioning knob.
+    pub fn pool(mut self, pool: Arc<dyn executor::WorkerPool>) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Attach an existing store (warm or cold) for [`SweepRunner::run`] to
+    /// sweep against, leaving snapshot persistence to the caller — the
+    /// entry point the session server drives with a store borrowed out of
+    /// a [`crate::basis::SharedBasisStore`]. Bases already present count
+    /// resolves as `warm_hits`.
+    pub fn store<'t>(self, stores: &'t mut crate::basis::ShardedBasisStore) -> SweepRunner<'t> {
+        SweepRunner {
+            cfg: self.cfg,
+            family: self.family,
+            pool: self.pool,
+            store: Some(stores),
+            disable_reuse: self.disable_reuse,
+        }
+    }
+
+    /// Deprecated spelling of [`SweepRunner::pool`].
+    #[deprecated(since = "0.6.0", note = "use SweepRunner::pool")]
+    pub fn with_pool(self, pool: Arc<dyn executor::WorkerPool>) -> Self {
+        self.pool(pool)
     }
 
     /// The configuration.
@@ -114,11 +160,18 @@ impl SweepRunner {
 
     /// Run the sweep over the simulation's entire parameter space.
     ///
-    /// Delegates to the batch-synchronous [`executor`]; with the default
-    /// `threads = 1` this replays the sequential point loop exactly, and
-    /// with any other thread budget it produces bit-identical output
-    /// faster.
-    pub fn run(&self, sim: &dyn Simulation) -> Result<SweepResult> {
+    /// With a store attached via [`SweepRunner::store`], the sweep runs
+    /// against that store and the caller owns persistence; without one, the
+    /// runner builds its own store honoring `cfg.basis_load` /
+    /// `cfg.basis_save`. Either way execution is the batch-synchronous
+    /// [`executor`]: with `threads = 1` this replays the sequential point
+    /// loop exactly, and any other thread budget produces bit-identical
+    /// output faster. `&mut self` only threads the store borrow — repeat
+    /// runs on one runner warm-start against the bases earlier runs built.
+    pub fn run(&mut self, sim: &dyn Simulation) -> Result<SweepResult> {
+        if let Some(stores) = self.store.as_deref_mut() {
+            return executor::execute(&self.cfg, self.disable_reuse, sim, stores, &*self.pool);
+        }
         let n_cols = sim.columns().len();
         let mut stores = match &self.cfg.basis_load {
             Some(path) => crate::basis::ShardedBasisStore::load_snapshot(
@@ -129,24 +182,23 @@ impl SweepRunner {
             )?,
             None => crate::basis::ShardedBasisStore::new(n_cols, &self.cfg, self.family.clone()),
         };
-        let result = self.run_on(sim, &mut stores)?;
+        let result =
+            executor::execute(&self.cfg, self.disable_reuse, sim, &mut stores, &*self.pool)?;
         if let Some(path) = &self.cfg.basis_save {
             stores.save_snapshot(&self.cfg, self.family.name(), path)?;
         }
         Ok(result)
     }
 
-    /// Run the sweep against an existing store (warm or cold), leaving
-    /// snapshot persistence to the caller — the entry point the session
-    /// server drives with a store borrowed out of a
-    /// [`crate::basis::SharedBasisStore`]. Bases already present count
-    /// resolves as `warm_hits`.
+    /// Deprecated spelling of the store-attached sweep; use
+    /// [`SweepRunner::store`] + [`SweepRunner::run`] instead.
+    #[deprecated(since = "0.6.0", note = "use SweepRunner::store(stores).run(sim)")]
     pub fn run_on(
         &self,
         sim: &dyn Simulation,
         stores: &mut crate::basis::ShardedBasisStore,
     ) -> Result<SweepResult> {
-        executor::run_sweep_on(&self.cfg, self.disable_reuse, sim, stores, &*self.pool)
+        executor::execute(&self.cfg, self.disable_reuse, sim, stores, &*self.pool)
     }
 }
 

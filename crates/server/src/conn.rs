@@ -1,13 +1,23 @@
-//! Per-connection command handling.
+//! Per-connection buffers, framing, and command state machine.
 //!
-//! A connection is a tiny state machine: before `COMPILE` only compilation
-//! (and `QUIT`) is meaningful; after it, the connection owns a compiled
-//! scenario, a simulation, and an [`InteractiveSession`] *attached to the
-//! shared basis store* for that scenario's registry key. `COMPILE` may be
-//! issued again at any time to switch scenarios (the old session detaches,
-//! the store stays warm in the registry for the next client).
+//! A [`Conn`] is one nonblocking socket plus everything the readiness loop
+//! needs to multiplex it: a read buffer that accumulates bytes until whole
+//! frames are available, a write buffer that drains as the socket accepts
+//! bytes, and the session state machine. Before `COMPILE` only the
+//! handshake, compilation, and `QUIT` are meaningful; after it, the
+//! connection owns a compiled scenario, a simulation, and an
+//! [`InteractiveSession`] *attached to the shared basis store* for that
+//! scenario's registry key. `COMPILE` may be issued again at any time to
+//! switch scenarios (the old session detaches, the store stays warm in the
+//! registry for the next client).
+//!
+//! Command execution is synchronous on the loop thread — one in-flight
+//! command per connection, exactly like the old thread-per-connection
+//! server — so per-client request/response ordering, and with it the golden
+//! transcript, is preserved verbatim by construction.
 
-use std::net::TcpStream;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 
 use jigsaw_core::basis::{config_fingerprint, SharedBasisStore, StoreKey};
@@ -17,19 +27,17 @@ use jigsaw_pdb::{DirectEngine, PlanSim};
 use jigsaw_prng::SeedSet;
 use jigsaw_sql::{compile, Scenario};
 
-use crate::protocol::{
-    recv_request, send_response, ErrorCode, ProtocolError, Request, Response, MAX_FRAME,
-};
+use crate::protocol::{ErrorCode, ProtocolError, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
 use crate::server::{fnv64, snapshot_family, snapshot_filename, ServerState, FAMILY};
 
 /// Upper bound on `TICK` counts per request, so one client cannot pin a
-/// connection thread indefinitely with a single command.
+/// connection loop indefinitely with a single command.
 pub const MAX_TICKS_PER_REQUEST: u32 = 10_000;
 
 /// A compiled scenario and everything hanging off it.
 struct Compiled {
     scenario: Scenario,
-    sim: PlanSim,
+    sim: Arc<PlanSim>,
     key: StoreKey,
     shared: SharedBasisStore,
 }
@@ -66,7 +74,7 @@ impl Compiled {
         let sim = scenario.simulation(
             Arc::new(DirectEngine::new()),
             Arc::clone(&state.catalog),
-            SeedSet::new(state.config.master_seed),
+            SeedSet::new(state.master_seed),
         );
         // Bases are only meaningful for the simulation that produced them,
         // so the scope hashes the *parsed* scenario (whitespace-insensitive)
@@ -76,7 +84,7 @@ impl Compiled {
         let key = StoreKey {
             scope: format!(
                 "{}:{:016x}",
-                state.config.catalog_name,
+                state.catalog_name,
                 fnv64(&format!("{:?}", scenario.script))
             ),
             config_fp: config_fingerprint(&state.cfg, FAMILY),
@@ -86,7 +94,7 @@ impl Compiled {
         let shared = state.registry.get_or_create(key.clone(), || {
             SharedBasisStore::new(n_cols, &cfg, Arc::new(AffineFamily))
         });
-        Ok(Compiled { scenario, sim, key, shared })
+        Ok(Compiled { scenario, sim: Arc::new(sim), key, shared })
     }
 }
 
@@ -94,223 +102,362 @@ fn err(code: ErrorCode, message: &str) -> Response {
     Response::Error { code, message: message.to_string() }
 }
 
-/// What the session loop wants the outer loop to do next.
-enum Next {
-    /// Client sent `QUIT` or closed the stream.
-    Done,
-    /// Client sent a new `COMPILE`; switch scenarios.
-    Recompile(String),
+/// A connection's compiled scenario plus the interactive session attached
+/// to its shared store. Both own `Arc`s of the simulation, so the pair is
+/// `'static` and lives inside the event loop's connection list.
+struct Session {
+    compiled: Compiled,
+    session: InteractiveSession,
 }
 
-/// Serve one client until it quits, disconnects, or breaks framing.
-pub(crate) fn serve_client(stream: TcpStream, state: &ServerState) -> Result<(), ProtocolError> {
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
-    let mut pending: Option<String> = None;
-    loop {
-        let req = match pending.take() {
-            Some(src) => Request::Compile { src },
-            None => match read_or_report(&mut reader, &mut writer)? {
-                Some(req) => req,
-                None => return Ok(()),
-            },
-        };
-        match req {
-            Request::Quit => {
-                send_response(&mut writer, &Response::Bye)?;
-                return Ok(());
+/// What one [`Conn::pump`] pass accomplished.
+pub(crate) struct ConnStatus {
+    /// Whether any bytes moved or any frame executed (the loop's idle
+    /// detector: no progress anywhere → park briefly).
+    pub(crate) progressed: bool,
+    /// Whether the connection is still alive (false → drop it).
+    pub(crate) open: bool,
+}
+
+/// Outcome of trying to slice the next frame out of the read buffer.
+enum FrameStep {
+    /// Not enough buffered bytes yet.
+    Need,
+    /// Framing violated (oversized prefix, non-UTF-8 payload): the stream
+    /// can no longer be trusted, close without a response — exactly the old
+    /// blocking server's behavior.
+    Dead,
+    /// One complete frame payload.
+    Frame(String),
+}
+
+/// One multiplexed client connection.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed (compacted after each parse pass).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    session: Option<Session>,
+    /// Flush remaining output, then close (set by `QUIT`, peer EOF, or a
+    /// framing violation).
+    closing: bool,
+}
+
+impl Conn {
+    /// Adopt an accepted stream: switch it nonblocking (the readiness
+    /// loop's contract) and disable Nagle (small request/response frames
+    /// interact with delayed ACK into tens-of-milliseconds round trips).
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            session: None,
+            closing: false,
+        })
+    }
+
+    /// Queue a response frame for the next flush.
+    fn queue(&mut self, resp: &Response) {
+        let payload = resp.encode();
+        debug_assert!(payload.len() <= MAX_FRAME, "oversized frame composed locally");
+        self.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload.as_bytes());
+    }
+
+    /// Push buffered output into the socket until it would block.
+    fn flush(&mut self) -> (bool, bool) {
+        let mut progressed = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return (progressed, false),
+                Ok(n) => {
+                    self.wpos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return (progressed, false),
             }
-            Request::Compile { src } => match Compiled::build(state, &src) {
-                Err(e) => send_response(&mut writer, &e)?,
-                Ok(compiled) => {
-                    send_response(
-                        &mut writer,
-                        &Response::Compiled {
-                            points: compiled.scenario.space.len(),
-                            columns: compiled.scenario.columns.clone(),
-                        },
-                    )?;
-                    match session_loop(&mut reader, &mut writer, state, &compiled)? {
-                        Next::Done => return Ok(()),
-                        Next::Recompile(src) => pending = Some(src),
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        (progressed, true)
+    }
+
+    /// Slice the next complete frame out of the read buffer.
+    fn next_frame(&mut self) -> FrameStep {
+        let avail = self.rbuf.len() - self.rpos;
+        if avail < 4 {
+            return FrameStep::Need;
+        }
+        let prefix: [u8; 4] = self.rbuf[self.rpos..self.rpos + 4].try_into().expect("4 bytes");
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME {
+            return FrameStep::Dead;
+        }
+        if avail < 4 + len {
+            return FrameStep::Need;
+        }
+        let start = self.rpos + 4;
+        match std::str::from_utf8(&self.rbuf[start..start + len]) {
+            Ok(payload) => {
+                let payload = payload.to_string();
+                self.rpos = start + len;
+                FrameStep::Frame(payload)
+            }
+            Err(_) => FrameStep::Dead,
+        }
+    }
+
+    /// One readiness pass: flush, read, execute complete frames, flush.
+    pub(crate) fn pump(&mut self, state: &ServerState) -> ConnStatus {
+        let (mut progressed, open) = self.flush();
+        if !open {
+            return ConnStatus { progressed, open: false };
+        }
+        if !self.closing {
+            // Fill the read buffer with whatever the socket has.
+            let mut eof = false;
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.rbuf.extend_from_slice(&chunk[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
                     }
                 }
-            },
-            _ => send_response(
-                &mut writer,
-                &err(ErrorCode::State, "compile a scenario first (COMPILE <script>)"),
-            )?,
-        }
-    }
-}
-
-/// Read one request; malformed-but-framed requests are answered with an
-/// `ERR malformed` and skipped (`Ok(Some)` only for well-formed requests is
-/// handled by looping), while framing-level failures tear the connection
-/// down. `Ok(None)` is a clean disconnect.
-fn read_or_report(
-    reader: &mut TcpStream,
-    writer: &mut TcpStream,
-) -> Result<Option<Request>, ProtocolError> {
-    loop {
-        match recv_request(reader) {
-            Ok(req) => return Ok(req),
-            Err(ProtocolError::Malformed(m)) => {
-                send_response(writer, &err(ErrorCode::Malformed, &m))?;
             }
-            Err(e) => return Err(e),
+            // Execute every complete frame (commands run inline, one at a
+            // time, so per-client ordering is the old blocking server's).
+            while !self.closing {
+                match self.next_frame() {
+                    FrameStep::Need => break,
+                    FrameStep::Dead => {
+                        self.closing = true;
+                        progressed = true;
+                    }
+                    FrameStep::Frame(payload) => {
+                        progressed = true;
+                        match Request::decode(&payload) {
+                            Ok(req) => self.handle(req, state),
+                            Err(ProtocolError::Malformed(m)) => {
+                                // Malformed-but-framed: answer and carry on;
+                                // the connection stays usable.
+                                self.queue(&err(ErrorCode::Malformed, &m));
+                            }
+                            Err(_) => self.closing = true,
+                        }
+                    }
+                }
+            }
+            if self.rpos > 0 {
+                self.rbuf.drain(..self.rpos);
+                self.rpos = 0;
+            }
+            if eof {
+                // Peer closed its end: answer what was pipelined, then go.
+                self.closing = true;
+            }
         }
+        let (flushed, open) = self.flush();
+        progressed |= flushed;
+        if !open {
+            return ConnStatus { progressed, open: false };
+        }
+        if self.closing && self.wbuf.is_empty() {
+            let _ = self.stream.shutdown(Shutdown::Both);
+            return ConnStatus { progressed: true, open: false };
+        }
+        ConnStatus { progressed, open: true }
+    }
+
+    /// Execute one request, queueing its response.
+    fn handle(&mut self, req: Request, state: &ServerState) {
+        let resp = match req {
+            Request::Hello { version } => {
+                Response::Welcome { version: version.min(PROTOCOL_VERSION) }
+            }
+            Request::Quit => {
+                self.queue(&Response::Bye);
+                self.closing = true;
+                return;
+            }
+            Request::Compile { src } => match Compiled::build(state, &src) {
+                Err(e) => e,
+                Ok(compiled) => {
+                    let resp = Response::Compiled {
+                        points: compiled.scenario.space.len(),
+                        columns: compiled.scenario.columns.clone(),
+                    };
+                    // The session shares the store with every other client
+                    // of this scenario; SessionConfig::from_jigsaw keeps its
+                    // fingerprints and refinement ceiling aligned with
+                    // sweep-built bases.
+                    let session = InteractiveSession::attach(
+                        Arc::clone(&compiled.sim) as Arc<dyn jigsaw_pdb::Simulation>,
+                        SessionConfig::from_jigsaw(&state.cfg),
+                        compiled.shared.clone(),
+                    );
+                    self.session = Some(Session { compiled, session });
+                    resp
+                }
+            },
+            other => match &mut self.session {
+                None => err(ErrorCode::State, "compile a scenario first (COMPILE <script>)"),
+                Some(sess) => handle_session(sess, other, state),
+            },
+        };
+        self.queue(&resp);
     }
 }
 
-/// Drive one scenario's session until quit/disconnect/recompile.
-fn session_loop(
-    reader: &mut TcpStream,
-    writer: &mut TcpStream,
-    state: &ServerState,
-    compiled: &Compiled,
-) -> Result<Next, ProtocolError> {
+/// Execute a session-scoped request (everything after `COMPILE`).
+fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Response {
+    let compiled = &sess.compiled;
+    let session = &mut sess.session;
     let space_len = compiled.scenario.space.len();
     let n_cols = compiled.scenario.columns.len();
-    // The session shares the store with every other client of this
-    // scenario; SessionConfig::from_jigsaw keeps its fingerprints and
-    // refinement ceiling aligned with sweep-built bases.
-    let mut session = InteractiveSession::attach(
-        &compiled.sim,
-        SessionConfig::from_jigsaw(&state.cfg),
-        compiled.shared.clone(),
-    );
-    loop {
-        let req = match read_or_report(reader, writer)? {
-            Some(req) => req,
-            None => return Ok(Next::Done),
-        };
-        let resp = match req {
-            Request::Quit => {
-                send_response(writer, &Response::Bye)?;
-                return Ok(Next::Done);
+    match req {
+        Request::Hello { .. } | Request::Quit | Request::Compile { .. } => {
+            unreachable!("handled before session dispatch")
+        }
+        Request::Sweep => {
+            let cfg = Arc::clone(&state.cfg);
+            let pool = Arc::clone(&state.pool);
+            let sim = Arc::clone(&compiled.sim);
+            // World evaluation dominates a sweep and runs outside any
+            // per-shard probe; holding the store lock for the sweep
+            // serializes concurrent sweeps of one scenario, which is
+            // exactly what makes the second one all warm hits.
+            match compiled.shared.with_store_mut(move |stores| {
+                SweepRunner::new(cfg).pool(pool).store(stores).run(&*sim)
+            }) {
+                Ok(result) => Response::Swept {
+                    points: result.stats.points,
+                    worlds: result.stats.worlds_evaluated,
+                    full_sims: result.stats.full_simulations,
+                    reused: result.stats.reused,
+                    warm_hits: result.stats.warm_hits,
+                    bases: result.stats.bases_per_column.clone(),
+                },
+                Err(e) => err(ErrorCode::Exec, &e.to_string()),
             }
-            Request::Compile { src } => return Ok(Next::Recompile(src)),
-            Request::Sweep => {
-                let runner = SweepRunner::new(Arc::clone(&state.cfg));
-                // World evaluation dominates a sweep and runs outside any
-                // per-shard probe; holding the store lock for the sweep
-                // serializes concurrent sweeps of one scenario, which is
-                // exactly what makes the second one all warm hits.
-                match compiled.shared.with_store_mut(|stores| runner.run_on(&compiled.sim, stores))
-                {
-                    Ok(result) => Response::Swept {
-                        points: result.stats.points,
-                        worlds: result.stats.worlds_evaluated,
-                        full_sims: result.stats.full_simulations,
-                        reused: result.stats.reused,
-                        warm_hits: result.stats.warm_hits,
-                        bases: result.stats.bases_per_column.clone(),
+        }
+        Request::Focus { point } => {
+            if point >= space_len {
+                err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
+            } else {
+                session.set_focus(point);
+                Response::Focused { point }
+            }
+        }
+        Request::Estimate { point, col } => {
+            if point >= space_len {
+                err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
+            } else if col >= n_cols {
+                err(ErrorCode::State, &format!("column {col} out of range 0..{n_cols}"))
+            } else {
+                match session.estimate_now(point, col) {
+                    Ok(est) => Response::Estimated {
+                        point,
+                        col,
+                        n_samples: est.n_samples,
+                        source: est.source,
+                        expectation_bits: est.expectation.to_bits(),
+                        std_dev_bits: est.std_dev.to_bits(),
                     },
                     Err(e) => err(ErrorCode::Exec, &e.to_string()),
                 }
             }
-            Request::Focus { point } => {
-                if point >= space_len {
-                    err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
-                } else {
-                    session.set_focus(point);
-                    Response::Focused { point }
+        }
+        Request::Tick { count } => {
+            if count > MAX_TICKS_PER_REQUEST {
+                err(
+                    ErrorCode::State,
+                    &format!("tick count {count} exceeds the {MAX_TICKS_PER_REQUEST} cap"),
+                )
+            } else {
+                match (0..count).try_for_each(|_| session.tick().map(|_| ())) {
+                    Ok(()) => Response::Ticked { ticks: count, worlds: session.worlds_evaluated },
+                    Err(e) => err(ErrorCode::Exec, &e.to_string()),
                 }
             }
-            Request::Estimate { point, col } => {
-                if point >= space_len {
-                    err(ErrorCode::State, &format!("point {point} out of range 0..{space_len}"))
-                } else if col >= n_cols {
-                    err(ErrorCode::State, &format!("column {col} out of range 0..{n_cols}"))
-                } else {
-                    match session.estimate_now(point, col) {
-                        Ok(est) => Response::Estimated {
-                            point,
-                            col,
-                            n_samples: est.n_samples,
-                            source: est.source,
-                            expectation_bits: est.expectation.to_bits(),
-                            std_dev_bits: est.std_dev.to_bits(),
-                        },
-                        Err(e) => err(ErrorCode::Exec, &e.to_string()),
-                    }
-                }
-            }
-            Request::Tick { count } => {
-                if count > MAX_TICKS_PER_REQUEST {
-                    err(
-                        ErrorCode::State,
-                        &format!("tick count {count} exceeds the {MAX_TICKS_PER_REQUEST} cap"),
-                    )
-                } else {
-                    match (0..count).try_for_each(|_| session.tick().map(|_| ())) {
-                        Ok(()) => {
-                            Response::Ticked { ticks: count, worlds: session.worlds_evaluated }
-                        }
-                        Err(e) => err(ErrorCode::Exec, &e.to_string()),
-                    }
-                }
-            }
-            Request::Stats => Response::Stats {
-                bases: session.basis_counts(),
-                touched: session.touched_points(),
-                warm_hits: session.warm_hits,
-                worlds: session.worlds_evaluated,
-                generation: compiled.shared.generation(),
-            },
-            // SAVE/LOAD names are scoped per scenario — both in the
-            // filename and in the snapshot header's family string — so one
-            // scenario's snapshot can neither clobber nor load into
-            // another's store.
-            Request::Save { name } => match &state.config.snapshot_dir {
-                None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
-                Some(dir) => {
-                    match compiled
-                        .shared
-                        .to_snapshot_bytes(&state.cfg, &snapshot_family(&compiled.key))
-                    {
-                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                        Ok(bytes) => {
-                            let path = dir.join(snapshot_filename(&name, &compiled.key));
-                            match std::fs::write(&path, &bytes) {
-                                Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                                Ok(()) => {
-                                    state.mark_persisted(compiled.key.clone(), path);
-                                    Response::Saved { name, bytes: bytes.len() }
-                                }
-                            }
-                        }
-                    }
-                }
-            },
-            Request::Load { name } => match &state.config.snapshot_dir {
-                None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
-                Some(dir) => {
-                    let path = dir.join(snapshot_filename(&name, &compiled.key));
-                    match std::fs::read(&path) {
-                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                        Ok(bytes) => match ShardedBasisStore::from_snapshot_bytes(
-                            &bytes,
-                            &state.cfg,
-                            Arc::new(ScopedAffine(snapshot_family(&compiled.key))),
-                            n_cols,
-                        ) {
+        }
+        Request::Stats => Response::Stats {
+            bases: session.basis_counts(),
+            touched: session.touched_points(),
+            warm_hits: session.warm_hits,
+            worlds: session.worlds_evaluated,
+            generation: compiled.shared.generation(),
+        },
+        // SAVE/LOAD names are scoped per scenario — both in the
+        // filename and in the snapshot header's family string — so one
+        // scenario's snapshot can neither clobber nor load into
+        // another's store.
+        Request::Save { name } => match &state.snapshot_dir {
+            None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
+            Some(dir) => {
+                match compiled.shared.to_snapshot_bytes(&state.cfg, &snapshot_family(&compiled.key))
+                {
+                    Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                    Ok(bytes) => {
+                        let path = dir.join(snapshot_filename(&name, &compiled.key));
+                        match std::fs::write(&path, &bytes) {
                             Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                            Ok(store) => {
-                                let bases = store.bases_per_column();
-                                // Bumps the store generation: every attached
-                                // session drops its stale basis links at its
-                                // next touch/tick.
-                                compiled.shared.replace(store);
+                            Ok(()) => {
                                 state.mark_persisted(compiled.key.clone(), path);
-                                Response::Loaded { name, bases }
+                                Response::Saved { name, bytes: bytes.len() }
                             }
-                        },
+                        }
                     }
                 }
-            },
-        };
-        send_response(writer, &resp)?;
+            }
+        },
+        Request::Load { name } => match &state.snapshot_dir {
+            None => err(ErrorCode::Unsupported, "server has no --snapshot-dir"),
+            Some(dir) => {
+                let path = dir.join(snapshot_filename(&name, &compiled.key));
+                match std::fs::read(&path) {
+                    Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                    Ok(bytes) => match ShardedBasisStore::from_snapshot_bytes(
+                        &bytes,
+                        &state.cfg,
+                        Arc::new(ScopedAffine(snapshot_family(&compiled.key))),
+                        n_cols,
+                    ) {
+                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                        Ok(store) => {
+                            let bases = store.bases_per_column();
+                            // Bumps the store generation: every attached
+                            // session drops its stale basis links at its
+                            // next touch/tick.
+                            compiled.shared.replace(store);
+                            state.mark_persisted(compiled.key.clone(), path);
+                            Response::Loaded { name, bases }
+                        }
+                    },
+                }
+            }
+        },
     }
 }

@@ -3,8 +3,11 @@
 //! The single-process optimizer turned into a service: a dependency-free
 //! TCP server (std only) that exposes scenario compilation, batch sweeps,
 //! and interactive what-if sessions over a length-prefixed line protocol
-//! ([`protocol`]). Every client connection compiles its scenario against
-//! the server's model catalog and attaches to the **one shared warm
+//! ([`protocol`]). Connections are multiplexed by a small set of
+//! readiness-polling event loops over nonblocking sockets, so hundreds of
+//! concurrent clients cost a handful of threads rather than one each.
+//! Every client connection compiles its scenario against the server's
+//! model catalog and attaches to the **one shared warm
 //! [`SharedBasisStore`](jigsaw_core::SharedBasisStore)** for that
 //! `(catalog, scenario, config-fingerprint)` identity — so the Nth user's
 //! queries resolve against Monte Carlo work the first user paid for, and
@@ -16,18 +19,16 @@
 //! the wire are **bit-identical** to a local
 //! [`InteractiveSession`](jigsaw_core::InteractiveSession) over the same
 //! scenario and warm store (`tests/server_session.rs` enforces this at
-//! thread budgets 1 and 4). `SAVE`/`LOAD` bridge the in-memory registry to
-//! PR 4's versioned snapshots: saved stores are re-snapshotted at shutdown,
-//! so a restarted server resumes warm.
+//! thread budgets 1 and 4, under both worker pools). `SAVE`/`LOAD` bridge
+//! the in-memory registry to PR 4's versioned snapshots: saved stores are
+//! re-snapshotted at shutdown, so a restarted server resumes warm.
 //!
 //! ```no_run
-//! use jigsaw_server::{default_catalog, JigsawServer, ServerConfig};
+//! use jigsaw_server::JigsawServer;
 //!
-//! let server =
-//!     JigsawServer::bind("127.0.0.1:0", default_catalog(), ServerConfig::default()).unwrap();
-//! let handle = server.start().unwrap();
+//! let handle = JigsawServer::builder().bind("127.0.0.1:0").unwrap().serve().unwrap();
 //! let transcript = jigsaw_server::client::run_script(
-//!     handle.addr(),
+//!     handle.local_addr(),
 //!     "COMPILE DECLARE PARAMETER @week AS RANGE 0 TO 9 STEP BY 1; \
 //!      SELECT Demand(@week, @week) AS demand INTO results;\nSWEEP\nESTIMATE 3 0\nQUIT",
 //! )
@@ -47,5 +48,5 @@ mod server;
 pub use catalog::default_catalog;
 pub use client::Client;
 pub use conn::MAX_TICKS_PER_REQUEST;
-pub use protocol::{ErrorCode, ProtocolError, Request, Response};
-pub use server::{JigsawServer, ServerConfig, ServerHandle};
+pub use protocol::{ErrorCode, ProtocolError, Request, Response, PROTOCOL_VERSION};
+pub use server::{JigsawServer, ServerBuilder, ServerHandle};

@@ -3,16 +3,20 @@
 //! ```text
 //! jigsaw-server [--addr HOST:PORT] [--threads N] [--n-samples N]
 //!               [--fingerprint-len M] [--seed N] [--snapshot-dir DIR]
+//!               [--pool scoped|persistent] [--conn-threads N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, i.e. an ephemeral loopback port), prints
 //! one `LISTENING <addr>` line to stdout, and serves until killed. The CI
 //! smoke job scrapes that line, replays a scripted `jigsaw-client` session
-//! against it, and byte-diffs the transcript against a golden file.
+//! against it (under both `--pool` backends), and byte-diffs the
+//! transcript against a golden file.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use jigsaw_server::{default_catalog, JigsawServer, ServerConfig};
+use jigsaw_core::{ScopedPool, WorkerPool};
+use jigsaw_server::JigsawServer;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,22 +38,41 @@ fn main() {
     };
 
     let addr = value_of("--addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
-    let mut config = ServerConfig::default();
+    let mut builder = JigsawServer::builder();
+    let mut cfg = jigsaw_core::JigsawConfig::paper();
     if let Some(threads) = parse_num("--threads") {
-        config.cfg = config.cfg.with_threads(threads);
+        cfg = cfg.with_threads(threads);
     }
     if let Some(n) = parse_num("--n-samples") {
-        config.cfg = config.cfg.with_n_samples(n);
+        cfg = cfg.with_n_samples(n);
     }
     if let Some(m) = parse_num("--fingerprint-len") {
-        config.cfg = config.cfg.with_fingerprint_len(m);
+        cfg = cfg.with_fingerprint_len(m);
     }
+    // The pool must see the final thread budget, so resolve it after all
+    // config flags (the builder's default pool is sized the same way).
+    match value_of("--pool").map(String::as_str) {
+        None | Some("persistent") => {}
+        Some("scoped") => {
+            builder = builder.pool(Arc::new(ScopedPool) as Arc<dyn WorkerPool>);
+        }
+        Some(other) => {
+            eprintln!("error: --pool must be `scoped` or `persistent`, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+    builder = builder.config(cfg);
     if let Some(seed) = parse_num("--seed") {
-        config.master_seed = seed as u64;
+        builder = builder.master_seed(seed as u64);
     }
-    config.snapshot_dir = value_of("--snapshot-dir").map(PathBuf::from);
+    if let Some(dir) = value_of("--snapshot-dir") {
+        builder = builder.snapshot_dir(PathBuf::from(dir));
+    }
+    if let Some(n) = parse_num("--conn-threads") {
+        builder = builder.conn_threads(n);
+    }
 
-    let server = JigsawServer::bind(&addr, default_catalog(), config).unwrap_or_else(|e| {
+    let server = builder.bind(&addr).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
@@ -58,8 +81,11 @@ fn main() {
     println!("LISTENING {local}");
     use std::io::Write;
     std::io::stdout().flush().ok();
-    if let Err(e) = server.run() {
-        eprintln!("error: server terminated: {e}");
-        std::process::exit(1);
+    match server.serve() {
+        Ok(handle) => handle.join(),
+        Err(e) => {
+            eprintln!("error: server terminated: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! Requests:
 //!
 //! ```text
+//! HELLO <version>            negotiate the protocol version (optional)
 //! COMPILE\n<script>          compile a scenario; attaches the shared store
 //! SWEEP                      run the wave executor over the whole space
 //! FOCUS <point>              move the session focus
@@ -26,6 +27,7 @@
 //! Responses (one per request, in order):
 //!
 //! ```text
+//! WELCOME <version>
 //! COMPILED <points> <n_cols> <col>…
 //! SWEPT <points> <worlds> <full_sims> <reused> <warm_hits> <bases>
 //! FOCUSED <point>
@@ -37,6 +39,14 @@
 //! BYE
 //! ERR <code> <message>
 //! ```
+//!
+//! The handshake is *optional and stateless*: a client may send `HELLO`
+//! with the highest version it speaks (in any connection state), and the
+//! server answers `WELCOME` with `min(client, server)` — the version both
+//! sides then hold to. Clients that never say `HELLO` get version-1
+//! behavior, so pre-handshake clients keep working; future wire changes
+//! (e.g. a `SUBSCRIBE` verb) gate on the negotiated version instead of
+//! breaking them.
 //!
 //! `<bases>` is a comma-joined per-column basis count (`-` when empty);
 //! `<mean_bits>`/`<sd_bits>` are the IEEE-754 bit patterns of the estimate
@@ -52,6 +62,10 @@ use jigsaw_pdb::PdbError;
 /// Upper bound on a frame payload; larger length prefixes are rejected
 /// before any allocation is sized from them.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Highest protocol version this build speaks. Version 1 is the original
+/// verb set plus the `HELLO`/`WELCOME` handshake itself.
+pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Why a frame or message could not be read, written, or parsed.
 #[derive(Debug)]
@@ -149,6 +163,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
 /// A client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Negotiate the protocol version (optional; any connection state).
+    Hello {
+        /// Highest protocol version the client speaks.
+        version: u32,
+    },
     /// Compile a scenario script and attach its shared basis store.
     Compile {
         /// The scenario source (the `DECLARE …; SELECT …;` dialect).
@@ -202,6 +221,7 @@ impl Request {
     /// Serialize to a frame payload.
     pub fn encode(&self) -> String {
         match self {
+            Request::Hello { version } => format!("HELLO {version}"),
             Request::Compile { src } => format!("COMPILE\n{src}"),
             Request::Sweep => "SWEEP".into(),
             Request::Focus { point } => format!("FOCUS {point}"),
@@ -240,6 +260,13 @@ impl Request {
             return Err(ProtocolError::Malformed(format!("{verb} does not take a body")));
         }
         match verb {
+            "HELLO" => {
+                arity(1)?;
+                let version = args[0].parse::<u32>().map_err(|_| {
+                    ProtocolError::Malformed(format!("version `{}` is not a u32", args[0]))
+                })?;
+                Ok(Request::Hello { version })
+            }
             "COMPILE" => {
                 arity(0)?;
                 match body {
@@ -341,6 +368,12 @@ impl ErrorCode {
 /// be byte-diffed against goldens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
+    /// Handshake accepted; carries the negotiated version
+    /// (`min(client, server)`).
+    Welcome {
+        /// The protocol version both sides hold to from here on.
+        version: u32,
+    },
     /// Scenario compiled; session attached to the shared store.
     Compiled {
         /// Parameter-space size.
@@ -461,6 +494,7 @@ impl Response {
     /// messages are flattened to spaces).
     pub fn encode(&self) -> String {
         match self {
+            Response::Welcome { version } => format!("WELCOME {version}"),
             Response::Compiled { points, columns } => {
                 let mut out = format!("COMPILED {points} {}", columns.len());
                 for c in columns {
@@ -529,6 +563,13 @@ impl Response {
             s.parse().map_err(|_| ProtocolError::Malformed(format!("{what} `{s}` is not a number")))
         };
         match verb {
+            "WELCOME" => {
+                arity(1)?;
+                let version = args[0].parse::<u32>().map_err(|_| {
+                    ProtocolError::Malformed(format!("version `{}` is not a u32", args[0]))
+                })?;
+                Ok(Response::Welcome { version })
+            }
             "COMPILED" => {
                 if args.len() < 2 {
                     return Err(ProtocolError::Malformed("COMPILED needs points + n_cols".into()));
@@ -701,6 +742,23 @@ mod tests {
         assert!(Request::decode("SAVE ../etc/passwd").is_err(), "paths are not snapshot names");
         assert!(Request::decode("SAVE .hidden").is_err());
         assert!(Request::decode("FOCUS 9\nbody").is_err(), "only COMPILE takes a body");
+    }
+
+    #[test]
+    fn hello_welcome_wire_forms() {
+        let hello = Request::Hello { version: PROTOCOL_VERSION };
+        assert_eq!(hello.encode(), "HELLO 1");
+        assert_eq!(Request::decode("HELLO 1").unwrap(), hello);
+        assert!(Request::decode("HELLO").is_err());
+        assert!(Request::decode("HELLO one").is_err());
+        assert!(Request::decode("HELLO 1 2").is_err());
+        let welcome = Response::Welcome { version: 1 };
+        assert_eq!(welcome.encode(), "WELCOME 1");
+        assert_eq!(Response::decode("WELCOME 1").unwrap(), welcome);
+        assert!(Response::decode("WELCOME").is_err());
+        // A far-future client still roundtrips (the server clamps later).
+        let eager = Request::Hello { version: u32::MAX };
+        assert_eq!(Request::decode(&eager.encode()).unwrap(), eager);
     }
 
     #[test]

@@ -1,17 +1,35 @@
-//! The TCP accept loop and shared server state.
+//! Server assembly: the builder, the shared state, and the readiness-driven
+//! connection loops.
+//!
+//! The server runs a small, fixed set of **event-loop threads**
+//! ([`ServerBuilder::conn_threads`]), each multiplexing many nonblocking
+//! connections instead of dedicating an OS thread per client. Loop 0 also
+//! owns the (nonblocking) listener and deals accepted connections round-robin
+//! across the loops; every loop then repeatedly *pumps* its connections —
+//! flush pending output, read what the socket has, execute any complete
+//! frames — and parks for 50µs only when a full pass made no progress
+//! (short enough to stay invisible next to a single world evaluation).
+//! Sweeps and ticks execute inline on the loop thread: their parallelism
+//! comes from the shared [`PersistentPool`], not from connection threads,
+//! and the store lock serializes concurrent sweeps of one scenario anyway
+//! (that serialization is exactly what makes the second sweep all warm
+//! hits).
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use jigsaw_core::basis::{StoreKey, StoreRegistry};
-use jigsaw_core::JigsawConfig;
+use jigsaw_core::{JigsawConfig, PersistentPool, WorkerPool};
 use jigsaw_pdb::Catalog;
 
-use crate::conn::serve_client;
+use crate::conn::Conn;
+use crate::default_catalog;
 
 /// The mapping family every server store is built on.
 pub(crate) const FAMILY: &str = "affine";
@@ -39,67 +57,31 @@ pub(crate) fn snapshot_filename(name: &str, key: &StoreKey) -> String {
     format!("{name}-{:016x}.snap", fnv64(&key.scope))
 }
 
-/// Server-wide tunables.
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// The sweep/session configuration every client runs under. Part of
-    /// basis identity: the store registry keys on its
-    /// [`config_fingerprint`](jigsaw_core::basis::config_fingerprint), so
-    /// all clients of one server share warm stores by construction.
-    pub cfg: JigsawConfig,
+/// State shared by every connection: the catalog, the configuration, the
+/// worker pool, and the warm-store registry.
+pub struct ServerState {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) cfg: Arc<JigsawConfig>,
     /// Master seed for scenario simulations. All clients share it — that
     /// is what makes their Monte Carlo worlds, and therefore their
     /// fingerprints and bases, interchangeable.
-    pub master_seed: u64,
+    pub(crate) master_seed: u64,
     /// Directory for `SAVE`/`LOAD` snapshots; `None` disables both
     /// commands (and the shutdown re-snapshot).
-    pub snapshot_dir: Option<PathBuf>,
+    pub(crate) snapshot_dir: Option<PathBuf>,
     /// Catalog name, folded into every store key.
-    pub catalog_name: String,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            cfg: JigsawConfig::paper(),
-            master_seed: 2024,
-            snapshot_dir: None,
-            catalog_name: "default".into(),
-        }
-    }
-}
-
-/// State shared by every connection: the catalog, the configuration, and
-/// the warm-store registry.
-pub struct ServerState {
-    pub(crate) catalog: Arc<Catalog>,
-    pub(crate) config: ServerConfig,
-    pub(crate) cfg: Arc<JigsawConfig>,
+    pub(crate) catalog_name: String,
+    /// The worker pool every sweep scatters on — long-lived, shared by all
+    /// connections, so waves never pay thread-spawn churn.
+    pub(crate) pool: Arc<dyn WorkerPool>,
     pub(crate) registry: StoreRegistry,
     /// Stores that have been `SAVE`d (or `LOAD`ed), and where — these are
     /// re-snapshotted on shutdown so a restart resumes warm.
     pub(crate) persisted: Mutex<HashMap<StoreKey, PathBuf>>,
-    /// Live connections: the handler thread plus a socket handle that
-    /// [`ServerHandle::shutdown`] closes to unblock pending reads.
-    clients: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
     shutdown: AtomicBool,
 }
 
 impl ServerState {
-    fn new(catalog: Catalog, config: ServerConfig) -> Self {
-        config.cfg.validate();
-        let cfg = Arc::new(config.cfg.clone());
-        ServerState {
-            catalog: Arc::new(catalog),
-            config,
-            cfg,
-            registry: StoreRegistry::new(),
-            persisted: Mutex::new(HashMap::new()),
-            clients: Mutex::new(Vec::new()),
-            shutdown: AtomicBool::new(false),
-        }
-    }
-
     /// Record that `key`'s store lives at `path` on disk, so shutdown can
     /// re-snapshot it.
     pub(crate) fn mark_persisted(&self, key: StoreKey, path: PathBuf) {
@@ -123,25 +105,135 @@ impl ServerState {
     }
 }
 
-/// A bound-but-not-yet-running session server.
-pub struct JigsawServer {
-    listener: TcpListener,
-    state: Arc<ServerState>,
+/// Fluent configuration for a [`JigsawServer`] (start from
+/// [`JigsawServer::builder`]). Every knob has a production default; tests
+/// and binaries override only what they need:
+///
+/// ```ignore
+/// let handle = JigsawServer::builder()
+///     .config(JigsawConfig::paper().with_threads(4))
+///     .snapshot_dir("/var/lib/jigsaw")
+///     .bind("127.0.0.1:0")?
+///     .serve()?;
+/// println!("listening on {}", handle.local_addr());
+/// handle.shutdown()?;
+/// ```
+pub struct ServerBuilder {
+    cfg: JigsawConfig,
+    master_seed: u64,
+    snapshot_dir: Option<PathBuf>,
+    catalog_name: String,
+    catalog: Option<Catalog>,
+    pool: Option<Arc<dyn WorkerPool>>,
+    conn_threads: usize,
 }
 
-impl JigsawServer {
-    /// Bind to `addr` (use port 0 for an ephemeral loopback port) with the
-    /// given model catalog and configuration.
-    pub fn bind(
-        addr: impl ToSocketAddrs,
-        catalog: Catalog,
-        config: ServerConfig,
-    ) -> std::io::Result<Self> {
-        if let Some(dir) = &config.snapshot_dir {
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            cfg: JigsawConfig::paper(),
+            master_seed: 2024,
+            snapshot_dir: None,
+            catalog_name: "default".into(),
+            catalog: None,
+            pool: None,
+            conn_threads: 1,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// The sweep/session configuration every client runs under. Part of
+    /// basis identity: the store registry keys on its
+    /// [`config_fingerprint`](jigsaw_core::basis::config_fingerprint), so
+    /// all clients of one server share warm stores by construction.
+    pub fn config(mut self, cfg: JigsawConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Master seed for scenario simulations (default 2024). Shared by all
+    /// clients, which is what makes their worlds — and bases —
+    /// interchangeable.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Enable `SAVE`/`LOAD` (and the shutdown re-snapshot) under this
+    /// directory.
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Catalog name, folded into every store key (default `"default"`).
+    pub fn catalog_name(mut self, name: impl Into<String>) -> Self {
+        self.catalog_name = name.into();
+        self
+    }
+
+    /// The model catalog scenarios compile against (default:
+    /// [`default_catalog`]).
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// The worker pool sweeps scatter on (default: a [`PersistentPool`]
+    /// sized to the configuration's thread budget). Any faithful
+    /// [`WorkerPool`] yields bit-identical sweeps.
+    pub fn pool(mut self, pool: Arc<dyn WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Number of connection event-loop threads (default 1). Each loop
+    /// multiplexes many nonblocking connections; more loops let long
+    /// inline commands (sweeps) of one client overlap other clients' I/O.
+    pub fn conn_threads(mut self, threads: usize) -> Self {
+        self.conn_threads = threads.max(1);
+        self
+    }
+
+    /// Bind to `addr` (use port 0 for an ephemeral loopback port),
+    /// producing a bound-but-not-yet-serving [`JigsawServer`].
+    pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<JigsawServer> {
+        self.cfg.validate();
+        if let Some(dir) = &self.snapshot_dir {
             std::fs::create_dir_all(dir)?;
         }
         let listener = TcpListener::bind(addr)?;
-        Ok(JigsawServer { listener, state: Arc::new(ServerState::new(catalog, config)) })
+        listener.set_nonblocking(true)?;
+        let pool = self
+            .pool
+            .unwrap_or_else(|| Arc::new(PersistentPool::new(self.cfg.effective_threads())));
+        let state = ServerState {
+            catalog: Arc::new(self.catalog.unwrap_or_else(default_catalog)),
+            cfg: Arc::new(self.cfg),
+            master_seed: self.master_seed,
+            snapshot_dir: self.snapshot_dir,
+            catalog_name: self.catalog_name,
+            pool,
+            registry: StoreRegistry::new(),
+            persisted: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        };
+        Ok(JigsawServer { listener, state: Arc::new(state), conn_threads: self.conn_threads })
+    }
+}
+
+/// A bound-but-not-yet-serving session server (see [`Self::builder`]).
+pub struct JigsawServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    conn_threads: usize,
+}
+
+impl JigsawServer {
+    /// Start configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
     }
 
     /// The bound address (needed when binding port 0).
@@ -149,59 +241,99 @@ impl JigsawServer {
         self.listener.local_addr()
     }
 
-    /// Serve connections on the calling thread until the process exits
-    /// (the `jigsaw-server` binary's mode).
-    pub fn run(self) -> std::io::Result<()> {
-        let state = self.state;
-        accept_loop(self.listener, state);
-        Ok(())
-    }
-
-    /// Serve connections on a background thread; the returned handle stops
-    /// the server and re-snapshots persisted stores on
-    /// [`ServerHandle::shutdown`].
-    pub fn start(self) -> std::io::Result<ServerHandle> {
+    /// Spawn the event loops and start serving. The returned handle stops
+    /// the server on [`ServerHandle::shutdown`] or waits forever on
+    /// [`ServerHandle::join`].
+    pub fn serve(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
-        let state = Arc::clone(&self.state);
-        let listener = self.listener;
-        let accept_state = Arc::clone(&state);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
-        Ok(ServerHandle { addr, state, accept: Some(accept) })
-    }
-}
-
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
+        let state = self.state;
+        let mut loops = Vec::with_capacity(self.conn_threads);
+        let mut peers: Vec<Sender<Conn>> = Vec::new();
+        for i in 1..self.conn_threads {
+            let (tx, rx) = std::sync::mpsc::channel();
+            peers.push(tx);
+            let st = Arc::clone(&state);
+            loops.push(
+                std::thread::Builder::new()
+                    .name(format!("jigsaw-conn-{i}"))
+                    .spawn(move || event_loop(None, Vec::new(), Some(rx), &st))?,
+            );
         }
-        let Ok(stream) = stream else { continue };
-        // Small request/response frames: Nagle only adds latency here.
-        let _ = stream.set_nodelay(true);
-        let Ok(socket) = stream.try_clone() else { continue };
-        let conn_state = Arc::clone(&state);
-        let handle = std::thread::spawn(move || {
-            // A connection failing (protocol garbage, dropped socket) only
-            // affects that client; the shared stores stay consistent
-            // because every mutation happens under their locks.
-            let _ = serve_client(stream, &conn_state);
-        });
-        let mut clients = state.clients.lock().expect("client list poisoned");
-        clients.retain(|(h, _)| !h.is_finished());
-        clients.push((handle, socket));
+        let st = Arc::clone(&state);
+        let listener = self.listener;
+        loops.insert(
+            0,
+            std::thread::Builder::new()
+                .name("jigsaw-conn-0".into())
+                .spawn(move || event_loop(Some(listener), peers, None, &st))?,
+        );
+        Ok(ServerHandle { addr, state, loops })
     }
 }
 
-/// A handle to a running server (see [`JigsawServer::start`]).
+/// One readiness loop: accept (loop 0 only), adopt handed-over connections,
+/// pump everything, park briefly when idle.
+fn event_loop(
+    listener: Option<TcpListener>,
+    peers: Vec<Sender<Conn>>,
+    rx: Option<Receiver<Conn>>,
+    state: &ServerState,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    // Round-robin seat for the next accepted connection: 0 is this loop,
+    // 1..=peers.len() the other loops.
+    let mut next_seat = 0usize;
+    while !state.shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+        if let Some(listener) = &listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        let Ok(conn) = Conn::new(stream) else { continue };
+                        if next_seat == 0 {
+                            conns.push(conn);
+                        } else if let Err(back) = peers[next_seat - 1].send(conn) {
+                            // Peer already gone (shutdown race): keep it here.
+                            conns.push(back.0);
+                        }
+                        next_seat = (next_seat + 1) % (peers.len() + 1);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(rx) = &rx {
+            while let Ok(conn) = rx.try_recv() {
+                conns.push(conn);
+                progress = true;
+            }
+        }
+        conns.retain_mut(|conn| {
+            let status = conn.pump(state);
+            progress |= status.progressed;
+            status.open
+        });
+        if !progress {
+            // Nothing moved on any connection: park briefly. 50µs keeps the
+            // idle loops near-free without adding measurable latency to the
+            // request path (a single world evaluation costs more).
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// A handle to a running server (see [`JigsawServer::serve`]).
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The address clients connect to.
-    pub fn addr(&self) -> SocketAddr {
+    pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
@@ -210,26 +342,24 @@ impl ServerHandle {
         self.state.registry.len()
     }
 
-    /// Stop the server: close every live connection, join all handler
-    /// threads and the accept loop, then re-snapshot every store with an
-    /// on-disk home (`SAVE`d or `LOAD`ed) so a restart resumes warm.
+    /// Stop the server gracefully: flag the event loops down (each notices
+    /// within one poll pass, closing its connections), join them, then
+    /// re-snapshot every store with an on-disk home (`SAVE`d or `LOAD`ed)
+    /// so a restart resumes warm.
     pub fn shutdown(mut self) -> std::io::Result<()> {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection, then join it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        // Close every connection socket to unblock pending reads, then join
-        // the handler threads so no store mutation races the re-snapshot.
-        let clients =
-            std::mem::take(&mut *self.state.clients.lock().expect("client list poisoned"));
-        for (_, socket) in &clients {
-            let _ = socket.shutdown(std::net::Shutdown::Both);
-        }
-        for (handle, _) in clients {
+        for handle in self.loops.drain(..) {
             let _ = handle.join();
         }
         self.state.resnapshot_persisted()
+    }
+
+    /// Block until the server stops (it only stops on
+    /// [`ServerHandle::shutdown`], so this is the serve-forever mode of the
+    /// `jigsaw-server` binary).
+    pub fn join(mut self) {
+        for handle in self.loops.drain(..) {
+            let _ = handle.join();
+        }
     }
 }

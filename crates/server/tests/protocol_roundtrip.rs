@@ -48,6 +48,7 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
+        any::<u32>().prop_map(|version| Request::Hello { version }),
         text(0..60).prop_map(|src| Request::Compile { src }),
         Just(Request::Sweep),
         (0usize..10_000).prop_map(|point| Request::Focus { point }),
@@ -81,6 +82,7 @@ fn counts() -> impl Strategy<Value = Vec<usize>> {
 
 fn response() -> impl Strategy<Value = Response> {
     prop_oneof![
+        any::<u32>().prop_map(|version| Response::Welcome { version }),
         (0usize..100_000, vec(ident(), 1..5))
             .prop_map(|(points, columns)| Response::Compiled { points, columns }),
         (

@@ -24,8 +24,8 @@ fn main() {
         ParamDecl::set("feature", vec![20]),
     ]);
     let n_points = space.len();
-    let sim = BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(99));
-    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    let sim = Arc::new(BlackBoxSim::new(Arc::new(Demand::enterprise()), space, SeedSet::new(99)));
+    let mut session = InteractiveSession::new(sim, SessionConfig::default());
 
     // The user sweeps the slider over three weeks of interest.
     for (focus, ticks) in [(10usize, 12usize), (25, 12), (32, 12)] {

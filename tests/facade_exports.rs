@@ -82,18 +82,15 @@ fn facade_aliases_are_the_underlying_crates() {
 fn server_reexport_serves_a_round_trip() {
     // server: a loopback server compiled against the facade's own catalog
     // types answers a scripted client.
-    let server = jigsaw::server::JigsawServer::bind(
-        "127.0.0.1:0",
-        jigsaw::server::default_catalog(),
-        jigsaw::server::ServerConfig {
-            cfg: jigsaw::core::JigsawConfig::paper().with_n_samples(30),
-            ..Default::default()
-        },
-    )
-    .expect("bind");
-    let handle = server.start().expect("start");
+    let handle = jigsaw::server::JigsawServer::builder()
+        .config(jigsaw::core::JigsawConfig::paper().with_n_samples(30))
+        .catalog(jigsaw::server::default_catalog())
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .serve()
+        .expect("start");
     let transcript = jigsaw::server::client::run_script(
-        handle.addr(),
+        handle.local_addr(),
         "COMPILE DECLARE PARAMETER @week AS RANGE 0 TO 4 STEP BY 1; \
          SELECT Demand(@week, 5) AS demand INTO results;\nESTIMATE 2 0\nQUIT",
     )

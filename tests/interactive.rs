@@ -10,7 +10,7 @@ use jigsaw::pdb::{Catalog, DirectEngine, Simulation};
 use jigsaw::prng::SeedSet;
 use jigsaw::sql::compile;
 
-fn scenario_sim() -> (impl Simulation, f64) {
+fn scenario_sim() -> (Arc<dyn Simulation>, f64) {
     let mut catalog = Catalog::new();
     catalog.add_function_as("DemandModel", Arc::new(Demand::paper()));
     let catalog = Arc::new(catalog);
@@ -24,13 +24,13 @@ fn scenario_sim() -> (impl Simulation, f64) {
     assert!(scenario.graph.is_some());
     let sim = scenario.simulation(Arc::new(DirectEngine::new()), catalog, SeedSet::new(5));
     // Week value at point index 9 is 10 (range starts at 1) → E[demand]=10.
-    (sim, 10.0)
+    (Arc::new(sim), 10.0)
 }
 
 #[test]
 fn session_converges_to_true_expectation() {
     let (sim, truth) = scenario_sim();
-    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    let mut session = InteractiveSession::new(sim.clone(), SessionConfig::default());
     session.set_focus(9);
     for _ in 0..60 {
         session.tick().expect("tick");
@@ -43,7 +43,7 @@ fn session_converges_to_true_expectation() {
 #[test]
 fn moving_focus_reuses_shared_basis() {
     let (sim, _) = scenario_sim();
-    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    let mut session = InteractiveSession::new(sim.clone(), SessionConfig::default());
     session.set_focus(4);
     for _ in 0..24 {
         session.tick().unwrap();
@@ -64,7 +64,7 @@ fn moving_focus_reuses_shared_basis() {
 #[test]
 fn graph_rendering_covers_explored_points() {
     let (sim, _) = scenario_sim();
-    let mut session = InteractiveSession::new(&sim, SessionConfig::default());
+    let mut session = InteractiveSession::new(sim.clone(), SessionConfig::default());
     session.set_focus(14);
     for _ in 0..20 {
         session.tick().unwrap();

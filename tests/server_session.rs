@@ -2,15 +2,20 @@
 //! attached to one shared warm store over loopback produce estimates
 //! **bit-identical** to a single local [`InteractiveSession`] over the same
 //! scenario, and the second client's sweep rides the first client's Monte
-//! Carlo work (`warm_hits > 0`) — at thread budgets 1 and 4.
+//! Carlo work (`warm_hits > 0`) — at thread budgets 1 and 4, under both
+//! worker pools (ISSUE 6: a [`PersistentPool`] sweep must be byte-identical
+//! to a [`ScopedPool`] one).
 
 use std::sync::Arc;
 
 use jigsaw::core::interactive::{Estimate, InteractiveSession, SessionConfig};
-use jigsaw::core::{AffineFamily, JigsawConfig, ShardedBasisStore, SweepRunner};
+use jigsaw::core::{
+    AffineFamily, JigsawConfig, PersistentPool, ScopedPool, ShardedBasisStore, SweepRunner,
+    WorkerPool,
+};
 use jigsaw::pdb::DirectEngine;
 use jigsaw::prng::SeedSet;
-use jigsaw::server::{default_catalog, Client, JigsawServer, Request, Response, ServerConfig};
+use jigsaw::server::{Client, JigsawServer, Request, Response, ServerHandle};
 
 /// The scenario both clients compile (60 points, one output column).
 const SRC: &str = "DECLARE PARAMETER @week AS RANGE 0 TO 29 STEP BY 1; \
@@ -21,6 +26,27 @@ const MASTER_SEED: u64 = 2024;
 
 fn jigsaw_cfg(threads: usize) -> JigsawConfig {
     JigsawConfig::paper().with_n_samples(120).with_threads(threads)
+}
+
+/// A pool of the named backend, sized to `threads`.
+fn pool_of(backend: &str, threads: usize) -> Arc<dyn WorkerPool> {
+    match backend {
+        "scoped" => Arc::new(ScopedPool),
+        "persistent" => Arc::new(PersistentPool::new(threads)),
+        other => panic!("unknown pool backend {other}"),
+    }
+}
+
+/// A served test server over `jigsaw_cfg(threads)` and the given pool.
+fn serve(threads: usize, backend: &str) -> ServerHandle {
+    JigsawServer::builder()
+        .config(jigsaw_cfg(threads))
+        .master_seed(MASTER_SEED)
+        .pool(pool_of(backend, threads))
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .serve()
+        .expect("start server")
 }
 
 /// The probe points every party estimates, in order.
@@ -37,18 +63,19 @@ struct LocalReference {
 }
 
 fn local_reference(threads: usize) -> LocalReference {
-    let catalog = Arc::new(default_catalog());
+    let catalog = Arc::new(jigsaw::server::default_catalog());
     let scenario = jigsaw::sql::compile(SRC, &catalog).expect("scenario compiles locally");
-    let sim = scenario.simulation(
+    let sim = Arc::new(scenario.simulation(
         Arc::new(DirectEngine::new()),
         Arc::clone(&catalog),
         SeedSet::new(MASTER_SEED),
-    );
+    ));
     let cfg = jigsaw_cfg(threads);
     let mut store = ShardedBasisStore::new(scenario.columns.len(), &cfg, Arc::new(AffineFamily));
-    let sweep = SweepRunner::new(cfg.clone()).run_on(&sim, &mut store).expect("local sweep");
+    let sweep = SweepRunner::new(cfg.clone()).store(&mut store).run(&*sim).expect("local sweep");
     assert_eq!(sweep.stats.points, 60);
-    let mut session = InteractiveSession::with_store(&sim, SessionConfig::from_jigsaw(&cfg), store);
+    let mut session =
+        InteractiveSession::with_store(sim.clone(), SessionConfig::from_jigsaw(&cfg), store);
     let estimates =
         probes().iter().map(|&p| session.estimate_now(p, 0).expect("local estimate")).collect();
     session.set_focus(probes()[0]);
@@ -95,21 +122,15 @@ fn compile(client: &mut Client, who: &str) {
     }
 }
 
-fn two_clients_share_one_warm_store(threads: usize) {
-    let config = ServerConfig {
-        cfg: jigsaw_cfg(threads),
-        master_seed: MASTER_SEED,
-        ..ServerConfig::default()
-    };
-    let server =
-        JigsawServer::bind("127.0.0.1:0", default_catalog(), config).expect("bind loopback");
-    let handle = server.start().expect("start server");
+fn two_clients_share_one_warm_store(threads: usize, backend: &str) {
+    let handle = serve(threads, backend);
     let local = local_reference(threads);
 
     // Both connections are open at once — the store is concurrently shared,
     // not handed off.
-    let mut c1 = Client::connect(handle.addr()).expect("client 1 connects");
-    let mut c2 = Client::connect(handle.addr()).expect("client 2 connects");
+    let mut c1 = Client::connect(handle.local_addr()).expect("client 1 connects");
+    let mut c2 = Client::connect(handle.local_addr()).expect("client 2 connects");
+    assert_eq!(c1.negotiated_version(), jigsaw::server::PROTOCOL_VERSION);
     compile(&mut c1, "c1");
     compile(&mut c2, "c2");
 
@@ -193,27 +214,31 @@ fn two_clients_share_one_warm_store(threads: usize) {
 }
 
 #[test]
-fn two_clients_share_one_warm_store_sequential() {
-    two_clients_share_one_warm_store(1);
+fn two_clients_share_one_warm_store_sequential_scoped() {
+    two_clients_share_one_warm_store(1, "scoped");
 }
 
 #[test]
-fn two_clients_share_one_warm_store_threaded() {
-    two_clients_share_one_warm_store(4);
+fn two_clients_share_one_warm_store_threaded_scoped() {
+    two_clients_share_one_warm_store(4, "scoped");
+}
+
+#[test]
+fn two_clients_share_one_warm_store_sequential_persistent() {
+    two_clients_share_one_warm_store(1, "persistent");
+}
+
+#[test]
+fn two_clients_share_one_warm_store_threaded_persistent() {
+    two_clients_share_one_warm_store(4, "persistent");
 }
 
 /// Out-of-range and out-of-state commands draw `ERR` responses and leave
 /// the connection usable.
 #[test]
 fn protocol_errors_keep_the_connection_alive() {
-    let server = JigsawServer::bind(
-        "127.0.0.1:0",
-        default_catalog(),
-        ServerConfig { cfg: jigsaw_cfg(1), master_seed: MASTER_SEED, ..ServerConfig::default() },
-    )
-    .expect("bind");
-    let handle = server.start().expect("start");
-    let mut c = Client::connect(handle.addr()).expect("connect");
+    let handle = serve(1, "persistent");
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
     // Session commands before COMPILE → state error.
     match c.request(&Request::Sweep).expect("pre-compile sweep") {
         Response::Error { code, .. } => assert_eq!(code, jigsaw::server::ErrorCode::State),
@@ -249,18 +274,19 @@ fn protocol_errors_keep_the_connection_alive() {
 #[test]
 fn save_load_bridges_server_restarts() {
     let dir = std::env::temp_dir().join(format!("jigsaw-server-snap-{}", std::process::id()));
-    let mk_config = || ServerConfig {
-        cfg: jigsaw_cfg(1),
-        master_seed: MASTER_SEED,
-        snapshot_dir: Some(dir.clone()),
-        ..ServerConfig::default()
+    let serve_with_dir = || {
+        JigsawServer::builder()
+            .config(jigsaw_cfg(1))
+            .master_seed(MASTER_SEED)
+            .snapshot_dir(dir.clone())
+            .bind("127.0.0.1:0")
+            .expect("bind")
+            .serve()
+            .expect("start")
     };
     // First server lifetime: sweep, save, shut down.
-    let handle = JigsawServer::bind("127.0.0.1:0", default_catalog(), mk_config())
-        .expect("bind")
-        .start()
-        .expect("start");
-    let mut c = Client::connect(handle.addr()).expect("connect");
+    let handle = serve_with_dir();
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
     compile(&mut c, "saver");
     assert!(matches!(c.request(&Request::Sweep).expect("sweep"), Response::Swept { .. }));
     let saved_bytes = match c.request(&Request::Save { name: "acceptance".into() }).expect("save") {
@@ -279,11 +305,8 @@ fn save_load_bridges_server_restarts() {
     assert_eq!(on_disk as usize, saved_bytes, "shutdown re-snapshot matches SAVE");
 
     // Second server lifetime: cold registry, LOAD, warm estimates at once.
-    let handle = JigsawServer::bind("127.0.0.1:0", default_catalog(), mk_config())
-        .expect("rebind")
-        .start()
-        .expect("restart");
-    let mut c = Client::connect(handle.addr()).expect("reconnect");
+    let handle = serve_with_dir();
+    let mut c = Client::connect(handle.local_addr()).expect("reconnect");
     compile(&mut c, "loader");
     match c.request(&Request::Load { name: "acceptance".into() }).expect("load") {
         Response::Loaded { bases, .. } => assert!(bases[0] >= 1),

@@ -15,7 +15,7 @@
 
 use std::path::PathBuf;
 
-use jigsaw::server::{client, default_catalog, JigsawServer, ServerConfig};
+use jigsaw::server::{client, JigsawServer};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
@@ -29,12 +29,13 @@ fn scripted_session_matches_golden_transcript() {
         std::env::temp_dir().join(format!("jigsaw-transcript-{}", std::process::id()));
     // Default configuration — the binaries replay with defaults too; only
     // the snapshot dir is test-local (SAVE must have somewhere to write).
-    let config = ServerConfig { snapshot_dir: Some(snapshot_dir.clone()), ..Default::default() };
-    let handle = JigsawServer::bind("127.0.0.1:0", default_catalog(), config)
+    let handle = JigsawServer::builder()
+        .snapshot_dir(snapshot_dir.clone())
+        .bind("127.0.0.1:0")
         .expect("bind loopback")
-        .start()
+        .serve()
         .expect("start server");
-    let transcript = client::run_script(handle.addr(), &script).expect("replay script");
+    let transcript = client::run_script(handle.local_addr(), &script).expect("replay script");
     handle.shutdown().expect("shutdown");
     std::fs::remove_dir_all(&snapshot_dir).ok();
 
