@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--exp e1,e2,...] [--threads N] [--deterministic]
-//!       [--save-basis DIR] [--load-basis DIR]
+//!       [--save-basis DIR] [--load-basis DIR] [--eval-path columnar|oracle]
 //! ```
 //!
 //! Default runs all experiments at paper scale; `--quick` shrinks workloads
@@ -21,10 +21,16 @@
 //! Warm-started sweeps are bit-identical to cold ones, so a save run and a
 //! load run emit byte-identical deterministic tables — the CI smoke job
 //! diffs exactly that pair too.
+//!
+//! `--eval-path oracle` pins the process-wide evaluation path to the
+//! per-world oracle loops instead of the default columnar kernels. The
+//! columnar layout is a pure performance change, so two deterministic runs
+//! differing only in this flag emit byte-identical tables — the CI smoke
+//! job diffs exactly that pair as well.
 
 use std::path::PathBuf;
 
-use jigsaw_bench::experiments::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
+use jigsaw_bench::experiments::{e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -48,6 +54,17 @@ fn main() {
     };
     let save_basis = dir_flag("--save-basis");
     let load_basis = dir_flag("--load-basis");
+    if let Some(i) = args.iter().position(|a| a == "--eval-path") {
+        let path = match args.get(i + 1).map(String::as_str) {
+            Some("columnar") => jigsaw_pdb::EvalPath::Columnar,
+            Some("oracle") => jigsaw_pdb::EvalPath::Oracle,
+            _ => {
+                eprintln!("error: --eval-path requires `columnar` or `oracle`");
+                std::process::exit(2);
+            }
+        };
+        jigsaw_pdb::force_eval_path(path);
+    }
     let scale = (if quick { Scale::QUICK } else { Scale::FULL }).with_threads(threads);
     let selected: Vec<String> = args
         .iter()
@@ -126,6 +143,10 @@ fn main() {
         let (rows, ladder) = e10::run(scale);
         println!("{}", render(&e10::report(&rows)));
         println!("{}", render(&e10::report_ladder(&ladder)));
+    }
+    if want("e11") {
+        eprintln!("[repro] E11: per-world vs columnar world evaluation…");
+        println!("{}", render(&e11::report(&e11::run(scale))));
     }
     eprintln!("[repro] done.");
 }

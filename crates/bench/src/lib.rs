@@ -14,6 +14,7 @@
 //! | [`experiments::e8`] | Parallel sweep scaling at 1/2/4/8 threads (reproduction extension) |
 //! | [`experiments::e9`] | Cold vs snapshot-warm-started sweeps (reproduction extension) |
 //! | [`experiments::e10`] | Session server: multi-client warm-store sharing (reproduction extension) |
+//! | [`experiments::e11`] | Per-world vs columnar world evaluation (reproduction extension) |
 //!
 //! The `repro` binary prints them as text tables; `EXPERIMENTS.md` records
 //! paper-vs-measured values. Absolute times differ from the paper's 2009-era

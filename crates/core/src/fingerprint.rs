@@ -69,6 +69,18 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
 }
 
+/// Validate `α·from[k] + β ≈ to[k]` for every `k` — the mapping-discovery
+/// inner loop (Algorithm 2's witness scan), run over the two contiguous
+/// fingerprint columns at once. The per-entry predicate is exactly
+/// [`approx_eq`], so match decisions are bit-identical to the scalar loop;
+/// the slice form exists so the candidate-probe hot path reads straight
+/// through both columns without touching `Fingerprint` accessors per entry.
+#[inline]
+pub fn affine_fits(from: &[f64], to: &[f64], alpha: f64, beta: f64, tol: f64) -> bool {
+    from.len() == to.len()
+        && from.iter().zip(to).all(|(&x, &y)| approx_eq(alpha * x + beta, y, tol))
+}
+
 impl fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
@@ -120,6 +132,18 @@ mod tests {
     fn display_is_compact() {
         let fp = Fingerprint::new(vec![1.0, 2.5]);
         assert_eq!(fp.to_string(), "[1.000000, 2.500000]");
+    }
+
+    #[test]
+    fn affine_fits_matches_per_entry_approx_eq() {
+        let from = [1.0, 2.0, 3.0, 4.0];
+        let to: Vec<f64> = from.iter().map(|&x| 2.0 * x - 1.0).collect();
+        assert!(affine_fits(&from, &to, 2.0, -1.0, 1e-9));
+        assert!(!affine_fits(&from, &to, 2.0, -1.001, 1e-9));
+        let mut off = to.clone();
+        off[3] += 0.01;
+        assert!(!affine_fits(&from, &off, 2.0, -1.0, 1e-9));
+        assert!(!affine_fits(&from, &to[..3], 2.0, -1.0, 1e-9), "length mismatch");
     }
 
     #[test]

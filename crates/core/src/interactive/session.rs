@@ -33,7 +33,7 @@ pub struct SessionConfig {
     /// Cap on samples per point (refinement stops there).
     pub n_target: usize,
     /// Thread budget for world evaluation. Ticks go through the same
-    /// budgeted [`jigsaw_pdb::eval_worlds`] entry point as the sweep
+    /// budgeted [`jigsaw_pdb::eval_batch`] entry point as the sweep
     /// executor, so refinement batches parallelize with bit-identical
     /// results for any value (`0` = all cores).
     pub threads: usize,
@@ -308,7 +308,8 @@ impl InteractiveSession {
         let point = self.sim.space().point_at(point_idx);
         // Monte Carlo work happens outside the store lock; only the
         // resolve/insert bookkeeping below holds it.
-        let head = jigsaw_pdb::eval_worlds(&*self.sim, &point, 0, m, self.cfg.threads)?;
+        let head =
+            jigsaw_pdb::eval_batch(&*self.sim, &point, 0, m, self.cfg.threads)?.into_columns();
         self.worlds_evaluated += m as u64;
         let own = &mut self.own;
         let points = &mut self.points;
@@ -367,7 +368,7 @@ impl InteractiveSession {
         // mutate — a basis that a sweep built with exactly `n_target`
         // samples (the invariant [`SessionConfig::from_jigsaw`] documents).
         let batch = self.cfg.batch.min(self.cfg.n_target - start);
-        let out = jigsaw_pdb::eval_worlds(&*self.sim, &point, start, batch, self.cfg.threads)?;
+        let out = jigsaw_pdb::eval_batch(&*self.sim, &point, start, batch, self.cfg.threads)?;
         self.worlds_evaluated += batch as u64;
         let own = &mut self.own;
         let points = &mut self.points;
@@ -379,7 +380,7 @@ impl InteractiveSession {
             // unrelated basis at the same index.
             Self::drop_stale_links(seen, generation, own, points);
             let state = points.get_mut(&point_idx).expect("touched");
-            for (c, samples) in out.iter().enumerate() {
+            for (c, samples) in out.columns().iter().enumerate() {
                 let col = &mut state.cols[c];
                 col.metrics.extend(samples);
                 col.n_direct = start + batch;

@@ -18,7 +18,7 @@
 
 use jigsaw_pdb::OutputMetrics;
 
-use crate::fingerprint::{approx_eq, Fingerprint};
+use crate::fingerprint::{affine_fits, approx_eq, Fingerprint};
 
 /// An affine mapping `M(x) = alpha · x + beta`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,13 +140,13 @@ impl MappingFamily for AffineFamily {
                 AffineMap::new(alpha, beta)
             }
         };
-        // Validate every remaining entry.
-        for (&x, &y) in from.entries().iter().zip(to.entries()) {
-            if !approx_eq(m.apply(x), y, tol) {
-                return None;
-            }
+        // Validate every remaining entry with the slice kernel (same
+        // predicate as `approx_eq`, applied over both columns at once).
+        if affine_fits(from.entries(), to.entries(), m.alpha, m.beta, tol) {
+            Some(m)
+        } else {
+            None
         }
-        Some(m)
     }
 }
 

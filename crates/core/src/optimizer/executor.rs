@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use jigsaw_pdb::{OutputMetrics, Result, Simulation};
+use jigsaw_pdb::{OutputMetrics, Result, Simulation, WorldBatch};
 
 use crate::basis::{BasisId, ShardedBasisStore};
 use crate::config::JigsawConfig;
@@ -138,8 +138,10 @@ struct EvalJob<'a> {
     count: usize,
 }
 
-/// One job's evaluated worlds, `out[col][world_in_window]`.
-type JobOutput = Result<Vec<Vec<f64>>>;
+/// One job's evaluated worlds as a columnar [`WorldBatch`]. Worker panics
+/// surface here as [`jigsaw_pdb::PdbError::WorkerPanic`] — they are caught
+/// at the evaluation boundary, never unwound through the pool.
+type JobOutput = Result<WorldBatch>;
 
 /// Run the sweep against an *existing* store — warm or cold, owned or
 /// borrowed out of a [`crate::basis::SharedBasisStore`] — leaving snapshot
@@ -218,7 +220,7 @@ pub(crate) fn execute(
             let head = head?;
             let mut cols = Vec::with_capacity(n_cols);
             let mut needs_tail = false;
-            for (c, samples) in head.into_iter().enumerate() {
+            for (c, samples) in head.into_columns().into_iter().enumerate() {
                 if disable_reuse {
                     needs_tail = true;
                     cols.push(ColPlan::Fresh(FreshSource::Inline(samples)));
@@ -267,7 +269,7 @@ pub(crate) fn execute(
                 stats.full_simulations += 1;
                 wave_reuse.full_simulations += 1;
                 stats.worlds_evaluated += tail_count as u64;
-                tails_by_slot[slot_i].take().expect("tail evaluated for miss")?
+                tails_by_slot[slot_i].take().expect("tail evaluated for miss")?.into_columns()
             } else {
                 // Fully reused point: a *warm* hit when every column matched
                 // a snapshot-loaded basis, intra-sweep reuse otherwise.
@@ -334,11 +336,15 @@ pub(crate) fn execute(
 }
 
 /// Evaluate a batch of world-window jobs with up to `threads` workers,
-/// returning each job's `out[col][world_in_window]` in job order.
+/// returning each job's columnar [`WorldBatch`] in job order.
 ///
 /// Jobs are split into world chunks handed to the [`WorkerPool`], so the
 /// schedule is load-balanced; results stitch back in `(job, window)` order,
-/// making the output independent of which worker ran what.
+/// making the output independent of which worker ran what. Each chunk is
+/// evaluated through [`jigsaw_pdb::eval_window`], which follows the
+/// process-wide [`jigsaw_pdb::EvalPath`] (columnar by default, per-world
+/// oracle under `JIGSAW_EVAL_PATH=oracle`) and converts worker panics into
+/// typed errors inside the task, so nothing unwinds through the pool.
 fn run_jobs(
     sim: &dyn Simulation,
     jobs: &[EvalJob<'_>],
@@ -351,7 +357,10 @@ fn run_jobs(
     // Tiny batches are not worth a dispatch round; the cutoff is a pure
     // performance heuristic (results are identical either way).
     if threads <= 1 || jobs.iter().map(|j| j.count).sum::<usize>() <= 32 {
-        return jobs.iter().map(|j| sim.eval_worlds(j.point, j.start, j.count)).collect();
+        return jobs
+            .iter()
+            .map(|j| jigsaw_pdb::eval_window(sim, j.point, j.start, j.count))
+            .collect();
     }
 
     struct Task {
@@ -383,7 +392,7 @@ fn run_jobs(
     pool.scatter(threads, tasks.len(), &|t| {
         let task = &tasks[t];
         let j = &jobs[task.job];
-        let r = sim.eval_worlds(j.point, task.lo, task.hi - task.lo);
+        let r = jigsaw_pdb::eval_window(sim, j.point, task.lo, task.hi - task.lo);
         slots[t].set(r).expect("pool ran a task twice");
     });
 
@@ -394,7 +403,7 @@ fn run_jobs(
     let mut out: Vec<JobOutput> = Vec::with_capacity(jobs.len());
     let mut ti = 0usize;
     for (ji, j) in jobs.iter().enumerate() {
-        let mut acc: Vec<Vec<f64>> = vec![Vec::with_capacity(j.count); n_cols];
+        let mut acc = WorldBatch::with_capacity(n_cols, j.count);
         let mut err = None;
         while ti < tasks.len() && tasks[ti].job == ji {
             let r = slots[ti].take().expect("pool ran every task");
@@ -403,11 +412,7 @@ fn run_jobs(
                 continue;
             }
             match r {
-                Ok(part) => {
-                    for (c, col) in part.into_iter().enumerate() {
-                        acc[c].extend(col);
-                    }
-                }
+                Ok(part) => acc.extend(part),
                 Err(e) => err = Some(e),
             }
         }

@@ -19,7 +19,7 @@
 //! its output distribution, that satisfies the optimization goal." (§2.3)
 
 use jigsaw_blackbox::ParamSpace;
-use jigsaw_pdb::Metric;
+use jigsaw_pdb::{Metric, PdbError, Result};
 
 use super::SweepResult;
 
@@ -136,13 +136,37 @@ pub struct Selection {
     pub member_points: Vec<usize>,
 }
 
+/// Strict lexicographic "greater" under `total_cmp` — the objective-key
+/// comparison. `Vec<f64>`'s derived `PartialOrd` returns `false` on any
+/// NaN comparison, which would silently *keep the incumbent* instead of
+/// surfacing the bad key; `total_cmp` has no such trapdoor.
+fn lex_gt(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
 /// Apply an `OPTIMIZE` goal to sweep results.
+///
+/// Returns `Ok(None)` when no group satisfies the constraints. Returns
+/// [`PdbError::NanMetric`] when a constraint metric evaluates to NaN for
+/// any point of any group: `f64::max`/`min` silently *drop* NaN operands,
+/// so without this check a point with an undefined metric (e.g.
+/// [`Metric::ProbOver`] over zero samples) would neither fail the
+/// constraint nor surface an error — it would just vanish from the fold
+/// and let an unvalidated group win.
 pub fn select(
     space: &ParamSpace,
     sweep: &SweepResult,
     goal: &OptimizeGoal,
     columns: &[String],
-) -> Option<Selection> {
+) -> Result<Option<Selection>> {
     let decision_dims: Vec<usize> = goal
         .decision_params
         .iter()
@@ -189,8 +213,21 @@ pub fn select(
         let mut achieved = Vec::with_capacity(goal.constraints.len());
         let mut ok = true;
         for (c, &ci) in goal.constraints.iter().zip(&col_idx) {
-            let lhs =
-                c.outer.fold(members.iter().map(|&i| c.metric.of(&sweep.points[i].metrics[ci])));
+            // NaN-check every operand *before* the fold: f64::max/min keep
+            // the non-NaN operand, so a poisoned point would otherwise be
+            // dropped silently instead of reported.
+            let mut values = Vec::with_capacity(members.len());
+            for &i in &members {
+                let x = c.metric.of(&sweep.points[i].metrics[ci]);
+                if x.is_nan() {
+                    return Err(PdbError::NanMetric(format!(
+                        "{:?} of column `{}` at point {} is NaN",
+                        c.metric, c.column, sweep.points[i].point_idx
+                    )));
+                }
+                values.push(x);
+            }
+            let lhs = c.outer.fold(values.into_iter());
             achieved.push(lhs);
             if !c.cmp.test(lhs, c.threshold) {
                 ok = false;
@@ -221,11 +258,11 @@ pub fn select(
         };
         match &best {
             None => best = Some((key, candidate)),
-            Some((bk, _)) if key > *bk => best = Some((key, candidate)),
+            Some((bk, _)) if lex_gt(&key, bk) => best = Some((key, candidate)),
             _ => {}
         }
     }
-    best.map(|(_, s)| s)
+    Ok(best.map(|(_, s)| s))
 }
 
 #[cfg(test)]
@@ -277,7 +314,8 @@ mod tests {
         let (sim, space) = sim();
         let cfg = JigsawConfig::paper().with_n_samples(20);
         let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
-        let sel = select(&space, &sweep, &goal(), &["risk".to_string()]).expect("feasible");
+        let sel =
+            select(&space, &sweep, &goal(), &["risk".to_string()]).unwrap().expect("feasible");
         // purchases 0,10,20 are safe; 30,40 breach the threshold for late
         // weeks. FOR MAX @purchase → 20.
         assert_eq!(sel.assignment, vec![("purchase".to_string(), 20.0)]);
@@ -292,7 +330,7 @@ mod tests {
         let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
         let mut g = goal();
         g.constraints[0].threshold = -1.0; // impossible
-        assert!(select(&space, &sweep, &g, &["risk".to_string()]).is_none());
+        assert!(select(&space, &sweep, &g, &["risk".to_string()]).unwrap().is_none());
     }
 
     #[test]
@@ -302,8 +340,27 @@ mod tests {
         let sweep = SweepRunner::new(cfg).run(&sim).unwrap();
         let mut g = goal();
         g.objectives[0].direction = Direction::Min;
-        let sel = select(&space, &sweep, &g, &["risk".to_string()]).unwrap();
+        let sel = select(&space, &sweep, &g, &["risk".to_string()]).unwrap().unwrap();
         assert_eq!(sel.assignment[0].1, 0.0);
+    }
+
+    #[test]
+    fn nan_metric_is_a_typed_error_not_a_silent_win() {
+        let (sim, space) = sim();
+        let cfg = JigsawConfig::paper().with_n_samples(20);
+        let mut sweep = SweepRunner::new(cfg).run(&sim).unwrap();
+        // Poison one point's metric: ProbOver over zero samples is NaN,
+        // exactly the shape an empty-metrics bug upstream would produce.
+        sweep.points[7].metrics[0] = jigsaw_pdb::OutputMetrics::from_samples(Vec::new());
+        let mut g = goal();
+        g.constraints[0].metric = jigsaw_pdb::Metric::ProbOver(0.005);
+        let err = select(&space, &sweep, &g, &["risk".to_string()]).unwrap_err();
+        match err {
+            jigsaw_pdb::PdbError::NanMetric(msg) => {
+                assert!(msg.contains("risk"), "names the column: {msg}");
+            }
+            other => panic!("expected NanMetric, got {other:?}"),
+        }
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub enum PdbError {
     /// upstream). Carried here so protocol failures flow through the same
     /// `Result` plumbing as every other engine error.
     Protocol(String),
+    /// A simulation panicked during world evaluation. The panic is caught at
+    /// the evaluation boundary (caller thread or worker) and surfaced as a
+    /// regular error so long-lived hosts — the session server above all —
+    /// answer `ERR` and keep serving instead of aborting the process.
+    WorkerPanic(String),
+    /// An `OPTIMIZE` metric evaluated to NaN. NaN is poison for selector
+    /// comparisons (`f64::max` silently drops it, orderings silently fail),
+    /// so the selector refuses to rank candidates on it.
+    NanMetric(String),
 }
 
 impl fmt::Display for PdbError {
@@ -56,6 +65,10 @@ impl fmt::Display for PdbError {
             PdbError::TypeError(msg) => write!(f, "type error: {msg}"),
             PdbError::Snapshot(msg) => write!(f, "basis snapshot: {msg}"),
             PdbError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            PdbError::WorkerPanic(msg) => {
+                write!(f, "simulation panicked during world evaluation: {msg}")
+            }
+            PdbError::NanMetric(msg) => write!(f, "metric is NaN: {msg}"),
         }
     }
 }
@@ -80,6 +93,14 @@ mod tests {
         assert_eq!(
             PdbError::Protocol("frame truncated".into()).to_string(),
             "protocol: frame truncated"
+        );
+        assert_eq!(
+            PdbError::WorkerPanic("boom".into()).to_string(),
+            "simulation panicked during world evaluation: boom"
+        );
+        assert_eq!(
+            PdbError::NanMetric("constraint on `x`".into()).to_string(),
+            "metric is NaN: constraint on `x`"
         );
     }
 }

@@ -228,6 +228,7 @@ fn batch_ctx<'a>(ctx: &'a ExecContext, catalog: &'a Catalog) -> BatchCtx<'a> {
         seeds: &ctx.seeds,
         params: &ctx.params,
         functions: catalog,
+        columnar: ctx.columnar,
     }
 }
 
@@ -302,6 +303,109 @@ fn aggregate(
     Ok(out)
 }
 
+/// An aggregate argument viewed once per row: a constant scalar or a
+/// contiguous per-world column. Pre-classifying removes the per-world
+/// `BundleCell` dispatch from the columnar accumulation loops.
+enum AggView<'a> {
+    Const(f64),
+    Col(&'a [f64]),
+}
+
+fn agg_view<'a>(c: &'a BundleCell, spec: &AggSpec) -> Result<AggView<'a>> {
+    match c {
+        BundleCell::Det(v) => Ok(AggView::Const(v.as_f64().ok_or_else(|| {
+            PdbError::TypeError(format!("aggregate `{}` over non-numeric", spec.name))
+        })?)),
+        BundleCell::Stoch(xs) => Ok(AggView::Col(xs)),
+    }
+}
+
+/// Columnar accumulation of one row into the aggregate state. Performs the
+/// same operations in the same order as the per-world oracle loop in
+/// [`eval_agg`], so the finished accumulators are bit-identical; rows whose
+/// presence mask covers every world run plain slice loops.
+fn accumulate_columnar(
+    spec: &AggSpec,
+    row: &BundleRow,
+    cell: Option<&BundleCell>,
+    acc: &mut [f64],
+    counts: &mut [u64],
+    n: usize,
+) -> Result<()> {
+    match &row.presence {
+        Presence::All => {
+            for c in counts.iter_mut() {
+                *c += 1;
+            }
+            if let Some(c) = cell {
+                match (spec.func, agg_view(c, spec)?) {
+                    (AggFunc::Count, _) => {}
+                    (AggFunc::Sum | AggFunc::Avg, AggView::Col(xs)) => {
+                        acc.iter_mut().zip(xs).for_each(|(a, &x)| *a += x)
+                    }
+                    (AggFunc::Sum | AggFunc::Avg, AggView::Const(x)) => {
+                        acc.iter_mut().for_each(|a| *a += x)
+                    }
+                    (AggFunc::Min, AggView::Col(xs)) => {
+                        acc.iter_mut().zip(xs).for_each(|(a, &x)| *a = a.min(x))
+                    }
+                    (AggFunc::Min, AggView::Const(x)) => acc.iter_mut().for_each(|a| *a = a.min(x)),
+                    (AggFunc::Max, AggView::Col(xs)) => {
+                        acc.iter_mut().zip(xs).for_each(|(a, &x)| *a = a.max(x))
+                    }
+                    (AggFunc::Max, AggView::Const(x)) => acc.iter_mut().for_each(|a| *a = a.max(x)),
+                }
+            }
+        }
+        Presence::Mask(m) => {
+            let Some(c) = cell else {
+                for (w, &p) in m.iter().enumerate().take(n) {
+                    if p {
+                        counts[w] += 1;
+                    }
+                }
+                return Ok(());
+            };
+            // Match the oracle's error behavior: a non-numeric argument only
+            // matters on worlds where the row exists.
+            if !m.iter().take(n).any(|&b| b) {
+                return Ok(());
+            }
+            match agg_view(c, spec)? {
+                AggView::Const(x) => {
+                    for (w, &p) in m.iter().enumerate().take(n) {
+                        if !p {
+                            continue;
+                        }
+                        counts[w] += 1;
+                        match spec.func {
+                            AggFunc::Sum | AggFunc::Avg => acc[w] += x,
+                            AggFunc::Min => acc[w] = acc[w].min(x),
+                            AggFunc::Max => acc[w] = acc[w].max(x),
+                            AggFunc::Count => {}
+                        }
+                    }
+                }
+                AggView::Col(xs) => {
+                    for (w, &p) in m.iter().enumerate().take(n) {
+                        if !p {
+                            continue;
+                        }
+                        counts[w] += 1;
+                        match spec.func {
+                            AggFunc::Sum | AggFunc::Avg => acc[w] += xs[w],
+                            AggFunc::Min => acc[w] = acc[w].min(xs[w]),
+                            AggFunc::Max => acc[w] = acc[w].max(xs[w]),
+                            AggFunc::Count => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn eval_agg(
     spec: &AggSpec,
     rows: &[usize],
@@ -321,6 +425,10 @@ fn eval_agg(
             Some(e) => Some(e.eval_bundle(row, bctx)?),
             None => None,
         };
+        if bctx.columnar {
+            accumulate_columnar(spec, row, cell.as_ref(), &mut acc, &mut counts, n)?;
+            continue;
+        }
         for w in 0..n {
             if !row.presence.at(w) {
                 continue;

@@ -40,6 +40,9 @@ impl Engine for DirectEngine {
         catalog: &Catalog,
         ctx: &ExecContext,
     ) -> Result<BundleTable> {
+        if ctx.columnar {
+            return execute_columnar(plan, catalog, ctx);
+        }
         // Evaluate every world independently.
         let mut worlds: Vec<Vec<Vec<Value>>> = Vec::with_capacity(ctx.n_worlds);
         for w in 0..ctx.n_worlds {
@@ -53,6 +56,71 @@ impl Engine for DirectEngine {
         }
         assemble(plan, worlds, ctx.n_worlds)
     }
+}
+
+/// Columnar execution: worlds are still interpreted one at a time (that is
+/// this engine's nature), but each world's row values stream straight into
+/// per-column `f64` buffers instead of being boxed into a
+/// `worlds[w][ri][ci]` value cube and transposed afterwards. Same values in
+/// the same order as [`assemble`], so the output is bit-identical; peak
+/// memory drops from O(worlds × rows × cols) boxed values to the final
+/// columns themselves.
+fn execute_columnar(plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
+    let n = ctx.n_worlds;
+    let ncols = plan.schema.len();
+    let uncertain: Vec<bool> = (0..ncols).map(|ci| plan.schema.column(ci).uncertain).collect();
+    let mut rows0 = 0usize;
+    let mut acc: Vec<Vec<BundleCell>> = Vec::new();
+    for w in 0..n {
+        let wctx = WorldCtx {
+            world: ctx.world_start + w,
+            seeds: &ctx.seeds,
+            params: &ctx.params,
+            functions: catalog,
+        };
+        let rows = run_world(&plan.plan, catalog, &wctx)?;
+        if w == 0 {
+            rows0 = rows.len();
+            acc = rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .enumerate()
+                        .map(|(ci, v)| {
+                            if uncertain[ci] {
+                                let mut xs = Vec::with_capacity(n);
+                                xs.push(v.as_f64().unwrap_or(f64::NAN));
+                                BundleCell::Stoch(xs)
+                            } else {
+                                BundleCell::Det(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            continue;
+        }
+        if rows.len() != rows0 {
+            return Err(PdbError::Unsupported(
+                "direct engine requires world-uniform result cardinality \
+                 (use the dbms engine for stochastic top-level filters)"
+                    .into(),
+            ));
+        }
+        for (ri, row) in rows.into_iter().enumerate() {
+            for (ci, v) in row.into_iter().enumerate() {
+                match &mut acc[ri][ci] {
+                    BundleCell::Stoch(xs) => xs.push(v.as_f64().unwrap_or(f64::NAN)),
+                    BundleCell::Det(d) => {
+                        debug_assert!(*d == v, "deterministic column varies across worlds")
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BundleTable::new(plan.schema.clone(), n);
+    out.rows = acc.into_iter().map(|cells| BundleRow { cells, presence: Presence::All }).collect();
+    Ok(out)
 }
 
 fn run_world(plan: &Plan, catalog: &Catalog, ctx: &WorldCtx<'_>) -> Result<Vec<Vec<Value>>> {

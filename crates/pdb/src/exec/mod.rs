@@ -44,12 +44,25 @@ pub struct ExecContext {
     pub world_start: usize,
     /// Number of worlds to evaluate.
     pub n_worlds: usize,
+    /// Evaluate with the struct-of-arrays slice kernels instead of the
+    /// per-world oracle loops. Both produce bit-identical bundles; the flag
+    /// exists so the oracle stays exercisable (property tests, the CI
+    /// forced-path twin run) while production rides the columnar kernels.
+    pub columnar: bool,
 }
 
 impl ExecContext {
-    /// Context for worlds `[0, n)` with the given parameter values.
+    /// Context for worlds `[0, n)` with the given parameter values, on the
+    /// process-wide [`crate::worlds::eval_path`].
     pub fn new(seeds: SeedSet, params: Vec<f64>, n_worlds: usize) -> Self {
-        ExecContext { seeds, params, world_start: 0, n_worlds }
+        let columnar = crate::worlds::eval_path() == crate::worlds::EvalPath::Columnar;
+        ExecContext { seeds, params, world_start: 0, n_worlds, columnar }
+    }
+
+    /// Override the evaluation kernels for this invocation.
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
     }
 
     /// Shift to a different world window (used to extend fingerprints into

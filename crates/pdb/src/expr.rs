@@ -10,7 +10,14 @@
 //! * **bundled** ([`Expr::eval_bundle`]) — one tuple across *all* worlds of
 //!   a batch at once, producing a [`BundleCell`]. Deterministic
 //!   sub-expressions stay scalar; stochastic ones become per-world vectors.
-//!   This is the MCDB-style path of the *DBMS* engine.
+//!   This is the MCDB-style path of the *DBMS* engine. With
+//!   [`BatchCtx::columnar`] set, the stochastic arms run struct-of-arrays
+//!   slice kernels (operands classified once as constant-vs-column, then
+//!   plain slice loops the autovectorizer can chew on); cleared, they run
+//!   the historical per-world `f64_at` dispatch loops. Both orders of
+//!   operation are identical, so the outputs are bit-identical — the
+//!   per-world path is kept as the oracle the property tests compare
+//!   against.
 //!
 //! Black-box calls are the bridge to the stochastic world: each call site is
 //! assigned a stable id during binding, and the call for world `k` runs
@@ -295,6 +302,48 @@ pub struct BatchCtx<'a> {
     pub params: &'a [f64],
     /// Function lookup.
     pub functions: &'a Catalog,
+    /// Use the struct-of-arrays slice kernels instead of the per-world
+    /// oracle loops. Both perform the same floating-point operations in the
+    /// same order, so results are bit-identical; the oracle stays around as
+    /// the reference the property tests compare against.
+    pub columnar: bool,
+}
+
+/// A bundle cell viewed as a numeric operand: a constant scalar or a
+/// contiguous per-world column. Classifying once per operand lets the
+/// columnar kernels run plain slice loops with no per-world enum dispatch.
+enum NumView<'a> {
+    Const(f64),
+    Col(&'a [f64]),
+}
+
+fn num_view<'a>(c: &'a BundleCell, what: &'static str) -> Result<NumView<'a>> {
+    match c {
+        BundleCell::Det(v) => Ok(NumView::Const(
+            v.as_f64()
+                .ok_or_else(|| PdbError::TypeError(format!("{what} on non-numeric bundle")))?,
+        )),
+        BundleCell::Stoch(xs) => Ok(NumView::Col(xs)),
+    }
+}
+
+/// A bundle cell viewed as a truth operand (SQL truthiness: nonzero and
+/// non-NaN; deterministic non-booleans are falsy, matching the oracle).
+enum BoolView<'a> {
+    Const(bool),
+    Col(&'a [f64]),
+}
+
+fn bool_view(c: &BundleCell) -> BoolView<'_> {
+    match c {
+        BundleCell::Det(v) => BoolView::Const(v.as_bool().unwrap_or(false)),
+        BundleCell::Stoch(xs) => BoolView::Col(xs),
+    }
+}
+
+#[inline]
+fn truthy_f64(x: f64) -> bool {
+    x != 0.0 && !x.is_nan()
 }
 
 fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
@@ -343,6 +392,47 @@ fn arith_f64(op: BinOp, a: f64, b: f64) -> f64 {
         BinOp::Div => a / b,
         BinOp::Mod => a % b,
     }
+}
+
+#[inline]
+fn cmp_f64(op: CmpOp, x: f64, y: f64) -> f64 {
+    match x.partial_cmp(&y) {
+        Some(o) => {
+            if op.apply(o) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        None => f64::NAN,
+    }
+}
+
+/// Columnar arithmetic over a mixed (not all-deterministic) operand pair:
+/// classify once, then run a branch-free slice loop. Element order and
+/// operations match the per-world oracle exactly, so outputs are
+/// bit-identical.
+fn bin_columnar(op: BinOp, a: &BundleCell, b: &BundleCell, n: usize) -> Result<Vec<f64>> {
+    Ok(match (num_view(a, "arithmetic")?, num_view(b, "arithmetic")?) {
+        (NumView::Col(xs), NumView::Col(ys)) => {
+            xs.iter().zip(ys).map(|(&x, &y)| arith_f64(op, x, y)).collect()
+        }
+        (NumView::Col(xs), NumView::Const(y)) => xs.iter().map(|&x| arith_f64(op, x, y)).collect(),
+        (NumView::Const(x), NumView::Col(ys)) => ys.iter().map(|&y| arith_f64(op, x, y)).collect(),
+        (NumView::Const(x), NumView::Const(y)) => vec![arith_f64(op, x, y); n],
+    })
+}
+
+/// Columnar comparison over a mixed operand pair; see [`bin_columnar`].
+fn cmp_columnar(op: CmpOp, a: &BundleCell, b: &BundleCell, n: usize) -> Result<Vec<f64>> {
+    Ok(match (num_view(a, "comparison")?, num_view(b, "comparison")?) {
+        (NumView::Col(xs), NumView::Col(ys)) => {
+            xs.iter().zip(ys).map(|(&x, &y)| cmp_f64(op, x, y)).collect()
+        }
+        (NumView::Col(xs), NumView::Const(y)) => xs.iter().map(|&x| cmp_f64(op, x, y)).collect(),
+        (NumView::Const(x), NumView::Col(ys)) => ys.iter().map(|&y| cmp_f64(op, x, y)).collect(),
+        (NumView::Const(x), NumView::Const(y)) => vec![cmp_f64(op, x, y); n],
+    })
 }
 
 impl Expr {
@@ -433,14 +523,38 @@ impl Expr {
                     args.iter().map(|a| a.eval_bundle(row, ctx)).collect::<Result<Vec<_>>>()?;
                 let mut out = Vec::with_capacity(ctx.n_worlds);
                 let mut buf = vec![0.0f64; argv.len()];
-                for w in 0..ctx.n_worlds {
-                    for (slot, cell) in buf.iter_mut().zip(&argv) {
-                        *slot = cell.f64_at(w).ok_or_else(|| {
-                            PdbError::TypeError(format!("non-numeric argument to `{name}`"))
-                        })?;
+                if ctx.columnar {
+                    // Gather constant arguments into the buffer once; the
+                    // per-world loop only overwrites stochastic slots from
+                    // their contiguous columns before deriving the seed.
+                    let mut stoch_slots: Vec<(usize, &[f64])> = Vec::new();
+                    for (i, cell) in argv.iter().enumerate() {
+                        match cell {
+                            BundleCell::Det(v) => {
+                                buf[i] = v.as_f64().ok_or_else(|| {
+                                    PdbError::TypeError(format!("non-numeric argument to `{name}`"))
+                                })?;
+                            }
+                            BundleCell::Stoch(xs) => stoch_slots.push((i, xs.as_slice())),
+                        }
                     }
-                    let seed = ctx.seeds.seed(ctx.world_start + w).derive(*site);
-                    out.push(f.eval(&buf, seed));
+                    for w in 0..ctx.n_worlds {
+                        for (slot, col) in &stoch_slots {
+                            buf[*slot] = col[w];
+                        }
+                        let seed = ctx.seeds.seed(ctx.world_start + w).derive(*site);
+                        out.push(f.eval(&buf, seed));
+                    }
+                } else {
+                    for w in 0..ctx.n_worlds {
+                        for (slot, cell) in buf.iter_mut().zip(&argv) {
+                            *slot = cell.f64_at(w).ok_or_else(|| {
+                                PdbError::TypeError(format!("non-numeric argument to `{name}`"))
+                            })?;
+                        }
+                        let seed = ctx.seeds.seed(ctx.world_start + w).derive(*site);
+                        out.push(f.eval(&buf, seed));
+                    }
                 }
                 BundleCell::Stoch(out)
             }
@@ -449,6 +563,9 @@ impl Expr {
                 match (a, b) {
                     (BundleCell::Det(x), BundleCell::Det(y)) => {
                         BundleCell::Det(arith(*op, &x, &y)?)
+                    }
+                    (a, b) if ctx.columnar => {
+                        BundleCell::Stoch(bin_columnar(*op, &a, &b, ctx.n_worlds)?)
                     }
                     (a, b) => {
                         let mut out = Vec::with_capacity(ctx.n_worlds);
@@ -472,6 +589,9 @@ impl Expr {
                         Some(ord) => BundleCell::Det(Value::Bool(op.apply(ord))),
                         None => BundleCell::Det(Value::Null),
                     },
+                    (a, b) if ctx.columnar => {
+                        BundleCell::Stoch(cmp_columnar(*op, &a, &b, ctx.n_worlds)?)
+                    }
                     (a, b) => {
                         let mut out = Vec::with_capacity(ctx.n_worlds);
                         for w in 0..ctx.n_worlds {
@@ -587,6 +707,25 @@ fn bool_bundle(
                 _ => Value::Null,
             }))
         }
+        (a, b) if ctx.columnar => {
+            let out = match (bool_view(&a), bool_view(&b)) {
+                (BoolView::Col(xs), BoolView::Col(ys)) => xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(&x, &y)| if f(truthy_f64(x), truthy_f64(y)) { 1.0 } else { 0.0 })
+                    .collect(),
+                (BoolView::Col(xs), BoolView::Const(q)) => {
+                    xs.iter().map(|&x| if f(truthy_f64(x), q) { 1.0 } else { 0.0 }).collect()
+                }
+                (BoolView::Const(p), BoolView::Col(ys)) => {
+                    ys.iter().map(|&y| if f(p, truthy_f64(y)) { 1.0 } else { 0.0 }).collect()
+                }
+                (BoolView::Const(p), BoolView::Const(q)) => {
+                    vec![if f(p, q) { 1.0 } else { 0.0 }; ctx.n_worlds]
+                }
+            };
+            Ok(BundleCell::Stoch(out))
+        }
         (a, b) => {
             let mut out = Vec::with_capacity(ctx.n_worlds);
             for w in 0..ctx.n_worlds {
@@ -690,6 +829,7 @@ mod tests {
             seeds: &seeds,
             params: &[7.0],
             functions: &cat,
+            columnar: false,
         };
         let bundled = e.eval_bundle(&bundle_row, &bctx).unwrap();
         for w in 0..n {
@@ -790,6 +930,53 @@ mod tests {
     }
 
     #[test]
+    fn columnar_kernels_match_oracle_bit_for_bit() {
+        let (schema, cat, seeds) = setup();
+        // A composite expression exercising every kernel: black-box call
+        // with mixed det/stoch args, mixed-arity arithmetic, comparison,
+        // boolean logic, negation, and a stochastic CASE.
+        let noise = Expr::call("Noise", vec![Expr::col("x")]);
+        let exprs = vec![
+            Expr::bin(BinOp::Add, noise.clone(), Expr::lit_f(0.5)),
+            Expr::bin(BinOp::Mul, Expr::lit_f(2.0), noise.clone()),
+            Expr::bin(BinOp::Sub, noise.clone(), noise.clone()),
+            Expr::cmp(CmpOp::Gt, noise.clone(), Expr::lit_f(4.0)),
+            Expr::cmp(CmpOp::Le, Expr::lit_f(4.0), noise.clone()),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Gt, noise.clone(), Expr::lit_f(2.0))),
+                Box::new(Expr::Lit(Value::Bool(true))),
+            ),
+            Expr::Or(
+                Box::new(Expr::Lit(Value::Bool(false))),
+                Box::new(Expr::cmp(CmpOp::Lt, noise.clone(), Expr::lit_f(7.0))),
+            ),
+            Expr::Neg(Box::new(noise.clone())),
+            Expr::Case {
+                whens: vec![(
+                    Expr::cmp(CmpOp::Gt, noise.clone(), Expr::lit_f(5.0)),
+                    Expr::bin(BinOp::Mul, noise, Expr::lit_f(3.0)),
+                )],
+                otherwise: Some(Box::new(Expr::lit_f(-1.0))),
+            },
+        ];
+        let row = BundleRow::det(vec![Value::Float(1.5), Value::Str("a".into())]);
+        for e in exprs {
+            let e = bind(e, &schema, &cat);
+            let mk = |columnar| BatchCtx {
+                world_start: 3,
+                n_worlds: 9,
+                seeds: &seeds,
+                params: &[],
+                functions: &cat,
+                columnar,
+            };
+            let oracle = e.eval_bundle(&row, &mk(false)).unwrap();
+            let col = e.eval_bundle(&row, &mk(true)).unwrap();
+            assert_eq!(oracle, col, "expr {e:?}");
+        }
+    }
+
+    #[test]
     fn bundle_case_with_stochastic_condition() {
         let (schema, cat, seeds) = setup();
         // CASE WHEN Noise(x) > 2 THEN 1 ELSE 0 END across 8 worlds.
@@ -812,8 +999,14 @@ mod tests {
             cells: vec![BundleCell::Det(Value::Float(0.0)), BundleCell::Det(Value::Null)],
             presence: Presence::All,
         };
-        let ctx =
-            BatchCtx { world_start: 0, n_worlds: 8, seeds: &seeds, params: &[], functions: &cat };
+        let ctx = BatchCtx {
+            world_start: 0,
+            n_worlds: 8,
+            seeds: &seeds,
+            params: &[],
+            functions: &cat,
+            columnar: false,
+        };
         match e.eval_bundle(&row, &ctx).unwrap() {
             BundleCell::Stoch(xs) => {
                 assert_eq!(xs.len(), 8);

@@ -17,10 +17,13 @@
 //! * the [`sim::Simulation`] abstraction — "the entire Monte Carlo
 //!   simulation treated as the stochastic function F" — which is the unit
 //!   Jigsaw's fingerprinting operates on;
-//! * parallel world evaluation ([`worlds`]).
+//! * parallel world evaluation ([`worlds`]) producing columnar
+//!   [`batch::WorldBatch`]es, with a per-world oracle path kept
+//!   bit-identical for verification.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bundle;
 pub mod catalog;
 pub mod error;
@@ -34,6 +37,7 @@ pub mod table;
 pub mod value;
 pub mod worlds;
 
+pub use batch::WorldBatch;
 pub use bundle::{BundleCell, BundleRow, BundleTable, Presence};
 pub use catalog::Catalog;
 pub use error::{PdbError, Result};
@@ -45,4 +49,7 @@ pub use schema::{Column, ColumnType, Schema};
 pub use sim::{BlackBoxSim, PlanSim, Simulation};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
-pub use worlds::{eval_worlds, resolve_thread_budget};
+pub use worlds::{
+    eval_batch, eval_batch_on, eval_path, eval_window, eval_window_on, eval_worlds,
+    force_eval_path, resolve_thread_budget, EvalPath,
+};

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use jigsaw_blackbox::{BlackBox, ParamSpace};
 use jigsaw_prng::SeedSet;
 
+use crate::batch::WorldBatch;
 use crate::bundle::BundleCell;
 use crate::catalog::Catalog;
 use crate::error::{PdbError, Result};
@@ -26,9 +27,10 @@ use crate::plan::BoundPlan;
 /// A parameterized Monte Carlo simulation with named scalar outputs.
 ///
 /// Implementations provide the *sequential* window evaluation only; callers
-/// that hold a thread budget go through [`crate::worlds::eval_worlds`],
-/// which splits the window across scoped threads and stitches the results
-/// back bit-identically (worlds are seed-addressed, so sub-windows compose).
+/// that hold a thread budget go through [`crate::worlds::eval_batch`] (or
+/// the per-world [`crate::worlds::eval_worlds`] oracle), which splits the
+/// window across scoped threads and stitches the results back
+/// bit-identically (worlds are seed-addressed, so sub-windows compose).
 pub trait Simulation: Send + Sync {
     /// Names of the output columns.
     fn columns(&self) -> &[String];
@@ -38,8 +40,20 @@ pub trait Simulation: Send + Sync {
 
     /// Evaluate output columns for worlds `start .. start+count` at `point`.
     ///
-    /// Returns `out[col][world_in_window]`.
+    /// Returns `out[col][world_in_window]`. This is the per-world **oracle**
+    /// path: implementations walk worlds one at a time, and the columnar
+    /// path is property-tested bit-identical against it.
     fn eval_worlds(&self, point: &[f64], start: usize, count: usize) -> Result<Vec<Vec<f64>>>;
+
+    /// Evaluate the same window into a columnar [`WorldBatch`] in bulk.
+    ///
+    /// The default bridges through [`Simulation::eval_worlds`];
+    /// implementations whose engines have struct-of-arrays kernels
+    /// ([`PlanSim`]) override it to fill contiguous columns directly. Must
+    /// be **bit-identical** to the oracle path for every window.
+    fn eval_batch(&self, point: &[f64], start: usize, count: usize) -> Result<WorldBatch> {
+        Ok(WorldBatch::from_columns(self.eval_worlds(point, start, count)?, count))
+    }
 }
 
 /// A single black-box function exposed as a one-column simulation — the
@@ -108,6 +122,47 @@ impl PlanSim {
     pub fn engine_name(&self) -> &str {
         self.engine.name()
     }
+
+    /// Run the plan over one world window and return the single logical
+    /// row's cells. `columnar` selects the engine kernels.
+    fn execute_row(
+        &self,
+        point: &[f64],
+        start: usize,
+        count: usize,
+        columnar: bool,
+    ) -> Result<Vec<BundleCell>> {
+        let ctx = ExecContext {
+            seeds: self.seeds,
+            params: point.to_vec(),
+            world_start: start,
+            n_worlds: count,
+            columnar,
+        };
+        let mut table = self.engine.execute(&self.plan, &self.catalog, &ctx)?;
+        if table.len() != 1 {
+            return Err(PdbError::Unsupported(format!(
+                "simulation queries must produce exactly one row, got {}",
+                table.len()
+            )));
+        }
+        Ok(table.rows.pop().expect("length checked above").cells)
+    }
+
+    /// Convert the row's cells into per-column world vectors: Det cells
+    /// broadcast across the window, Stoch cells are already columns.
+    fn cells_to_columns(&self, cells: Vec<BundleCell>, count: usize) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(self.columns.len());
+        for cell in cells {
+            out.push(match cell {
+                BundleCell::Det(v) => v
+                    .broadcast_f64(count)
+                    .ok_or_else(|| PdbError::TypeError("non-numeric simulation output".into()))?,
+                BundleCell::Stoch(xs) => xs,
+            });
+        }
+        Ok(out)
+    }
 }
 
 impl Simulation for PlanSim {
@@ -120,40 +175,29 @@ impl Simulation for PlanSim {
     }
 
     fn eval_worlds(&self, point: &[f64], start: usize, count: usize) -> Result<Vec<Vec<f64>>> {
-        let ctx = ExecContext {
-            seeds: self.seeds,
-            params: point.to_vec(),
-            world_start: start,
-            n_worlds: count,
-        };
-        let mut table = self.engine.execute(&self.plan, &self.catalog, &ctx)?;
-        if table.len() != 1 {
-            return Err(PdbError::Unsupported(format!(
-                "simulation queries must produce exactly one row, got {}",
-                table.len()
-            )));
+        // A zero-world window has no worlds to disagree about: skip the
+        // engines (whose bundle tables require at least one world) and
+        // return the schema's worth of empty columns.
+        if count == 0 {
+            return Ok(vec![Vec::new(); self.columns.len()]);
         }
-        let row = table.rows.pop().expect("length checked above");
-        let mut out = Vec::with_capacity(self.columns.len());
-        for cell in row.cells {
-            out.push(match cell {
-                BundleCell::Det(v) => {
-                    let x = v.as_f64().ok_or_else(|| {
-                        PdbError::TypeError("non-numeric simulation output".into())
-                    })?;
-                    vec![x; count]
-                }
-                BundleCell::Stoch(xs) => xs,
-            });
+        let cells = self.execute_row(point, start, count, false)?;
+        self.cells_to_columns(cells, count)
+    }
+
+    fn eval_batch(&self, point: &[f64], start: usize, count: usize) -> Result<WorldBatch> {
+        if count == 0 {
+            return Ok(WorldBatch::empty(self.columns.len()));
         }
-        Ok(out)
+        let cells = self.execute_row(point, start, count, true)?;
+        Ok(WorldBatch::from_columns(self.cells_to_columns(cells, count)?, count))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{DbmsEngine, DirectEngine};
+    use crate::exec::{DbmsEngine, DirectEngine, Engine};
     use crate::expr::Expr;
     use crate::plan::Plan;
     use jigsaw_blackbox::{FnBlackBox, ParamDecl};
@@ -189,6 +233,67 @@ mod tests {
         let out = sim.eval_worlds(&[5.0], 0, 3).unwrap();
         assert_eq!(out, vec![vec![5.0, 5.0, 5.0]]);
         assert_eq!(sim.columns(), &["out".to_string()]);
+    }
+
+    #[test]
+    fn plan_sim_zero_count_is_empty_on_both_engines() {
+        // Mirrors worlds::tests::zero_count_is_empty for the plan-backed
+        // path: a zero-world window must not reach the engines (whose
+        // bundle tables assert n_worlds > 0) and must yield one empty
+        // column per output — for Det-shaped and Stoch-shaped cells alike.
+        let seeds = SeedSet::new(4);
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| {
+            p[0] + (s.0 % 13) as f64
+        })));
+        let cat = Arc::new(cat);
+        // `det` broadcasts a parameter (Det cell), `sto` calls a black box
+        // (Stoch cell): both shapes must collapse to empty columns.
+        let plan = Plan::OneRow
+            .project(vec![
+                ("det", Expr::param("w")),
+                ("sto", Expr::call("F", vec![Expr::param("w")])),
+            ])
+            .bind(&cat, &["w".to_string()])
+            .unwrap();
+        let engines: Vec<Arc<dyn Engine>> =
+            vec![Arc::new(DirectEngine::new()), Arc::new(DbmsEngine::new())];
+        for engine in engines {
+            let sim = PlanSim::new(engine, plan.clone(), cat.clone(), space(), seeds);
+            let name = sim.engine_name().to_string();
+            let out = sim.eval_worlds(&[5.0], 0, 0).unwrap();
+            assert_eq!(out, vec![Vec::<f64>::new(), Vec::<f64>::new()], "engine={name}");
+            let batch = sim.eval_batch(&[5.0], 7, 0).unwrap();
+            assert_eq!(batch.n_worlds(), 0, "engine={name}");
+            assert_eq!(batch.n_columns(), 2, "engine={name}");
+            assert!(batch.column(0).is_empty() && batch.column(1).is_empty(), "engine={name}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_oracle_on_both_engines() {
+        let seeds = SeedSet::new(9);
+        let mut cat = Catalog::new();
+        cat.add_function(Arc::new(FnBlackBox::new("F", 1, |p: &[f64], s| {
+            p[0] * 0.5 + (s.0 % 31) as f64
+        })));
+        let cat = Arc::new(cat);
+        let plan = Plan::OneRow
+            .project(vec![
+                ("det", Expr::param("w")),
+                ("sto", Expr::call("F", vec![Expr::param("w")])),
+            ])
+            .bind(&cat, &["w".to_string()])
+            .unwrap();
+        let engines: Vec<Arc<dyn Engine>> =
+            vec![Arc::new(DirectEngine::new()), Arc::new(DbmsEngine::new())];
+        for engine in engines {
+            let sim = PlanSim::new(engine, plan.clone(), cat.clone(), space(), seeds);
+            let name = sim.engine_name().to_string();
+            let oracle = sim.eval_worlds(&[4.0], 2, 11).unwrap();
+            let batch = sim.eval_batch(&[4.0], 2, 11).unwrap();
+            assert_eq!(batch.columns(), &oracle[..], "engine={name}");
+        }
     }
 
     #[test]

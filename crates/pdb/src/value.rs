@@ -63,6 +63,13 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Broadcast a deterministic scalar across `n` worlds as one contiguous
+    /// column — the columnar form of "this value is certain". `None` for
+    /// non-numeric values.
+    pub fn broadcast_f64(&self, n: usize) -> Option<Vec<f64>> {
+        self.as_f64().map(|x| vec![x; n])
+    }
+
     /// SQL three-valued comparison. `None` when either side is NULL or the
     /// types are incomparable.
     pub fn compare(&self, other: &Value) -> Option<Ordering> {

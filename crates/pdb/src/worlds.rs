@@ -7,17 +7,63 @@
 //! mirrors MCDB's parallel world evaluation (paper §2.1: "queries are run on
 //! each sampled world in parallel").
 //!
-//! [`eval_worlds`] unifies the two historical evaluation paths — the
-//! sequential [`Simulation::eval_worlds`] trait method and the scoped-thread
-//! splitter — behind one function that accepts a thread budget. Both
-//! [`crate::BlackBoxSim`] and [`crate::PlanSim`] go through it unchanged:
-//! each sub-window executes exactly as the sequential path would over that
+//! Two entry points share the splitting/stitching machinery:
+//!
+//! * [`eval_batch`] — the production path. Evaluates a window into a
+//!   columnar [`WorldBatch`] on the configured [`EvalPath`]: `Columnar`
+//!   (default) drives [`Simulation::eval_batch`], whose engines fill
+//!   contiguous `f64` columns with slice kernels; `Oracle` drives the
+//!   historical per-world [`Simulation::eval_worlds`] path. Both produce
+//!   bit-identical bytes — the columnar kernels perform the same
+//!   floating-point operations in the same order — which CI pins with a
+//!   forced-path twin-run diff and `tests/columnar_oracle.rs` property
+//!   tests.
+//! * [`eval_worlds`] — the per-world oracle, kept as the reference
+//!   implementation and for callers that want the `out[col][world]` shape.
+//!
+//! Each sub-window executes exactly as the sequential path would over that
 //! window (same seeds per world), and windows are stitched back in
 //! enumeration order, so the output is **bit-identical for any thread
-//! count**.
+//! count**. Panics inside a simulation are caught at this boundary — on the
+//! caller thread and on workers alike — and surfaced as
+//! [`PdbError::WorkerPanic`], so a buggy black box cannot abort a long-lived
+//! host process (the session server answers `ERR` and keeps serving).
 
-use crate::error::Result;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use crate::batch::WorldBatch;
+use crate::error::{PdbError, Result};
 use crate::sim::Simulation;
+
+/// Which world-evaluation implementation [`eval_batch`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Struct-of-arrays kernels over contiguous columns (the default).
+    Columnar,
+    /// The historical per-world reference path.
+    Oracle,
+}
+
+static EVAL_PATH: OnceLock<EvalPath> = OnceLock::new();
+
+/// The process-wide evaluation path. Resolved once, from the
+/// `JIGSAW_EVAL_PATH` environment variable (`oracle` selects the per-world
+/// reference path; anything else means columnar) unless
+/// [`force_eval_path`] ran first.
+pub fn eval_path() -> EvalPath {
+    *EVAL_PATH.get_or_init(|| match std::env::var("JIGSAW_EVAL_PATH") {
+        Ok(v) if v.eq_ignore_ascii_case("oracle") => EvalPath::Oracle,
+        _ => EvalPath::Columnar,
+    })
+}
+
+/// Pin the process-wide evaluation path (first caller wins; the repro
+/// binary's `--eval-path` flag goes through here before any evaluation).
+/// Returns the path actually in effect.
+pub fn force_eval_path(path: EvalPath) -> EvalPath {
+    *EVAL_PATH.get_or_init(|| path)
+}
 
 /// Resolve a thread-budget knob: `0` means "all available cores", any other
 /// value is taken literally. Every budgeted entry point (this module,
@@ -30,23 +76,69 @@ pub fn resolve_thread_budget(threads: usize) -> usize {
     }
 }
 
-/// Evaluate `sim` at `point` over worlds `[start, start+count)` using up to
-/// `threads` OS threads (`0` = all available cores). Returns
-/// `out[col][world_in_window]`, identical to the sequential
-/// [`Simulation::eval_worlds`] for every thread budget.
-pub fn eval_worlds(
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn catch_panics<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(f))
+        .unwrap_or_else(|p| Err(PdbError::WorkerPanic(panic_message(p))))
+}
+
+/// Evaluate one window **sequentially** on an explicit path, converting any
+/// simulation panic into [`PdbError::WorkerPanic`]. This is the per-task
+/// unit the threaded entry points (and `jigsaw-core`'s worker pools)
+/// schedule: because the panic is caught inside the task, no unwinding ever
+/// crosses a pool or scope boundary.
+pub fn eval_window_on(
+    sim: &dyn Simulation,
+    point: &[f64],
+    start: usize,
+    count: usize,
+    path: EvalPath,
+) -> Result<WorldBatch> {
+    catch_panics(|| match path {
+        EvalPath::Columnar => sim.eval_batch(point, start, count),
+        EvalPath::Oracle => {
+            Ok(WorldBatch::from_columns(sim.eval_worlds(point, start, count)?, count))
+        }
+    })
+}
+
+/// [`eval_window_on`] on the process-wide [`eval_path`] — the per-task unit
+/// `jigsaw-core`'s worker pools schedule.
+pub fn eval_window(
+    sim: &dyn Simulation,
+    point: &[f64],
+    start: usize,
+    count: usize,
+) -> Result<WorldBatch> {
+    eval_window_on(sim, point, start, count, eval_path())
+}
+
+/// [`eval_batch`] with an explicit path — the handle benches, experiments,
+/// and property tests use to compare both implementations inside one
+/// process without touching the global switch.
+pub fn eval_batch_on(
     sim: &dyn Simulation,
     point: &[f64],
     start: usize,
     count: usize,
     threads: usize,
-) -> Result<Vec<Vec<f64>>> {
+    path: EvalPath,
+) -> Result<WorldBatch> {
     let threads = resolve_thread_budget(threads).min(count.max(1));
     if threads <= 1 || count == 0 {
-        return sim.eval_worlds(point, start, count);
+        return eval_window_on(sim, point, start, count, path);
     }
     let chunk = count.div_ceil(threads);
-    let results: Vec<Result<Vec<Vec<f64>>>> = std::thread::scope(|scope| {
+    let results: Vec<Result<WorldBatch>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let lo = start + t * chunk;
@@ -54,19 +146,53 @@ pub fn eval_worlds(
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move || sim.eval_worlds(point, lo, hi - lo)));
+            handles.push(scope.spawn(move || eval_window_on(sim, point, lo, hi - lo, path)));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // eval_window_on catches panics inside the task; this arm
+                // only fires for panics outside it (e.g. allocation
+                // failures in the spawn glue) — still a typed error, never
+                // an abort.
+                Err(p) => Err(PdbError::WorkerPanic(panic_message(p))),
+            })
+            .collect()
     });
-    let n_cols = sim.columns().len();
-    let mut out = vec![Vec::with_capacity(count); n_cols];
+    let mut out = WorldBatch::empty(sim.columns().len());
     for r in results {
-        let part = r?;
-        for (c, col) in part.into_iter().enumerate() {
-            out[c].extend(col);
-        }
+        out.extend(r?);
     }
     Ok(out)
+}
+
+/// Evaluate `sim` at `point` over worlds `[start, start+count)` into a
+/// columnar [`WorldBatch`], using up to `threads` OS threads (`0` = all
+/// available cores) and the process-wide [`eval_path`]. Bit-identical to
+/// the sequential path for every thread budget.
+pub fn eval_batch(
+    sim: &dyn Simulation,
+    point: &[f64],
+    start: usize,
+    count: usize,
+    threads: usize,
+) -> Result<WorldBatch> {
+    eval_batch_on(sim, point, start, count, threads, eval_path())
+}
+
+/// Evaluate `sim` at `point` over worlds `[start, start+count)` using up to
+/// `threads` OS threads (`0` = all available cores) on the **per-world
+/// oracle path**. Returns `out[col][world_in_window]`, identical to the
+/// sequential [`Simulation::eval_worlds`] for every thread budget.
+pub fn eval_worlds(
+    sim: &dyn Simulation,
+    point: &[f64],
+    start: usize,
+    count: usize,
+    threads: usize,
+) -> Result<Vec<Vec<f64>>> {
+    eval_batch_on(sim, point, start, count, threads, EvalPath::Oracle).map(WorldBatch::into_columns)
 }
 
 #[cfg(test)]
@@ -127,6 +253,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_paths_agree_for_every_budget() {
+        for s in [&sim() as &dyn Simulation, &plan_sim() as &dyn Simulation] {
+            let oracle = eval_worlds(s, &[1.0], 3, 41, 1).unwrap();
+            for threads in [1, 2, 7] {
+                for path in [EvalPath::Columnar, EvalPath::Oracle] {
+                    let batch = eval_batch_on(s, &[1.0], 3, 41, threads, path).unwrap();
+                    assert_eq!(batch.n_worlds(), 41);
+                    assert_eq!(batch.columns(), &oracle[..], "threads={threads} path={path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn offset_windows_compose() {
         let s = sim();
         let all = eval_worlds(&s, &[2.0], 0, 50, 4).unwrap();
@@ -141,6 +281,9 @@ mod tests {
         let s = sim();
         let out = eval_worlds(&s, &[0.0], 0, 0, 4).unwrap();
         assert!(out[0].is_empty());
+        let batch = eval_batch_on(&s, &[0.0], 0, 0, 4, EvalPath::Columnar).unwrap();
+        assert_eq!(batch.n_worlds(), 0);
+        assert!(batch.column(0).is_empty());
     }
 
     #[test]
@@ -159,5 +302,32 @@ mod tests {
         let s = sim();
         let seq = s.eval_worlds(&[3.0], 0, 17).unwrap();
         assert_eq!(eval_worlds(&s, &[3.0], 0, 17, 0).unwrap(), seq);
+    }
+
+    fn panicking_sim() -> BlackBoxSim {
+        BlackBoxSim::new(
+            Arc::new(FnBlackBox::new("Boom", 1, |_: &[f64], _| -> f64 {
+                panic!("deliberate test panic")
+            })),
+            ParamSpace::new(vec![ParamDecl::range("x", 0, 3, 1)]),
+            SeedSet::new(21),
+        )
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        // A panicking simulation must surface as PdbError::WorkerPanic on
+        // the sequential path, the scoped-thread path, and the batched
+        // entry — never abort the process.
+        let s = panicking_sim();
+        for threads in [1, 4] {
+            let err = eval_worlds(&s, &[0.0], 0, 8, threads).unwrap_err();
+            assert!(
+                matches!(&err, PdbError::WorkerPanic(m) if m.contains("deliberate test panic")),
+                "threads={threads}: {err}"
+            );
+            let err = eval_batch_on(&s, &[0.0], 0, 8, threads, EvalPath::Columnar).unwrap_err();
+            assert!(matches!(err, PdbError::WorkerPanic(_)), "threads={threads}");
+        }
     }
 }

@@ -7,8 +7,10 @@
 //! owns the (nonblocking) listener and deals accepted connections round-robin
 //! across the loops; every loop then repeatedly *pumps* its connections —
 //! flush pending output, read what the socket has, execute any complete
-//! frames — and parks for 50µs only when a full pass made no progress
-//! (short enough to stay invisible next to a single world evaluation).
+//! frames — and parks only when a full pass made no progress, backing off
+//! exponentially from 50µs (invisible next to a single world evaluation)
+//! to ~5ms while the quiet spell lasts, and snapping back to the floor on
+//! any readiness.
 //! Sweeps and ticks execute inline on the loop thread: their parallelism
 //! comes from the shared [`PersistentPool`], not from connection threads,
 //! and the store lock serializes concurrent sweeps of one scenario anyway
@@ -283,6 +285,14 @@ fn event_loop(
     // Round-robin seat for the next accepted connection: 0 is this loop,
     // 1..=peers.len() the other loops.
     let mut next_seat = 0usize;
+    // Idle backoff: the first idle pass parks 50µs (invisible next to a
+    // world evaluation); consecutive idle passes double the park up to
+    // ~5ms, so a quiet server costs ~200 wakeups/s per loop instead of
+    // 20000. Any readiness resets to the floor, keeping first-byte
+    // latency on a busy connection unchanged.
+    const IDLE_FLOOR: Duration = Duration::from_micros(50);
+    const IDLE_CEIL: Duration = Duration::from_micros(5_000);
+    let mut idle_park = IDLE_FLOOR;
     while !state.shutdown.load(Ordering::SeqCst) {
         let mut progress = false;
         if let Some(listener) = &listener {
@@ -316,10 +326,12 @@ fn event_loop(
             status.open
         });
         if !progress {
-            // Nothing moved on any connection: park briefly. 50µs keeps the
-            // idle loops near-free without adding measurable latency to the
-            // request path (a single world evaluation costs more).
-            std::thread::sleep(Duration::from_micros(50));
+            // Nothing moved on any connection: park, backing off while the
+            // quiet spell lasts.
+            std::thread::sleep(idle_park);
+            idle_park = (idle_park * 2).min(IDLE_CEIL);
+        } else {
+            idle_park = IDLE_FLOOR;
         }
     }
 }

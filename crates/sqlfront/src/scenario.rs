@@ -115,10 +115,13 @@ impl Scenario {
     ) -> Result<BatchOutcome> {
         let sim = self.simulation(engine, catalog, seeds);
         let sweep = SweepRunner::new(cfg).run(&sim)?;
-        let selection = self
-            .goal
-            .as_ref()
-            .and_then(|goal| selector::select(&self.space, &sweep, goal, &self.columns));
+        // A NaN constraint metric is a typed error (the selector refuses to
+        // fold it away), which `?` forwards as `SqlError::Pdb` so servers
+        // answer ERR instead of publishing an unvalidated selection.
+        let selection = match &self.goal {
+            Some(goal) => selector::select(&self.space, &sweep, goal, &self.columns)?,
+            None => None,
+        };
         Ok(BatchOutcome { sweep, selection })
     }
 }

@@ -269,6 +269,61 @@ fn protocol_errors_keep_the_connection_alive() {
     handle.shutdown().expect("shutdown");
 }
 
+/// A panic inside a black-box model must come back as `ERR exec` — the
+/// typed [`WorkerPanic`] path — and leave the event loop answering
+/// subsequent requests, instead of aborting the server the way the old
+/// `join().expect("worker panicked")` did.
+///
+/// [`WorkerPanic`]: jigsaw::pdb::PdbError::WorkerPanic
+#[test]
+fn worker_panic_answers_err_and_server_stays_up() {
+    use jigsaw::blackbox::FnBlackBox;
+    let mut catalog = jigsaw::server::default_catalog();
+    catalog.add_function(Arc::new(FnBlackBox::new("Boom", 1, |_p: &[f64], _s| -> f64 {
+        panic!("deliberate test panic")
+    })));
+    let handle = JigsawServer::builder()
+        .config(jigsaw_cfg(4))
+        .master_seed(MASTER_SEED)
+        .catalog(catalog)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .serve()
+        .expect("start");
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    let src = "DECLARE PARAMETER @p AS RANGE 0 TO 9 STEP BY 1; \
+         SELECT Boom(@p) AS out INTO results;";
+    match c.request(&Request::Compile { src: src.into() }).expect("compile") {
+        Response::Compiled { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    // ESTIMATE evaluates worlds inline on the loop thread.
+    match c.request(&Request::Estimate { point: 0, col: 0 }).expect("estimate still answers") {
+        Response::Error { code, message } => {
+            assert_eq!(code, jigsaw::server::ErrorCode::Exec);
+            assert!(message.contains("panicked"), "message: {message}");
+        }
+        other => panic!("panic must answer ERR, got {other:?}"),
+    }
+    // SWEEP panics inside the worker pool's task closures.
+    match c.request(&Request::Sweep).expect("sweep still answers") {
+        Response::Error { code, message } => {
+            assert_eq!(code, jigsaw::server::ErrorCode::Exec);
+            assert!(message.contains("panicked"), "message: {message}");
+        }
+        other => panic!("panic must answer ERR, got {other:?}"),
+    }
+    // The loop thread (and its pool) survived: a healthy scenario on the
+    // same connection still does real work.
+    compile(&mut c, "post-panic client");
+    match c.request(&Request::Estimate { point: 3, col: 0 }).expect("estimate") {
+        Response::Estimated { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(c.request(&Request::Quit).expect("quit"), Response::Bye);
+    handle.shutdown().expect("shutdown");
+}
+
 /// `SAVE` writes a loadable snapshot; shutdown re-snapshots it; a fresh
 /// server `LOAD`s it and serves warm estimates immediately.
 #[test]
