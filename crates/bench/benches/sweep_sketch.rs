@@ -1,0 +1,58 @@
+//! Criterion bench for the sketch-then-refine sweep executor: the same
+//! 600-point E5-scale workload as `sweep_parallel`, exhaustive vs
+//! sketched, on a reuse-hostile model (distinct cubic shape per point,
+//! where pruning is the only lever) and on the reuse-friendly SynthBasis
+//! (where basis reuse already ate the cost and sketching must not regress
+//! it). `repro --sketch` reports the same comparison with world counts and
+//! selection-quality verification.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_blackbox::models::SynthBasis;
+use jigsaw_blackbox::{BlackBox, FnBlackBox, ParamDecl, ParamSpace, Workload};
+use jigsaw_core::{JigsawConfig, SweepRunner};
+use jigsaw_pdb::BlackBoxSim;
+use jigsaw_prng::SeedSet;
+
+/// Same per-invocation model cost as `sweep_parallel`: emulates the
+/// expensive external models the paper targets.
+const WORK: Workload = Workload(2000);
+
+fn no_reuse_model() -> Arc<dyn BlackBox> {
+    Arc::new(FnBlackBox::new("NoReuse", 1, |p: &[f64], seed| {
+        use jigsaw_prng::{dist::Normal, Xoshiro256pp};
+        WORK.burn();
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let z = Normal::standard(&mut rng);
+        p[0] * 0.02 + z + (1.0 + p[0]) * z * z * z * 0.05
+    }))
+}
+
+fn sweep_sketch(c: &mut Criterion) {
+    let points = 600usize;
+    let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points as i64 - 1, 1)]);
+    let cases: Vec<(&str, Arc<dyn BlackBox>)> = vec![
+        ("no_reuse", no_reuse_model()),
+        ("synth", Arc::new(SynthBasis::new(points / 10).with_work(WORK))),
+    ];
+
+    let mut group = c.benchmark_group("sweep_sketch/600pts");
+    group.sample_size(10);
+    for (name, bb) in cases {
+        let sim = BlackBoxSim::new(bb, space.clone(), SeedSet::new(11));
+        let mut exhaustive = SweepRunner::new(JigsawConfig::paper().with_n_samples(200));
+        group.bench_function(BenchmarkId::new(name, "exhaustive"), |b| {
+            b.iter(|| exhaustive.run(&sim).unwrap())
+        });
+        let mut sketched =
+            SweepRunner::new(JigsawConfig::paper().with_n_samples(200).with_sketch(20, 4));
+        group.bench_function(BenchmarkId::new(name, "sketch_20_4"), |b| {
+            b.iter(|| sketched.run(&sim).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_sketch);
+criterion_main!(benches);

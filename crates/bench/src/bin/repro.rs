@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--exp e1,e2,...] [--threads N] [--deterministic]
 //!       [--save-basis DIR] [--load-basis DIR] [--eval-path columnar|oracle]
+//!       [--sketch] [--sketch-budget S] [--refine-top-k K]
 //! ```
 //!
 //! Default runs all experiments at paper scale; `--quick` shrinks workloads
@@ -27,10 +28,17 @@
 //! columnar layout is a pure performance change, so two deterministic runs
 //! differing only in this flag emit byte-identical tables — the CI smoke
 //! job diffs exactly that pair as well.
+//!
+//! `--sketch` is shorthand for `--exp e12`: run only the sketch-then-refine
+//! comparison. `--sketch-budget S` / `--refine-top-k K` override E12's
+//! sketch knobs (defaults: `2m` coarse worlds per point, frontier width 4).
+//! Sketch pruning is a pure function of (config, seed), so deterministic
+//! sketch runs are byte-identical across thread budgets — the CI smoke job
+//! diffs a `--sketch --threads 1` run against a `--threads 4` one.
 
 use std::path::PathBuf;
 
-use jigsaw_bench::experiments::{e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
+use jigsaw_bench::experiments::{e1, e10, e11, e12, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -54,6 +62,17 @@ fn main() {
     };
     let save_basis = dir_flag("--save-basis");
     let load_basis = dir_flag("--load-basis");
+    let sketch_only = args.iter().any(|a| a == "--sketch");
+    let usize_flag = |flag: &str| -> Option<usize> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a positive integer");
+                std::process::exit(2);
+            })
+        })
+    };
+    let sketch_budget = usize_flag("--sketch-budget");
+    let refine_top_k = usize_flag("--refine-top-k");
     if let Some(i) = args.iter().position(|a| a == "--eval-path") {
         let path = match args.get(i + 1).map(String::as_str) {
             Some("columnar") => jigsaw_pdb::EvalPath::Columnar,
@@ -72,7 +91,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect())
         .unwrap_or_default();
-    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    // `--sketch` narrows the run to E12, exactly like `--exp e12`.
+    let want = |name: &str| {
+        if sketch_only {
+            name == "e12"
+        } else {
+            selected.is_empty() || selected.iter().any(|s| s == name)
+        }
+    };
     let render =
         |t: &Table| if deterministic { t.to_markdown_deterministic() } else { t.to_markdown() };
 
@@ -147,6 +173,16 @@ fn main() {
     if want("e11") {
         eprintln!("[repro] E11: per-world vs columnar world evaluation…");
         println!("{}", render(&e11::report(&e11::run(scale))));
+    }
+    if want("e12") {
+        eprintln!("[repro] E12: sketch-then-refine vs exhaustive sweep…");
+        let (default_budget, default_k) = e12::default_knobs(scale);
+        let rows = e12::run(
+            scale,
+            sketch_budget.unwrap_or(default_budget),
+            refine_top_k.unwrap_or(default_k),
+        );
+        println!("{}", render(&e12::report(&rows)));
     }
     eprintln!("[repro] done.");
 }

@@ -15,6 +15,7 @@
 //! | [`experiments::e9`] | Cold vs snapshot-warm-started sweeps (reproduction extension) |
 //! | [`experiments::e10`] | Session server: multi-client warm-store sharing (reproduction extension) |
 //! | [`experiments::e11`] | Per-world vs columnar world evaluation (reproduction extension) |
+//! | [`experiments::e12`] | Sketch-then-refine vs exhaustive sweep (reproduction extension) |
 //!
 //! The `repro` binary prints them as text tables; `EXPERIMENTS.md` records
 //! paper-vs-measured values. Absolute times differ from the paper's 2009-era

@@ -51,6 +51,19 @@ pub struct JigsawConfig {
     /// Save the committed basis store to this snapshot after the sweep, so
     /// the next session over the same scenario starts warm.
     pub basis_save: Option<PathBuf>,
+    /// Coarse Monte Carlo budget `s` for the sketch pass of a
+    /// sketch-then-refine sweep (`fingerprint_len <= s <= n_samples`).
+    /// `0` (the default) disables sketching: the sweep is exhaustive at
+    /// full budget. Sketch knobs never enter basis identity — refined
+    /// bases are full-budget bases, snapshot-compatible with exhaustive
+    /// sweeps.
+    pub sketch_budget: usize,
+    /// Frontier width `K` of the refine pass: per output column the `K`
+    /// highest and `K` lowest coarse expectations survive, plus `K`
+    /// evenly-strided representative points. Only meaningful when
+    /// `sketch_budget > 0`; `refine_top_k >= |space|` degenerates to the
+    /// exhaustive sweep bit-for-bit.
+    pub refine_top_k: usize,
 }
 
 impl JigsawConfig {
@@ -66,6 +79,8 @@ impl JigsawConfig {
             wave_size: 0,
             basis_load: None,
             basis_save: None,
+            sketch_budget: 0,
+            refine_top_k: 0,
         }
     }
 
@@ -117,6 +132,33 @@ impl JigsawConfig {
         self
     }
 
+    /// Enable sketch-then-refine: coarse-sweep every point at `budget`
+    /// worlds, then re-run only the surviving frontier (width `top_k`) at
+    /// full budget.
+    pub fn with_sketch(mut self, budget: usize, top_k: usize) -> Self {
+        self.sketch_budget = budget;
+        self.refine_top_k = top_k;
+        self
+    }
+
+    /// Override the coarse world budget of the sketch pass (`0` = sketching
+    /// off).
+    pub fn with_sketch_budget(mut self, budget: usize) -> Self {
+        self.sketch_budget = budget;
+        self
+    }
+
+    /// Override the refine pass's frontier width `K`.
+    pub fn with_refine_top_k(mut self, top_k: usize) -> Self {
+        self.refine_top_k = top_k;
+        self
+    }
+
+    /// Whether this configuration runs sweeps in sketch-then-refine mode.
+    pub fn sketch_enabled(&self) -> bool {
+        self.sketch_budget > 0
+    }
+
     /// The concrete thread count: `threads`, with `0` resolved to the
     /// number of available cores (shared sentinel semantics — see
     /// [`jigsaw_pdb::resolve_thread_budget`]).
@@ -144,6 +186,21 @@ impl JigsawConfig {
             self.fingerprint_len
         );
         assert!(self.tolerance >= 0.0 && self.tolerance.is_finite());
+        if self.sketch_enabled() {
+            assert!(
+                self.sketch_budget >= self.fingerprint_len,
+                "sketch_budget ({}) must be >= fingerprint_len ({})",
+                self.sketch_budget,
+                self.fingerprint_len
+            );
+            assert!(
+                self.sketch_budget <= self.n_samples,
+                "sketch_budget ({}) must be <= n_samples ({})",
+                self.sketch_budget,
+                self.n_samples
+            );
+            assert!(self.refine_top_k >= 1, "refine_top_k must be >= 1 when sketching is enabled");
+        }
     }
 }
 
@@ -200,6 +257,39 @@ mod tests {
         assert_eq!(c.basis_load.as_deref(), Some(std::path::Path::new("/tmp/a.snap")));
         assert_eq!(c.basis_save.as_deref(), Some(std::path::Path::new("/tmp/b.snap")));
         c.validate();
+    }
+
+    #[test]
+    fn sketch_knobs_default_off_and_chain() {
+        let c = JigsawConfig::paper();
+        assert!(!c.sketch_enabled());
+        c.validate();
+        let c = c.with_sketch(20, 8);
+        assert!(c.sketch_enabled());
+        assert_eq!(c.sketch_budget, 20);
+        assert_eq!(c.refine_top_k, 8);
+        c.validate();
+        let c = JigsawConfig::paper().with_sketch_budget(10).with_refine_top_k(4);
+        assert!(c.sketch_enabled());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch_budget (5) must be >= fingerprint_len")]
+    fn sketch_budget_below_fingerprint_rejected() {
+        JigsawConfig::paper().with_sketch(5, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <= n_samples")]
+    fn sketch_budget_above_n_rejected() {
+        JigsawConfig::paper().with_n_samples(100).with_sketch(200, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "refine_top_k must be >= 1")]
+    fn sketch_without_frontier_width_rejected() {
+        JigsawConfig::paper().with_sketch_budget(20).validate();
     }
 
     #[test]

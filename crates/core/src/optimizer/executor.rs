@@ -43,10 +43,19 @@
 //! counterpart — only the cost counters (worlds evaluated, full
 //! simulations) shrink.
 //!
+//! ## Sketch-then-refine
+//!
+//! With [`JigsawConfig::sketch_budget`] set, [`execute_sketch_refine`]
+//! wraps the wave loop in two passes: a coarse sweep of the whole space at
+//! the sketch budget, then a full-budget re-run of only the surviving
+//! frontier (see [`sketch_frontier`] for the pruning rule). Both passes
+//! are the same wave machinery, so the two-phase sweep inherits the
+//! bit-identity guarantee wholesale.
+//!
 //! [`BasisStore`]: crate::basis::BasisStore
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use jigsaw_pdb::{OutputMetrics, Result, Simulation, WorldBatch};
@@ -54,7 +63,8 @@ use jigsaw_pdb::{OutputMetrics, Result, Simulation, WorldBatch};
 use crate::basis::{BasisId, ShardedBasisStore};
 use crate::config::JigsawConfig;
 use crate::fingerprint::Fingerprint;
-use crate::mapping::AffineMap;
+use crate::mapping::{AffineMap, MappingFamily};
+use crate::optimizer::selector::sketch_frontier;
 use crate::optimizer::{PointResult, SweepResult};
 use crate::telemetry::{SweepStats, WaveReuse};
 
@@ -143,25 +153,22 @@ struct EvalJob<'a> {
 /// at the evaluation boundary, never unwound through the pool.
 type JobOutput = Result<WorldBatch>;
 
-/// Run the sweep against an *existing* store — warm or cold, owned or
-/// borrowed out of a [`crate::basis::SharedBasisStore`] — leaving snapshot
-/// persistence (`cfg.basis_load` / `cfg.basis_save`) to the caller.
-///
-/// Deprecated free-function spelling of the store-attached sweep; use the
-/// [`crate::optimizer::SweepRunner`] builder instead:
-///
-/// ```ignore
-/// SweepRunner::new(cfg).store(&mut stores).run(&sim)
-/// ```
-#[deprecated(since = "0.6.0", note = "use SweepRunner::new(cfg).store(stores).run(sim)")]
-pub fn run_sweep_on(
-    cfg: &JigsawConfig,
-    disable_reuse: bool,
-    sim: &dyn Simulation,
-    stores: &mut ShardedBasisStore,
-    pool: &dyn WorkerPool,
-) -> Result<SweepResult> {
-    execute(cfg, disable_reuse, sim, stores, pool)
+/// Fingerprint heads (worlds `0..m`) cached per `point_idx`, carried from
+/// a sketch pass to its refine pass. Worlds are seed-addressed, so a
+/// cached head is byte-identical to what re-evaluation would produce — the
+/// refine pass skips those evaluations without perturbing any result bit.
+pub(crate) type HeadCache = Vec<Option<WorldBatch>>;
+
+/// Point-selection and head-cache plumbing for one executor pass.
+#[derive(Default)]
+struct PassPlan<'a> {
+    /// Point indices to sweep, ascending; `None` = the whole space.
+    subset: Option<&'a [usize]>,
+    /// Fingerprint heads from an earlier pass, indexed by `point_idx`;
+    /// cached points skip phase-1 evaluation.
+    head_cache: Option<&'a HeadCache>,
+    /// Collect this pass's fingerprint heads for a later pass.
+    export_heads: Option<&'a mut HeadCache>,
 }
 
 /// The batch-synchronous wave executor: sweep `sim`'s whole parameter space
@@ -182,6 +189,20 @@ pub(crate) fn execute(
     stores: &mut ShardedBasisStore,
     pool: &dyn WorkerPool,
 ) -> Result<SweepResult> {
+    execute_pass(cfg, disable_reuse, sim, stores, pool, PassPlan::default())
+}
+
+/// One executor pass over `plan.subset` (default: the whole space) — the
+/// wave loop shared by exhaustive sweeps and both halves of a
+/// sketch-then-refine sweep.
+fn execute_pass(
+    cfg: &JigsawConfig,
+    disable_reuse: bool,
+    sim: &dyn Simulation,
+    stores: &mut ShardedBasisStore,
+    pool: &dyn WorkerPool,
+    mut plan: PassPlan<'_>,
+) -> Result<SweepResult> {
     cfg.validate();
     let space = sim.space();
     let n_cols = sim.columns().len();
@@ -192,8 +213,16 @@ pub(crate) fn execute(
     let wave_size = cfg.effective_wave_size().max(1);
     let start = Instant::now();
 
+    let owned_order: Vec<usize>;
+    let order: &[usize] = match plan.subset {
+        Some(subset) => subset,
+        None => {
+            owned_order = (0..space.len()).collect();
+            &owned_order
+        }
+    };
     let preloaded = stores.bases_per_column();
-    let total = space.len();
+    let total = order.len();
     let mut points: Vec<PointResult> = Vec::with_capacity(total);
     let mut stats = SweepStats { threads, ..Default::default() };
 
@@ -202,22 +231,46 @@ pub(crate) fn execute(
         let wave_len = wave_size.min(total - wave_start);
         stats.waves += 1;
 
-        // Phase 1 — fingerprints for the whole wave, in parallel.
+        // Phase 1 — fingerprints for the whole wave, in parallel. Points
+        // with a cached head (refine pass over sketch survivors) skip the
+        // evaluation: worlds are seed-addressed, so the cached bytes are
+        // exactly what re-running worlds `0..m` would produce.
         let t0 = Instant::now();
-        let wave_points: Vec<Vec<f64>> =
-            (wave_start..wave_start + wave_len).map(|i| space.point_at(i)).collect();
-        let fp_jobs: Vec<EvalJob<'_>> =
-            wave_points.iter().map(|p| EvalJob { point: p, start: 0, count: m }).collect();
-        let heads = run_jobs(sim, &fp_jobs, threads, pool);
+        let wave_idx = &order[wave_start..wave_start + wave_len];
+        let wave_points: Vec<Vec<f64>> = wave_idx.iter().map(|&i| space.point_at(i)).collect();
+        let mut heads: Vec<Option<JobOutput>> = Vec::with_capacity(wave_len);
+        heads.resize_with(wave_len, || None);
+        let mut fresh: Vec<usize> = Vec::with_capacity(wave_len);
+        for (offset, &pi) in wave_idx.iter().enumerate() {
+            match plan.head_cache.and_then(|cache| cache[pi].as_ref()) {
+                Some(head) => heads[offset] = Some(Ok(head.clone())),
+                None => fresh.push(offset),
+            }
+        }
+        let fp_jobs: Vec<EvalJob<'_>> = fresh
+            .iter()
+            .map(|&offset| EvalJob { point: &wave_points[offset], start: 0, count: m })
+            .collect();
+        let evaluated = run_jobs(sim, &fp_jobs, threads, pool);
         drop(fp_jobs);
+        stats.worlds_evaluated += (fresh.len() * m) as u64;
+        for (&offset, head) in fresh.iter().zip(evaluated) {
+            heads[offset] = Some(head);
+        }
+        if let Some(exported) = plan.export_heads.as_deref_mut() {
+            for (offset, &pi) in wave_idx.iter().enumerate() {
+                if let Some(Ok(head)) = heads[offset].as_ref() {
+                    exported[pi] = Some(head.clone());
+                }
+            }
+        }
         stats.phase.fingerprint += t0.elapsed();
-        stats.worlds_evaluated += (wave_len * m) as u64;
 
         // Phase 2 — sequential resolve/stage in enumeration order.
         let t1 = Instant::now();
         let mut slots: Vec<Slot> = Vec::with_capacity(wave_len);
         for (offset, (point, head)) in wave_points.into_iter().zip(heads).enumerate() {
-            let head = head?;
+            let head = head.expect("phase 1 filled every head")?;
             let mut cols = Vec::with_capacity(n_cols);
             let mut needs_tail = false;
             for (c, samples) in head.into_columns().into_iter().enumerate() {
@@ -238,7 +291,7 @@ pub(crate) fn execute(
                     }
                 }
             }
-            slots.push(Slot { point_idx: wave_start + offset, point, cols, needs_tail });
+            slots.push(Slot { point_idx: wave_idx[offset], point, cols, needs_tail });
         }
         stats.phase.resolve += t1.elapsed();
 
@@ -320,7 +373,7 @@ pub(crate) fn execute(
                     }
                 }
             }
-            points.push(PointResult { point_idx, point, metrics, reused_from });
+            points.push(PointResult { point_idx, point, metrics, reused_from, coarse: false });
         }
         debug_assert_eq!(stores.staged_total(), 0, "wave barrier left staged bases behind");
         stats.wave_reuse.push(wave_reuse);
@@ -331,6 +384,111 @@ pub(crate) fn execute(
     stats.points = total;
     stats.bases_per_column = stores.bases_per_column();
     stats.pairings_tested = stores.pairings_total();
+    stats.elapsed = start.elapsed();
+    Ok(SweepResult { points, stats })
+}
+
+/// The two-phase sketch-then-refine sweep (`cfg.sketch_budget > 0`).
+///
+/// **Sketch**: the whole space is swept at the coarse budget
+/// `s = cfg.sketch_budget` against its own ephemeral store — coarse
+/// metrics are single-fidelity and must never enter the caller's
+/// full-budget store. The full wave/reuse machinery runs, just cheaper.
+///
+/// **Prune**: [`sketch_frontier`] picks the survivors — a pure function of
+/// (config, coarse results) with `total_cmp` tie breaks, so survival is
+/// bit-identical per (config, seed) across thread counts, wave sizes, and
+/// pool backends.
+///
+/// **Refine**: only the survivors re-run at full budget on `stores`,
+/// reusing the sketch's fingerprint heads (worlds `0..m` are
+/// seed-addressed, so skipping their re-evaluation changes no bit). With
+/// `refine_top_k >= |space|` everything survives and this degenerates to
+/// [`execute`] bit-for-bit — including `worlds_evaluated` when
+/// `sketch_budget == fingerprint_len`.
+///
+/// The stitched result covers the whole space in enumeration order:
+/// survivors carry full-budget metrics, pruned points keep their coarse
+/// sketch metrics (flagged [`PointResult::coarse`], basis attribution
+/// cleared — their bases lived in the discarded sketch store). The stats'
+/// store ledger (`full_simulations`, `reused`, `warm_hits`,
+/// `bases_per_column`, `pairings_tested`, waves) describes the refine
+/// pass; the sketch pass's aggregate cost is in `sketch_points` /
+/// `sketch_worlds`, and `worlds_evaluated` totals both passes.
+pub(crate) fn execute_sketch_refine(
+    cfg: &JigsawConfig,
+    disable_reuse: bool,
+    sim: &dyn Simulation,
+    stores: &mut ShardedBasisStore,
+    pool: &dyn WorkerPool,
+    family: Arc<dyn MappingFamily>,
+) -> Result<SweepResult> {
+    cfg.validate();
+    debug_assert!(cfg.sketch_enabled());
+    let start = Instant::now();
+    let space_len = sim.space().len();
+    let n_cols = sim.columns().len();
+
+    let mut sketch_cfg = cfg.clone();
+    sketch_cfg.n_samples = cfg.sketch_budget;
+    sketch_cfg.sketch_budget = 0;
+    sketch_cfg.refine_top_k = 0;
+    sketch_cfg.basis_load = None;
+    sketch_cfg.basis_save = None;
+
+    let mut sketch_store = ShardedBasisStore::new(n_cols, &sketch_cfg, family);
+    let mut heads: HeadCache = Vec::with_capacity(space_len);
+    heads.resize_with(space_len, || None);
+    let sketch = execute_pass(
+        &sketch_cfg,
+        disable_reuse,
+        sim,
+        &mut sketch_store,
+        pool,
+        PassPlan { export_heads: Some(&mut heads), ..Default::default() },
+    )?;
+    drop(sketch_store);
+
+    let survivors = sketch_frontier(cfg.refine_top_k, &sketch.points);
+
+    let refine = execute_pass(
+        cfg,
+        disable_reuse,
+        sim,
+        stores,
+        pool,
+        PassPlan { subset: Some(&survivors), head_cache: Some(&heads), ..Default::default() },
+    )?;
+
+    // Stitch in enumeration order. Both passes emit points ascending by
+    // `point_idx` and the survivors are a subset of the sketch table, so a
+    // single merge pass pairs them up.
+    let mut refined = refine.points.into_iter().peekable();
+    let mut stats = refine.stats;
+    let mut points: Vec<PointResult> = Vec::with_capacity(space_len);
+    for coarse_point in sketch.points {
+        if refined.peek().map(|r| r.point_idx) == Some(coarse_point.point_idx) {
+            points.push(refined.next().expect("peeked"));
+        } else {
+            stats.pruned_points += 1;
+            points.push(PointResult {
+                coarse: true,
+                reused_from: vec![None; n_cols],
+                ..coarse_point
+            });
+        }
+    }
+    debug_assert!(refined.next().is_none(), "refine pass emitted a non-survivor");
+
+    stats.points = space_len;
+    stats.sketch_points = sketch.stats.points;
+    stats.sketch_worlds = sketch.stats.worlds_evaluated;
+    stats.refined_points = survivors.len();
+    stats.worlds_evaluated += sketch.stats.worlds_evaluated;
+    stats.phase.fingerprint += sketch.stats.phase.fingerprint;
+    stats.phase.resolve += sketch.stats.phase.resolve;
+    stats.phase.completion += sketch.stats.phase.completion;
+    stats.phase.commit += sketch.stats.phase.commit;
     stats.elapsed = start.elapsed();
     Ok(SweepResult { points, stats })
 }
@@ -689,6 +847,98 @@ mod tests {
         }
     }
 
+    /// Reuse-hostile black box over one parameter: a distinct cubic shape
+    /// at every point, so every point needs its own basis and the
+    /// exhaustive sweep pays full budget everywhere.
+    fn no_reuse_sim(points: i64) -> BlackBoxSim {
+        use jigsaw_prng::{dist::Normal, Xoshiro256pp};
+        let space = ParamSpace::new(vec![ParamDecl::range("p", 0, points - 1, 1)]);
+        let bb = FnBlackBox::new("wild", 1, |p: &[f64], s| {
+            let mut rng = Xoshiro256pp::seeded(s);
+            let z = Normal::standard(&mut rng);
+            p[0] * 0.01 + z + (1.0 + p[0]) * z * z * z * 0.05
+        });
+        BlackBoxSim::new(Arc::new(bb), space, SeedSet::new(41))
+    }
+
+    #[test]
+    fn sketch_degenerates_to_exhaustive_bit_for_bit() {
+        let sim = demand_sim();
+        let exhaustive = SweepRunner::new(cfg()).run(&sim).unwrap();
+        // refine_top_k >= |space| keeps everything; with sketch_budget == m
+        // the cached heads make even the world count match exactly.
+        let sketchy = SweepRunner::new(cfg().with_sketch(10, 10_000)).run(&sim).unwrap();
+        assert_eq!(exhaustive.points.len(), sketchy.points.len());
+        for (a, b) in exhaustive.points.iter().zip(&sketchy.points) {
+            assert_eq!(a, b, "point {} diverged from exhaustive", a.point_idx);
+        }
+        let (e, s) = (&exhaustive.stats, &sketchy.stats);
+        assert_eq!(e.full_simulations, s.full_simulations);
+        assert_eq!(e.reused, s.reused);
+        assert_eq!(e.bases_per_column, s.bases_per_column);
+        assert_eq!(e.pairings_tested, s.pairings_tested);
+        assert_eq!(e.worlds_evaluated, s.worlds_evaluated);
+        assert_eq!(s.refined_points, s.points);
+        assert_eq!(s.pruned_points, 0);
+        assert_eq!(s.sketch_points, s.points);
+    }
+
+    #[test]
+    fn sketch_prunes_and_keeps_coarse_metrics() {
+        let sim = no_reuse_sim(40);
+        let c = cfg().with_sketch(20, 3);
+        let sketchy = SweepRunner::new(c.clone()).run(&sim).unwrap();
+        let exhaustive = SweepRunner::new(cfg()).run(&sim).unwrap();
+        let st = &sketchy.stats;
+        assert_eq!(st.points, 40);
+        assert_eq!(st.refined_points + st.pruned_points, st.points);
+        assert!(st.pruned_points > 0, "K=3 over 40 reuse-hostile points must prune");
+        assert_eq!(st.sketch_points, 40);
+        assert_eq!(st.sketch_worlds, 40 * 20);
+        assert!(
+            st.worlds_evaluated < exhaustive.stats.worlds_evaluated,
+            "sketch {} vs exhaustive {}",
+            st.worlds_evaluated,
+            exhaustive.stats.worlds_evaluated
+        );
+        for p in &sketchy.points {
+            if p.coarse {
+                assert_eq!(p.metrics[0].n(), 20, "pruned points carry coarse metrics");
+                assert!(p.reused_from.iter().all(Option::is_none));
+            } else {
+                assert_eq!(p.metrics[0].n(), 120, "refined points carry full metrics");
+                // Refined metrics are bit-identical to the exhaustive sweep:
+                // same store decisions, same seed-addressed worlds.
+                let e = &exhaustive.points[p.point_idx];
+                assert_eq!(p.metrics[0].samples(), e.metrics[0].samples());
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_refine_warms_the_attached_store() {
+        let sim = no_reuse_sim(30);
+        let c = cfg().with_sketch(10, 4);
+        let mut stores =
+            ShardedBasisStore::new(sim.columns().len(), &c, Arc::new(crate::mapping::AffineFamily));
+        let mut runner = SweepRunner::new(c).store(&mut stores);
+        let cold = runner.run(&sim).unwrap();
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert!(cold.stats.full_simulations > 0);
+        // Second sweep on the same store: every survivor rides the bases the
+        // first refine pass committed, and the results replay bit-for-bit.
+        let warm = runner.run(&sim).unwrap();
+        assert_eq!(warm.stats.full_simulations, 0);
+        assert_eq!(warm.stats.warm_hits, warm.stats.refined_points);
+        assert_eq!(warm.stats.bases_per_column, cold.stats.bases_per_column);
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.coarse, b.coarse);
+            for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(ma.samples(), mb.samples());
+            }
+        }
+    }
+
     #[test]
     fn empty_space_yields_empty_sweep() {
         let space = ParamSpace::new(vec![ParamDecl::range("p", 5, 4, 1)]);
@@ -698,5 +948,10 @@ mod tests {
         assert_eq!(r.stats.points, 0);
         assert_eq!(r.stats.waves, 0);
         assert_eq!(r.stats.bases_per_column, vec![0]);
+        // Sketch mode over an empty space is equally empty.
+        let s = SweepRunner::new(cfg().with_sketch(10, 2)).run(&sim).unwrap();
+        assert!(s.points.is_empty());
+        assert_eq!(s.stats.refined_points, 0);
+        assert_eq!(s.stats.pruned_points, 0);
     }
 }

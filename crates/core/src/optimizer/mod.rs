@@ -25,12 +25,11 @@ use crate::config::JigsawConfig;
 use crate::mapping::{AffineFamily, MappingFamily};
 use crate::telemetry::SweepStats;
 
-#[allow(deprecated)]
-pub use executor::run_sweep_on;
 pub use executor::{ScopedPool, WorkerPool};
 pub use pool::PersistentPool;
 pub use selector::{
-    Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg, Selection,
+    sketch_frontier, Comparison, Constraint, Direction, Objective, OptimizeGoal, OuterAgg,
+    Selection,
 };
 
 /// Result for one parameter point.
@@ -44,6 +43,10 @@ pub struct PointResult {
     pub metrics: Vec<OutputMetrics>,
     /// Bases reused per column (`None` = full simulation for that column).
     pub reused_from: Vec<Option<BasisId>>,
+    /// `true` when the metrics are coarse sketch estimates — the point was
+    /// pruned by a sketch-then-refine sweep and never re-ran at full
+    /// budget. Always `false` for exhaustive sweeps and refined points.
+    pub coarse: bool,
 }
 
 /// Outcome of a full parameter-space sweep.
@@ -147,12 +150,6 @@ impl<'s> SweepRunner<'s> {
         }
     }
 
-    /// Deprecated spelling of [`SweepRunner::pool`].
-    #[deprecated(since = "0.6.0", note = "use SweepRunner::pool")]
-    pub fn with_pool(self, pool: Arc<dyn executor::WorkerPool>) -> Self {
-        self.pool(pool)
-    }
-
     /// The configuration.
     pub fn config(&self) -> &JigsawConfig {
         &self.cfg
@@ -170,7 +167,14 @@ impl<'s> SweepRunner<'s> {
     /// runs on one runner warm-start against the bases earlier runs built.
     pub fn run(&mut self, sim: &dyn Simulation) -> Result<SweepResult> {
         if let Some(stores) = self.store.as_deref_mut() {
-            return executor::execute(&self.cfg, self.disable_reuse, sim, stores, &*self.pool);
+            return Self::dispatch(
+                &self.cfg,
+                self.disable_reuse,
+                sim,
+                stores,
+                &*self.pool,
+                &self.family,
+            );
         }
         let n_cols = sim.columns().len();
         let mut stores = match &self.cfg.basis_load {
@@ -182,23 +186,35 @@ impl<'s> SweepRunner<'s> {
             )?,
             None => crate::basis::ShardedBasisStore::new(n_cols, &self.cfg, self.family.clone()),
         };
-        let result =
-            executor::execute(&self.cfg, self.disable_reuse, sim, &mut stores, &*self.pool)?;
+        let result = Self::dispatch(
+            &self.cfg,
+            self.disable_reuse,
+            sim,
+            &mut stores,
+            &*self.pool,
+            &self.family,
+        )?;
         if let Some(path) = &self.cfg.basis_save {
             stores.save_snapshot(&self.cfg, self.family.name(), path)?;
         }
         Ok(result)
     }
 
-    /// Deprecated spelling of the store-attached sweep; use
-    /// [`SweepRunner::store`] + [`SweepRunner::run`] instead.
-    #[deprecated(since = "0.6.0", note = "use SweepRunner::store(stores).run(sim)")]
-    pub fn run_on(
-        &self,
+    /// Exhaustive wave sweep, or the two-phase sketch-then-refine sweep
+    /// when `cfg.sketch_budget` asks for one.
+    fn dispatch(
+        cfg: &JigsawConfig,
+        disable_reuse: bool,
         sim: &dyn Simulation,
         stores: &mut crate::basis::ShardedBasisStore,
+        pool: &dyn executor::WorkerPool,
+        family: &Arc<dyn MappingFamily>,
     ) -> Result<SweepResult> {
-        executor::execute(&self.cfg, self.disable_reuse, sim, stores, &*self.pool)
+        if cfg.sketch_enabled() {
+            executor::execute_sketch_refine(cfg, disable_reuse, sim, stores, pool, family.clone())
+        } else {
+            executor::execute(cfg, disable_reuse, sim, stores, pool)
+        }
     }
 }
 

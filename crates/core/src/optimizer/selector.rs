@@ -18,10 +18,66 @@
 //! "Finally, the Selector component selects the parameter value, along with
 //! its output distribution, that satisfies the optimization goal." (§2.3)
 
+use std::collections::BTreeSet;
+
 use jigsaw_blackbox::ParamSpace;
 use jigsaw_pdb::{Metric, PdbError, Result};
 
-use super::SweepResult;
+use super::{PointResult, SweepResult};
+
+/// The sketch-then-refine survival rule: which coarse-swept points the
+/// refine pass re-runs at full budget.
+///
+/// A pure function of the coarse sweep table and `refine_top_k` — no wave
+/// layout, thread count, or pool backend enters — so survival is
+/// bit-stable for a given (config, seed). Three deterministic families
+/// survive, unioned:
+///
+/// 1. **Representatives**: every `⌈N/K⌉`-th point in enumeration order,
+///    plus the last point (coverage of every region of the space).
+/// 2. **Per-column top frontier**: the `K` highest coarse expectations of
+///    each output column.
+/// 3. **Per-column bottom frontier**: the `K` lowest, so both optimization
+///    directions keep their extremes.
+///
+/// Ranking uses [`f64::total_cmp`] with ascending `point_idx` as the tie
+/// break, so equal coarse expectations (and NaNs) order identically on
+/// every run. `refine_top_k >= N` keeps everything — the refine pass then
+/// degenerates to the exhaustive sweep.
+///
+/// Returns surviving `point_idx` values, ascending and deduplicated.
+pub fn sketch_frontier(refine_top_k: usize, coarse: &[PointResult]) -> Vec<usize> {
+    let n = coarse.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if refine_top_k >= n {
+        return coarse.iter().map(|p| p.point_idx).collect();
+    }
+    let mut keep: BTreeSet<usize> = BTreeSet::new();
+    let stride = n.div_ceil(refine_top_k);
+    for i in (0..n).step_by(stride) {
+        keep.insert(coarse[i].point_idx);
+    }
+    keep.insert(coarse[n - 1].point_idx);
+    let n_cols = coarse[0].metrics.len();
+    for c in 0..n_cols {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            coarse[a].metrics[c]
+                .expectation()
+                .total_cmp(&coarse[b].metrics[c].expectation())
+                .then(coarse[a].point_idx.cmp(&coarse[b].point_idx))
+        });
+        for &i in order.iter().take(refine_top_k) {
+            keep.insert(coarse[i].point_idx);
+        }
+        for &i in order.iter().rev().take(refine_top_k) {
+            keep.insert(coarse[i].point_idx);
+        }
+    }
+    keep.into_iter().collect()
+}
 
 /// Fold applied across the non-decision dimensions of a group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,5 +434,67 @@ mod tests {
         assert!(Comparison::Le.test(2.0, 2.0));
         assert!(Comparison::Gt.test(3.0, 2.0));
         assert!(Comparison::Ge.test(2.0, 2.0));
+    }
+
+    fn coarse_table(expectations: &[f64]) -> Vec<PointResult> {
+        expectations
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| PointResult {
+                point_idx: i,
+                point: vec![i as f64],
+                metrics: vec![jigsaw_pdb::OutputMetrics::from_samples(vec![e])],
+                reused_from: vec![None],
+                coarse: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_frontier_keeps_extremes_and_representatives() {
+        // 10 points, expectations 0..9 scrambled; K = 2.
+        let table = coarse_table(&[4.0, 9.0, 1.0, 7.0, 0.0, 3.0, 8.0, 2.0, 6.0, 5.0]);
+        let kept = sketch_frontier(2, &table);
+        // Representatives (stride ⌈10/2⌉ = 5): 0, 5, plus last point 9.
+        // Bottom 2 by expectation: points 4 (0.0), 2 (1.0).
+        // Top 2: points 1 (9.0), 6 (8.0).
+        assert_eq!(kept, vec![0, 1, 2, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn sketch_frontier_is_order_independent_and_tie_stable() {
+        let table = coarse_table(&[5.0, 5.0, 5.0, 5.0, 5.0, 5.0]);
+        let kept = sketch_frontier(2, &table);
+        // All expectations tie: ranking falls back to ascending point_idx,
+        // so the bottom frontier is {0, 1} and the top frontier {4, 5};
+        // representatives (stride 3) add {0, 3} and the last point 5.
+        assert_eq!(kept, vec![0, 1, 3, 4, 5]);
+        // Shuffling the table rows must not change survival: the rule keys
+        // on point_idx and metric values, never on row order.
+        let mut shuffled = table.clone();
+        shuffled.reverse();
+        // Representatives stride over enumeration order, so restore it.
+        shuffled.sort_by_key(|p| p.point_idx);
+        assert_eq!(sketch_frontier(2, &shuffled), kept);
+    }
+
+    #[test]
+    fn sketch_frontier_degenerates_to_everything() {
+        let table = coarse_table(&[3.0, 1.0, 2.0]);
+        assert_eq!(sketch_frontier(3, &table), vec![0, 1, 2]);
+        assert_eq!(sketch_frontier(100, &table), vec![0, 1, 2]);
+        assert_eq!(sketch_frontier(5, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sketch_frontier_orders_nan_deterministically() {
+        let table = coarse_table(&[1.0, f64::NAN, 2.0, f64::NAN, 0.5]);
+        let a = sketch_frontier(1, &table);
+        let b = sketch_frontier(1, &table);
+        // total_cmp sorts NaN above +inf: the top frontier is a NaN point,
+        // picked identically on every call.
+        assert_eq!(a, b);
+        assert!(a.contains(&3), "highest-ranked NaN (larger idx wins rev order): {a:?}");
+        assert!(a.contains(&4), "lowest expectation survives: {a:?}");
     }
 }

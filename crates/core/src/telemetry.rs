@@ -50,6 +50,14 @@ pub struct SweepCounters {
     pub bases_per_column: Vec<usize>,
     /// Mapping validations attempted.
     pub pairings_tested: u64,
+    /// Points coarse-swept by the sketch pass (0 = sketching off).
+    pub sketch_points: usize,
+    /// Worlds spent by the sketch pass.
+    pub sketch_worlds: u64,
+    /// Frontier points re-run at full budget by the refine pass.
+    pub refined_points: usize,
+    /// Points whose final metrics are the coarse sketch estimates.
+    pub pruned_points: usize,
 }
 
 /// Counters collected during a parameter-space sweep.
@@ -71,6 +79,21 @@ pub struct SweepStats {
     pub bases_per_column: Vec<usize>,
     /// Mapping validations attempted across all columns.
     pub pairings_tested: u64,
+    /// Points coarse-swept by the sketch pass of a sketch-then-refine
+    /// sweep (the whole space); 0 when sketching is off. In sketch mode
+    /// the store-ledger fields above (`full_simulations`, `reused`,
+    /// `warm_hits`, `bases_per_column`, `pairings_tested`) and the wave
+    /// ledger describe the *refine* pass — the full-fidelity store — while
+    /// the sketch pass's aggregate cost lives here and in `sketch_worlds`.
+    pub sketch_points: usize,
+    /// Worlds evaluated by the sketch pass (already included in
+    /// `worlds_evaluated`, which stays the whole-sweep total).
+    pub sketch_worlds: u64,
+    /// Surviving frontier points re-run at full budget by the refine pass.
+    pub refined_points: usize,
+    /// Points pruned by the sketch: their final metrics are the coarse
+    /// estimates (`PointResult::coarse`).
+    pub pruned_points: usize,
     /// Thread budget the executor actually used.
     pub threads: usize,
     /// Number of batch-synchronous waves the sweep was processed in.
@@ -95,6 +118,10 @@ impl SweepStats {
             worlds_evaluated: self.worlds_evaluated,
             bases_per_column: self.bases_per_column.clone(),
             pairings_tested: self.pairings_tested,
+            sketch_points: self.sketch_points,
+            sketch_worlds: self.sketch_worlds,
+            refined_points: self.refined_points,
+            pruned_points: self.pruned_points,
         }
     }
     /// Fraction of points served by reuse (intra-sweep or warm-start).
@@ -174,6 +201,10 @@ mod tests {
             worlds_evaluated: 500,
             bases_per_column: vec![2, 4],
             pairings_tested: 31,
+            sketch_points: 12,
+            sketch_worlds: 240,
+            refined_points: 5,
+            pruned_points: 7,
             ..Default::default()
         };
         let c = s.counters();
@@ -184,6 +215,10 @@ mod tests {
         assert_eq!(c.worlds_evaluated, 500);
         assert_eq!(c.bases_per_column, vec![2, 4]);
         assert_eq!(c.pairings_tested, 31);
+        assert_eq!(c.sketch_points, 12);
+        assert_eq!(c.sketch_worlds, 240);
+        assert_eq!(c.refined_points, 5);
+        assert_eq!(c.pruned_points, 7);
         // Every counter participates in the equality the determinism tests
         // rely on: flipping any single field breaks it.
         let base = s.counters();
@@ -195,6 +230,10 @@ mod tests {
             SweepStats { worlds_evaluated: 501, ..s.clone() },
             SweepStats { bases_per_column: vec![2, 5], ..s.clone() },
             SweepStats { pairings_tested: 32, ..s.clone() },
+            SweepStats { sketch_points: 13, ..s.clone() },
+            SweepStats { sketch_worlds: 241, ..s.clone() },
+            SweepStats { refined_points: 6, ..s.clone() },
+            SweepStats { pruned_points: 8, ..s.clone() },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base, v.counters(), "field {i} must be part of the snapshot");

@@ -60,17 +60,33 @@ impl Engine for DirectEngine {
 
 /// Columnar execution: worlds are still interpreted one at a time (that is
 /// this engine's nature), but each world's row values stream straight into
-/// per-column `f64` buffers instead of being boxed into a
-/// `worlds[w][ri][ci]` value cube and transposed afterwards. Same values in
-/// the same order as [`assemble`], so the output is bit-identical; peak
-/// memory drops from O(worlds × rows × cols) boxed values to the final
-/// columns themselves.
+/// flat per-(row, uncertain-column) `f64` buffers instead of being gathered
+/// through a `BundleCell` enum cell grid — the hot inner loop is a plain
+/// `Vec<f64>` push at a precomputed flat index, with no per-cell enum
+/// dispatch and no `acc[ri][ci]` double bounds check. Deterministic column
+/// values are captured once from world 0. Same values in the same order as
+/// [`assemble`], so the output is bit-identical; peak memory stays at the
+/// final columns themselves.
 fn execute_columnar(plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BundleTable> {
     let n = ctx.n_worlds;
     let ncols = plan.schema.len();
-    let uncertain: Vec<bool> = (0..ncols).map(|ci| plan.schema.column(ci).uncertain).collect();
+    // Schema column → slot among the uncertain columns (None = deterministic).
+    let mut unc_slot: Vec<Option<usize>> = Vec::with_capacity(ncols);
+    let mut n_unc = 0usize;
+    for ci in 0..ncols {
+        if plan.schema.column(ci).uncertain {
+            unc_slot.push(Some(n_unc));
+            n_unc += 1;
+        } else {
+            unc_slot.push(None);
+        }
+    }
     let mut rows0 = 0usize;
-    let mut acc: Vec<Vec<BundleCell>> = Vec::new();
+    // `rows0 × n_unc` sample buffers, row-major: row `ri`'s uncertain slot
+    // `j` lives at `ri * n_unc + j`.
+    let mut stoch: Vec<Vec<f64>> = Vec::new();
+    // Per row, the deterministic column values in schema order.
+    let mut det: Vec<Vec<Value>> = Vec::new();
     for w in 0..n {
         let wctx = WorldCtx {
             world: ctx.world_start + w,
@@ -81,23 +97,21 @@ fn execute_columnar(plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> R
         let rows = run_world(&plan.plan, catalog, &wctx)?;
         if w == 0 {
             rows0 = rows.len();
-            acc = rows
-                .into_iter()
-                .map(|row| {
-                    row.into_iter()
-                        .enumerate()
-                        .map(|(ci, v)| {
-                            if uncertain[ci] {
-                                let mut xs = Vec::with_capacity(n);
-                                xs.push(v.as_f64().unwrap_or(f64::NAN));
-                                BundleCell::Stoch(xs)
-                            } else {
-                                BundleCell::Det(v)
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
+            stoch.reserve_exact(rows0 * n_unc);
+            det.reserve_exact(rows0);
+            for row in rows {
+                let mut drow = Vec::with_capacity(ncols - n_unc);
+                for (ci, v) in row.into_iter().enumerate() {
+                    if unc_slot[ci].is_some() {
+                        let mut xs = Vec::with_capacity(n);
+                        xs.push(v.as_f64().unwrap_or(f64::NAN));
+                        stoch.push(xs);
+                    } else {
+                        drow.push(v);
+                    }
+                }
+                det.push(drow);
+            }
             continue;
         }
         if rows.len() != rows0 {
@@ -108,18 +122,41 @@ fn execute_columnar(plan: &BoundPlan, catalog: &Catalog, ctx: &ExecContext) -> R
             ));
         }
         for (ri, row) in rows.into_iter().enumerate() {
+            let base = ri * n_unc;
+            #[cfg(debug_assertions)]
+            let mut dj = 0usize;
             for (ci, v) in row.into_iter().enumerate() {
-                match &mut acc[ri][ci] {
-                    BundleCell::Stoch(xs) => xs.push(v.as_f64().unwrap_or(f64::NAN)),
-                    BundleCell::Det(d) => {
-                        debug_assert!(*d == v, "deterministic column varies across worlds")
+                match unc_slot[ci] {
+                    Some(j) => stoch[base + j].push(v.as_f64().unwrap_or(f64::NAN)),
+                    None => {
+                        #[cfg(debug_assertions)]
+                        {
+                            debug_assert!(
+                                det[ri][dj] == v,
+                                "deterministic column varies across worlds"
+                            );
+                            dj += 1;
+                        }
                     }
                 }
             }
         }
     }
     let mut out = BundleTable::new(plan.schema.clone(), n);
-    out.rows = acc.into_iter().map(|cells| BundleRow { cells, presence: Presence::All }).collect();
+    out.rows.reserve_exact(rows0);
+    let mut stoch = stoch.into_iter();
+    for drow in det {
+        let mut drow = drow.into_iter();
+        let mut cells = Vec::with_capacity(ncols);
+        for slot in &unc_slot {
+            match slot {
+                Some(_) => cells
+                    .push(BundleCell::Stoch(stoch.next().expect("one buffer per uncertain cell"))),
+                None => cells.push(BundleCell::Det(drow.next().expect("det value captured"))),
+            }
+        }
+        out.rows.push(BundleRow { cells, presence: Presence::All });
+    }
     Ok(out)
 }
 

@@ -4,6 +4,7 @@
 //! jigsaw-server [--addr HOST:PORT] [--threads N] [--n-samples N]
 //!               [--fingerprint-len M] [--seed N] [--snapshot-dir DIR]
 //!               [--pool scoped|persistent] [--conn-threads N]
+//!               [--sketch-budget S] [--refine-top-k K]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, i.e. an ephemeral loopback port), prints
@@ -48,6 +49,17 @@ fn main() {
     }
     if let Some(m) = parse_num("--fingerprint-len") {
         cfg = cfg.with_fingerprint_len(m);
+    }
+    // Sketch-then-refine sweeps: `--sketch-budget S` turns the two-phase
+    // mode on for every `SWEEP` this server runs (no wire-protocol change —
+    // the executor swap is invisible to clients except for coarse metrics
+    // on pruned points). `--refine-top-k` defaults to 4 when only the
+    // budget is given.
+    if let Some(s) = parse_num("--sketch-budget") {
+        cfg = cfg.with_sketch(s, parse_num("--refine-top-k").unwrap_or(4));
+    } else if parse_num("--refine-top-k").is_some() {
+        eprintln!("error: --refine-top-k requires --sketch-budget");
+        std::process::exit(2);
     }
     // The pool must see the final thread budget, so resolve it after all
     // config flags (the builder's default pool is sized the same way).

@@ -13,6 +13,9 @@ pub fn assert_bit_identical(a: &SweepResult, b: &SweepResult, what: &str) {
         assert_eq!(x.point_idx, y.point_idx, "{what}");
         assert_eq!(x.point, y.point, "{what}: point {}", x.point_idx);
         assert_eq!(x.reused_from, y.reused_from, "{what}: point {}", x.point_idx);
+        // Sketch-then-refine survival must also be bit-stable: the same
+        // points carry coarse metrics on every run.
+        assert_eq!(x.coarse, y.coarse, "{what}: point {} survival", x.point_idx);
         assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: point {}", x.point_idx);
         for (ma, mb) in x.metrics.iter().zip(&y.metrics) {
             // Sample-vector equality is the strongest statement: every
