@@ -38,7 +38,7 @@
 
 use std::path::PathBuf;
 
-use jigsaw_bench::experiments::{e1, e10, e11, e12, e2, e3, e4, e5, e6, e7, e8, e9};
+use jigsaw_bench::experiments::{e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -183,6 +183,10 @@ fn main() {
             refine_top_k.unwrap_or(default_k),
         );
         println!("{}", render(&e12::report(&rows)));
+    }
+    if want("e13") {
+        eprintln!("[repro] E13: anytime SUBSCRIBE estimates with error bounds…");
+        println!("{}", render(&e13::report(&e13::run(scale))));
     }
     eprintln!("[repro] done.");
 }

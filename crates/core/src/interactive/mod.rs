@@ -17,4 +17,6 @@ mod graph;
 mod session;
 
 pub use graph::{render_series, GraphSpec, SeriesStyle};
-pub use session::{Estimate, EstimateSource, InteractiveSession, SessionConfig, TaskKind};
+pub use session::{
+    BoundedEstimate, Estimate, EstimateSource, InteractiveSession, SessionConfig, TaskKind, BOUND_Z,
+};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use jigsaw_pdb::{OutputMetrics, Result, Simulation};
+use jigsaw_pdb::{OutputMetrics, PdbError, Result, Simulation};
 
 use crate::basis::{BasisId, ShardedBasisStore, SharedBasisStore};
 use crate::config::JigsawConfig;
@@ -84,6 +84,12 @@ pub enum EstimateSource {
     Direct,
 }
 
+/// The `z` multiplier behind every anytime bound: `mean ± z·sd/√n` with
+/// `z = 3` (a ~99.7% normal interval). One fixed constant keeps the bound
+/// a pure function of the sample state, which the determinism contract
+/// (converged `SUBSCRIBE` ≡ blocking `ESTIMATE`, bit for bit) relies on.
+pub const BOUND_Z: f64 = 3.0;
+
 /// A progressively-refined estimate for one point and column.
 #[derive(Debug, Clone)]
 pub struct Estimate {
@@ -93,10 +99,36 @@ pub struct Estimate {
     pub expectation: f64,
     /// Standard deviation of the output column.
     pub std_dev: f64,
+    /// Lower edge of the anytime bound on the true expectation (tier 0+).
+    /// `-∞` when one sample cannot bound the spread; NaN only when the
+    /// expectation itself is NaN (never served over the wire — see
+    /// [`InteractiveSession::estimate_now`]).
+    pub lo: f64,
+    /// Upper edge of the anytime bound (see `lo`).
+    pub hi: f64,
     /// Samples backing the estimate.
     pub n_samples: usize,
     /// Provenance.
     pub source: EstimateSource,
+}
+
+impl Estimate {
+    /// Width of the anytime bound (`hi - lo`; `+∞`/NaN propagate).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// A bounded estimate: the result of refining until the anytime interval
+/// is at most `eps` wide or the sample budget runs out.
+#[derive(Debug, Clone)]
+pub struct BoundedEstimate {
+    /// The final estimate (its `lo`/`hi` carry the achieved bound).
+    pub estimate: Estimate,
+    /// Whether `width ≤ eps` was reached (false = budget exhausted first).
+    pub converged: bool,
+    /// Refinement steps taken after the initial tier-0 answer.
+    pub steps: usize,
 }
 
 /// Per-(point, column) progress.
@@ -107,6 +139,50 @@ struct PointColState {
     metrics: OutputMetrics,
     /// Matched basis and mapping, if any.
     basis: Option<(BasisId, AffineMap)>,
+    /// Running intersection of every raw CLT bound observed for this
+    /// (point, column). Raw `mean ± z·sd/√n` intervals are *not*
+    /// monotone — one outlier can widen them — but each contains the true
+    /// mean w.h.p., so their intersection does too and can only shrink.
+    /// This is what makes the streamed `INTERVAL` sequence non-widening.
+    bound: Option<(f64, f64)>,
+}
+
+/// Fold a fresh raw bound into the running intersection. A drifting mean
+/// can empty the intersection; in that case keep the last consistent
+/// interval (skipping the update) rather than inverting or re-widening.
+fn tighten_bound(stored: &mut Option<(f64, f64)>, raw: Option<(f64, f64)>) {
+    let Some((rlo, rhi)) = raw else { return };
+    match stored {
+        None => *stored = Some((rlo, rhi)),
+        Some((slo, shi)) => {
+            let lo = slo.max(rlo);
+            let hi = shi.min(rhi);
+            if lo <= hi {
+                *stored = Some((lo, hi));
+            }
+        }
+    }
+}
+
+/// The interval `estimate()` reports: the stored running intersection
+/// narrowed by the current raw bound (read-only — `&self` cannot persist
+/// the tightening; the next mutating op will). `(NaN, NaN)` only when no
+/// bound exists at all, which implies a NaN expectation.
+fn effective_bound(stored: Option<(f64, f64)>, raw: Option<(f64, f64)>) -> (f64, f64) {
+    match (stored, raw) {
+        (Some((slo, shi)), Some((rlo, rhi))) => {
+            let lo = slo.max(rlo);
+            let hi = shi.min(rhi);
+            if lo <= hi {
+                (lo, hi)
+            } else {
+                (slo, shi)
+            }
+        }
+        (Some(s), None) => s,
+        (None, Some(r)) => r,
+        (None, None) => (f64::NAN, f64::NAN),
+    }
 }
 
 /// State for one point across all output columns.
@@ -255,6 +331,10 @@ impl InteractiveSession {
         for state in points.values_mut() {
             for col in &mut state.cols {
                 col.basis = None;
+                // The running bound partly reflects the replaced store's
+                // basis metrics; drop it so post-LOAD estimates are a pure
+                // function of the new store (same bits as a fresh session).
+                col.bound = None;
             }
         }
     }
@@ -339,7 +419,23 @@ impl InteractiveSession {
                         Some((id, AffineMap::IDENTITY))
                     }
                 };
-                cols.push(PointColState { n_direct: m, metrics, basis });
+                // Tier-0 bound: whatever the richer of (mapped basis,
+                // fingerprint head) already supports, without any further
+                // simulation.
+                let raw = match &basis {
+                    Some((id, map)) => {
+                        let b = store.get(*id);
+                        if b.metrics.n() > metrics.n() {
+                            map.apply_metrics(&b.metrics).expectation_interval(BOUND_Z)
+                        } else {
+                            metrics.expectation_interval(BOUND_Z)
+                        }
+                    }
+                    None => metrics.expectation_interval(BOUND_Z),
+                };
+                let mut bound = None;
+                tighten_bound(&mut bound, raw);
+                cols.push(PointColState { n_direct: m, metrics, basis, bound });
             }
             (cols, warm)
         });
@@ -418,6 +514,20 @@ impl InteractiveSession {
                         col.basis = None;
                     }
                 }
+                // Tighten the running bound with the raw interval of
+                // whichever source `estimate()` will now serve.
+                let raw = match col.basis {
+                    Some((id, map)) => {
+                        let basis = stores.shard_mut(c).get(id);
+                        if basis.metrics.n() > col.metrics.n() {
+                            map.apply_metrics(&basis.metrics).expectation_interval(BOUND_Z)
+                        } else {
+                            col.metrics.expectation_interval(BOUND_Z)
+                        }
+                    }
+                    None => col.metrics.expectation_interval(BOUND_Z),
+                };
+                tighten_bound(&mut col.bound, raw);
             }
         });
         Ok(())
@@ -461,32 +571,118 @@ impl InteractiveSession {
                     .map(|basis| map.apply_metrics(&basis.metrics))
             });
             if let Some(mapped) = mapped {
+                let (lo, hi) = effective_bound(c.bound, mapped.expectation_interval(BOUND_Z));
                 return Some(Estimate {
                     point_idx,
                     expectation: mapped.expectation(),
                     std_dev: mapped.std_dev(),
+                    lo,
+                    hi,
                     n_samples: mapped.n(),
                     source: EstimateSource::MappedBasis,
                 });
             }
         }
+        let (lo, hi) = effective_bound(c.bound, c.metrics.expectation_interval(BOUND_Z));
         Some(Estimate {
             point_idx,
             expectation: c.metrics.expectation(),
             std_dev: c.metrics.std_dev(),
+            lo,
+            hi,
             n_samples: c.metrics.n(),
             source: EstimateSource::Direct,
         })
+    }
+
+    /// Typed bounds check for client-supplied indices: long-lived hosts
+    /// answer `ERR` and keep serving (the `WorkerPanic` contract), so a
+    /// malformed `ESTIMATE 999999999 0` must not reach an `assert!`.
+    fn check_range(&self, point_idx: usize, col: usize) -> Result<()> {
+        let n_points = self.sim.space().len();
+        if point_idx >= n_points {
+            return Err(PdbError::OutOfRange(format!("point {point_idx} of {n_points}")));
+        }
+        let n_cols = self.sim.columns().len();
+        if col >= n_cols {
+            return Err(PdbError::OutOfRange(format!("column {col} of {n_cols}")));
+        }
+        Ok(())
+    }
+
+    /// Refuse to put NaN on the wire: an estimate backed by zero samples
+    /// (or whose mean/bound is NaN) is a typed error, consistent with the
+    /// `NanMetric` policy at the `OPTIMIZE` selector, not a silent
+    /// `7ff8…` bit pattern the client must know to sniff for.
+    fn wire_safe(est: Estimate) -> Result<Estimate> {
+        if est.n_samples == 0 || est.expectation.is_nan() || est.lo.is_nan() || est.hi.is_nan() {
+            return Err(PdbError::NanMetric(format!(
+                "estimate for point {} has no usable samples (n = {})",
+                est.point_idx, est.n_samples
+            )));
+        }
+        Ok(est)
     }
 
     /// Touch `point_idx` (fingerprint + match, if this is first contact)
     /// and return the resulting estimate for `col` — the one-shot what-if
     /// probe the session server's `ESTIMATE` command performs.
     pub fn estimate_now(&mut self, point_idx: usize, col: usize) -> Result<Estimate> {
-        assert!(point_idx < self.sim.space().len(), "estimate point out of range");
-        assert!(col < self.sim.columns().len(), "estimate column out of range");
+        self.check_range(point_idx, col)?;
         self.touch(point_idx)?;
-        Ok(self.estimate(point_idx, col).expect("point touched above"))
+        Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))
+    }
+
+    /// One anytime refinement step for `(point_idx, col)`. First contact
+    /// pays only the fingerprint head (the tier-0 analytic answer); each
+    /// further call folds exactly one direct batch into the point and
+    /// tightens the running bound. This bypasses the tick rotation so the
+    /// server can drive one subscription deterministically; sample ids
+    /// address the same worlds any other schedule would evaluate, so the
+    /// results are bit-identical to a blocking session reaching the same
+    /// sample count.
+    pub fn refine_once(&mut self, point_idx: usize, col: usize) -> Result<Estimate> {
+        self.check_range(point_idx, col)?;
+        if self.points.contains_key(&point_idx) {
+            self.generate_batch(point_idx)?;
+        } else {
+            self.touch(point_idx)?;
+        }
+        Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))
+    }
+
+    /// The blocking form of the anytime contract: refine `(point_idx,
+    /// col)` until the bound is at most `eps` wide or the per-point sample
+    /// budget (`n_target`) is exhausted, and report which it was. A
+    /// converged `SUBSCRIBE` stream ends with exactly the bits this
+    /// returns for the same (config, seed, budget) — both paths run the
+    /// same refine steps in the same order.
+    pub fn estimate_bounded(
+        &mut self,
+        point_idx: usize,
+        col: usize,
+        eps: f64,
+    ) -> Result<BoundedEstimate> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(PdbError::OutOfRange(format!(
+                "eps must be positive and finite, got {eps}"
+            )));
+        }
+        self.check_range(point_idx, col)?;
+        self.touch(point_idx)?;
+        let mut est = Self::wire_safe(self.estimate(point_idx, col).expect("touched"))?;
+        let mut steps = 0usize;
+        while est.width() > eps {
+            let before = self.worlds_evaluated;
+            self.generate_batch(point_idx)?;
+            if self.worlds_evaluated == before {
+                // n_target reached with the bound still wider than eps.
+                return Ok(BoundedEstimate { estimate: est, converged: false, steps });
+            }
+            steps += 1;
+            est = Self::wire_safe(self.estimate(point_idx, col).expect("touched"))?;
+        }
+        Ok(BoundedEstimate { estimate: est, converged: true, steps })
     }
 
     /// Number of basis distributions per column.
@@ -726,6 +922,111 @@ mod tests {
         let worlds = session.worlds_evaluated;
         session.estimate_now(9, 0).unwrap();
         assert_eq!(session.worlds_evaluated, worlds);
+    }
+
+    #[test]
+    fn estimate_now_out_of_range_is_typed_error() {
+        let s = sim();
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
+        match session.estimate_now(999_999_999, 0) {
+            Err(jigsaw_pdb::PdbError::OutOfRange(msg)) => assert!(msg.contains("point")),
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        match session.estimate_now(0, 99) {
+            Err(jigsaw_pdb::PdbError::OutOfRange(msg)) => assert!(msg.contains("column")),
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        // The session survives the bad probes and keeps serving.
+        assert!(session.estimate_now(9, 0).is_ok());
+    }
+
+    #[test]
+    fn anytime_bound_brackets_and_never_widens() {
+        let s = sim();
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
+        session.set_focus(9);
+        let first = session.estimate_now(9, 0).unwrap();
+        assert!(first.lo <= first.expectation && first.expectation <= first.hi);
+        let mut prev = (first.lo, first.hi);
+        for _ in 0..40 {
+            session.tick().unwrap();
+            let est = session.estimate(9, 0).unwrap();
+            assert!(est.lo <= est.expectation && est.expectation <= est.hi);
+            assert!(est.lo >= prev.0, "lower edge widened: {} < {}", est.lo, prev.0);
+            assert!(est.hi <= prev.1, "upper edge widened: {} > {}", est.hi, prev.1);
+            prev = (est.lo, est.hi);
+        }
+        // The converged expectation sits inside every interval streamed on
+        // the way (the running intersection is exactly the final interval).
+        let converged = session.estimate(9, 0).unwrap();
+        assert!(prev.0 <= converged.expectation && converged.expectation <= prev.1);
+        // Week 10 demand has mean 10; the 3σ bound should bracket it.
+        assert!(converged.lo <= 10.0 && 10.0 <= converged.hi, "{converged:?}");
+    }
+
+    #[test]
+    fn estimate_bounded_converges_and_matches_blocking_estimate() {
+        let s = sim();
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
+        let bounded = session.estimate_bounded(9, 0, 0.5).unwrap();
+        assert!(bounded.converged);
+        assert!(bounded.estimate.width() <= 0.5);
+        assert!(bounded.steps > 0, "a cold point needs refinement to reach eps");
+        // The determinism contract: a blocking probe on the same state
+        // returns the exact same bits.
+        let blocking = session.estimate_now(9, 0).unwrap();
+        assert_eq!(blocking.expectation.to_bits(), bounded.estimate.expectation.to_bits());
+        assert_eq!(blocking.std_dev.to_bits(), bounded.estimate.std_dev.to_bits());
+        assert_eq!(blocking.lo.to_bits(), bounded.estimate.lo.to_bits());
+        assert_eq!(blocking.hi.to_bits(), bounded.estimate.hi.to_bits());
+        assert_eq!(blocking.n_samples, bounded.estimate.n_samples);
+    }
+
+    #[test]
+    fn estimate_bounded_reports_budget_exhaustion() {
+        let s = sim();
+        let cfg = SessionConfig { n_target: 20, ..SessionConfig::default() };
+        let mut session = InteractiveSession::new(s.clone(), cfg);
+        // An absurdly tight bound cannot be met with 20 samples.
+        let bounded = session.estimate_bounded(9, 0, 1e-12).unwrap();
+        assert!(!bounded.converged);
+        assert!(bounded.estimate.width() > 1e-12);
+        assert_eq!(bounded.estimate.n_samples, 20, "refined to the cap before giving up");
+    }
+
+    #[test]
+    fn estimate_bounded_rejects_bad_eps() {
+        let s = sim();
+        let mut session = InteractiveSession::new(s.clone(), SessionConfig::default());
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match session.estimate_bounded(9, 0, eps) {
+                Err(jigsaw_pdb::PdbError::OutOfRange(msg)) => assert!(msg.contains("eps")),
+                other => panic!("eps {eps}: expected OutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refine_once_stream_matches_estimate_bounded() {
+        let s = sim();
+        let eps = 0.5;
+        // Path A: the blocking loop.
+        let mut blocking = InteractiveSession::new(s.clone(), SessionConfig::default());
+        let bounded = blocking.estimate_bounded(9, 0, eps).unwrap();
+        // Path B: the server's per-pump stepping — touch, then refine one
+        // batch at a time until the width crosses eps.
+        let mut streaming = InteractiveSession::new(s.clone(), SessionConfig::default());
+        let mut est = streaming.refine_once(9, 0).unwrap();
+        while est.width() > eps {
+            let before = streaming.worlds_evaluated;
+            est = streaming.refine_once(9, 0).unwrap();
+            assert!(streaming.worlds_evaluated > before, "refinement must progress");
+        }
+        assert_eq!(est.expectation.to_bits(), bounded.estimate.expectation.to_bits());
+        assert_eq!(est.lo.to_bits(), bounded.estimate.lo.to_bits());
+        assert_eq!(est.hi.to_bits(), bounded.estimate.hi.to_bits());
+        assert_eq!(est.n_samples, bounded.estimate.n_samples);
+        assert_eq!(streaming.worlds_evaluated, blocking.worlds_evaluated);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum PdbError {
     /// comparisons (`f64::max` silently drops it, orderings silently fail),
     /// so the selector refuses to rank candidates on it.
     NanMetric(String),
+    /// A client-supplied index (parameter point, output column, …) is
+    /// outside the valid range. Long-lived hosts answer `ERR` and keep
+    /// serving — the same contract as `WorkerPanic` — instead of tripping
+    /// an `assert!` and taking the whole server down.
+    OutOfRange(String),
 }
 
 impl fmt::Display for PdbError {
@@ -69,6 +74,7 @@ impl fmt::Display for PdbError {
                 write!(f, "simulation panicked during world evaluation: {msg}")
             }
             PdbError::NanMetric(msg) => write!(f, "metric is NaN: {msg}"),
+            PdbError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
         }
     }
 }
@@ -101,6 +107,10 @@ mod tests {
         assert_eq!(
             PdbError::NanMetric("constraint on `x`".into()).to_string(),
             "metric is NaN: constraint on `x`"
+        );
+        assert_eq!(
+            PdbError::OutOfRange("point 99 of 10".into()).to_string(),
+            "out of range: point 99 of 10"
         );
     }
 }

@@ -79,6 +79,33 @@ impl OutputMetrics {
         Histogram::from_data(&self.samples, bins)
     }
 
+    /// A CLT-style two-sided bound on the *true mean*: `mean ± z·sd/√n`.
+    ///
+    /// Returns `None` when no bound can be stated — zero samples (callers
+    /// map this to a typed error; NaN must never cross the wire), or a NaN
+    /// mean/sd. With exactly one sample the spread is unknowable, so the
+    /// bound is the honest `(-∞, +∞)`. The interval is *not* clamped to the
+    /// observed min/max: the sample range bounds the samples, not the mean.
+    pub fn expectation_interval(&self, z: f64) -> Option<(f64, f64)> {
+        let n = self.n();
+        if n == 0 {
+            return None;
+        }
+        let mean = self.moments.mean();
+        if mean.is_nan() {
+            return None;
+        }
+        if n == 1 {
+            return Some((f64::NEG_INFINITY, f64::INFINITY));
+        }
+        let sd = self.moments.sd();
+        if sd.is_nan() {
+            return None;
+        }
+        let half = z * sd / (n as f64).sqrt();
+        Some((mean - half, mean + half))
+    }
+
     /// Add more samples (progressive refinement in the interactive mode).
     pub fn extend(&mut self, more: &[f64]) {
         for &x in more {
@@ -193,5 +220,47 @@ mod tests {
     fn empty_prob_is_nan() {
         let m = OutputMetrics::from_samples(vec![]);
         assert!(m.prob_over(0.0).is_nan());
+    }
+
+    #[test]
+    fn expectation_interval_empty_is_none() {
+        let m = OutputMetrics::from_samples(vec![]);
+        assert_eq!(m.expectation_interval(3.0), None);
+    }
+
+    #[test]
+    fn expectation_interval_single_sample_is_unbounded() {
+        let m = OutputMetrics::from_samples(vec![7.0]);
+        let (lo, hi) = m.expectation_interval(3.0).unwrap();
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn expectation_interval_brackets_mean_and_shrinks() {
+        let m = metrics();
+        let (lo, hi) = m.expectation_interval(3.0).unwrap();
+        assert!(lo < m.expectation() && m.expectation() < hi);
+        let half = 3.0 * m.std_dev() / (m.n() as f64).sqrt();
+        assert!((hi - lo - 2.0 * half).abs() < 1e-12);
+        // More samples of the same distribution tighten the bound.
+        let mut big = metrics();
+        big.extend(&[1.0, 2.0, 3.0, 4.0, 5.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (blo, bhi) = big.expectation_interval(3.0).unwrap();
+        assert!(bhi - blo < hi - lo);
+    }
+
+    #[test]
+    fn expectation_interval_constant_samples_is_degenerate() {
+        let m = OutputMetrics::from_samples(vec![4.0, 4.0, 4.0]);
+        let (lo, hi) = m.expectation_interval(3.0).unwrap();
+        assert_eq!(lo, 4.0);
+        assert_eq!(hi, 4.0);
+    }
+
+    #[test]
+    fn expectation_interval_nan_samples_is_none() {
+        let m = OutputMetrics::from_samples(vec![1.0, f64::NAN]);
+        assert_eq!(m.expectation_interval(3.0), None);
     }
 }

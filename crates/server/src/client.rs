@@ -43,18 +43,59 @@ impl Client {
     }
 
     /// Send one request and wait for its response. The protocol is strictly
-    /// request/response, so `Err(Truncated)` here means the server went
-    /// away mid-exchange.
+    /// request/response (`SUBSCRIBE` excepted — use [`Client::subscribe`]),
+    /// so `Err(Truncated)` here means the server went away mid-exchange.
     pub fn request(&mut self, req: &Request) -> Result<Response, ProtocolError> {
         send_request(&mut self.stream, req)?;
         recv_response(&mut self.stream)?.ok_or(ProtocolError::Truncated)
     }
 
+    /// Open a `SUBSCRIBE` stream and hand each frame to `on_frame` as it
+    /// arrives: zero or more `INTERVAL`s (or a single `ERR`), closed by
+    /// the final `EST`. The callback form lets callers observe *when* each
+    /// bound lands — the anytime latency E13 measures.
+    pub fn subscribe_each(
+        &mut self,
+        point: usize,
+        col: usize,
+        eps: f64,
+        mut on_frame: impl FnMut(&Response),
+    ) -> Result<(), ProtocolError> {
+        send_request(
+            &mut self.stream,
+            &Request::Subscribe { point, col, eps_bits: eps.to_bits() },
+        )?;
+        loop {
+            let resp = recv_response(&mut self.stream)?.ok_or(ProtocolError::Truncated)?;
+            let done = !matches!(resp, Response::Interval { .. });
+            on_frame(&resp);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// [`Client::subscribe_each`], collected: returns every streamed frame
+    /// in order. The last element is therefore `Estimated` on success and
+    /// `Error` on rejection.
+    pub fn subscribe(
+        &mut self,
+        point: usize,
+        col: usize,
+        eps: f64,
+    ) -> Result<Vec<Response>, ProtocolError> {
+        let mut frames = Vec::new();
+        self.subscribe_each(point, col, eps, |resp| frames.push(resp.clone()))?;
+        Ok(frames)
+    }
+
     /// Replay a line-oriented script (blank lines and `#` comments
     /// skipped), returning the canonical transcript: each command echoed
-    /// with a `> ` prefix, each response with `< `. Every response field is
-    /// deterministic given the server's scenario and configuration, so the
-    /// transcript can be byte-diffed against a golden file.
+    /// with a `> ` prefix, each response with `< `. A `SUBSCRIBE` command
+    /// echoes once and then prints every streamed frame as its own `< `
+    /// line. Every response field is deterministic given the server's
+    /// scenario and configuration, so the transcript can be byte-diffed
+    /// against a golden file.
     pub fn run_script(&mut self, script: &str) -> Result<String, ProtocolError> {
         let mut transcript = String::new();
         for line in script.lines() {
@@ -63,9 +104,15 @@ impl Client {
                 continue;
             }
             let req = Request::from_script_line(line)?;
-            let resp = self.request(&req)?;
             let _ = writeln!(transcript, "> {line}");
-            let _ = writeln!(transcript, "< {}", resp.encode());
+            if let Request::Subscribe { point, col, eps_bits } = req {
+                for resp in self.subscribe(point, col, f64::from_bits(eps_bits))? {
+                    let _ = writeln!(transcript, "< {}", resp.encode());
+                }
+            } else {
+                let resp = self.request(&req)?;
+                let _ = writeln!(transcript, "< {}", resp.encode());
+            }
         }
         Ok(transcript)
     }

@@ -102,12 +102,40 @@ fn err(code: ErrorCode, message: &str) -> Response {
     Response::Error { code, message: message.to_string() }
 }
 
+/// The wire form of an estimate, bit-exact (including the anytime bound).
+fn estimated(point: usize, col: usize, est: &jigsaw_core::interactive::Estimate) -> Response {
+    Response::Estimated {
+        point,
+        col,
+        n_samples: est.n_samples,
+        source: est.source,
+        expectation_bits: est.expectation.to_bits(),
+        std_dev_bits: est.std_dev.to_bits(),
+        lo_bits: est.lo.to_bits(),
+        hi_bits: est.hi.to_bits(),
+    }
+}
+
 /// A connection's compiled scenario plus the interactive session attached
 /// to its shared store. Both own `Arc`s of the simulation, so the pair is
 /// `'static` and lives inside the event loop's connection list.
 struct Session {
     compiled: Compiled,
     session: InteractiveSession,
+}
+
+/// An in-flight `SUBSCRIBE`: the readiness loop advances it one refine
+/// step per pump pass, streaming an `INTERVAL` frame each time the bound
+/// moves and closing with the final `EST` on convergence or exhaustion.
+#[derive(Clone, Copy)]
+struct Subscription {
+    point: usize,
+    col: usize,
+    eps: f64,
+    /// The last streamed interval `(n, lo_bits, hi_bits)`: refine steps
+    /// that do not move the bound emit no frame, so a slow-converging
+    /// stream is not a wall of identical `INTERVAL` lines.
+    last: (usize, u64, u64),
 }
 
 /// What one [`Conn::pump`] pass accomplished.
@@ -141,6 +169,14 @@ pub(crate) struct Conn {
     wbuf: Vec<u8>,
     wpos: usize,
     session: Option<Session>,
+    /// Negotiated protocol version (1 until the client says `HELLO`).
+    /// Version-gated verbs (`SUBSCRIBE`) check it before executing.
+    version: u32,
+    /// Active `SUBSCRIBE` stream, if any. While one is in flight, buffered
+    /// request frames are *not* executed — their responses would interleave
+    /// into the stream — so per-client ordering stays the blocking
+    /// server's.
+    subscription: Option<Subscription>,
     /// Flush remaining output, then close (set by `QUIT`, peer EOF, or a
     /// framing violation).
     closing: bool,
@@ -160,14 +196,20 @@ impl Conn {
             wbuf: Vec::new(),
             wpos: 0,
             session: None,
+            version: 1,
+            subscription: None,
             closing: false,
         })
     }
 
-    /// Queue a response frame for the next flush.
+    /// Queue a response frame for the next flush. An oversized payload is
+    /// replaced by a short typed error frame — truncating the length
+    /// prefix (`len as u32`) would silently desync every frame after it.
     fn queue(&mut self, resp: &Response) {
-        let payload = resp.encode();
-        debug_assert!(payload.len() <= MAX_FRAME, "oversized frame composed locally");
+        let mut payload = resp.encode();
+        if payload.len() > MAX_FRAME {
+            payload = err(ErrorCode::Exec, "response exceeds the frame size limit").encode();
+        }
         self.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.wbuf.extend_from_slice(payload.as_bytes());
     }
@@ -249,7 +291,9 @@ impl Conn {
             }
             // Execute every complete frame (commands run inline, one at a
             // time, so per-client ordering is the old blocking server's).
-            while !self.closing {
+            // A live SUBSCRIBE stream pauses execution — later requests
+            // stay buffered until its closing EST goes out.
+            while !self.closing && self.subscription.is_none() {
                 match self.next_frame() {
                     FrameStep::Need => break,
                     FrameStep::Dead => {
@@ -279,6 +323,16 @@ impl Conn {
                 self.closing = true;
             }
         }
+        if self.closing {
+            // Nobody is listening for the stream anymore.
+            self.subscription = None;
+        } else if self.subscription.is_some() {
+            // Advance the live stream one refine step per pass. Each step
+            // counts as progress, which resets the loop's 50µs→5ms idle
+            // backoff — a converging subscription keeps its loop hot.
+            self.step_subscription();
+            progressed = true;
+        }
         let (flushed, open) = self.flush();
         progressed |= flushed;
         if !open {
@@ -291,11 +345,100 @@ impl Conn {
         ConnStatus { progressed, open: true }
     }
 
+    /// Open a `SUBSCRIBE` stream: validate, answer the tier-0 interval
+    /// immediately (no simulation beyond the fingerprint head), and either
+    /// close with the final `EST` on the spot or leave the subscription for
+    /// the pump passes to refine.
+    fn handle_subscribe(&mut self, point: usize, col: usize, eps: f64) {
+        if self.version < 2 {
+            self.queue(&err(
+                ErrorCode::Unsupported,
+                &format!("SUBSCRIBE requires protocol version 2 (negotiated {})", self.version),
+            ));
+            return;
+        }
+        let Some(sess) = &mut self.session else {
+            self.queue(&err(ErrorCode::State, "compile a scenario first (COMPILE <script>)"));
+            return;
+        };
+        let space_len = sess.compiled.scenario.space.len();
+        let n_cols = sess.compiled.scenario.columns.len();
+        if point >= space_len {
+            self.queue(&err(
+                ErrorCode::State,
+                &format!("point {point} out of range 0..{space_len}"),
+            ));
+            return;
+        }
+        if col >= n_cols {
+            self.queue(&err(ErrorCode::State, &format!("column {col} out of range 0..{n_cols}")));
+            return;
+        }
+        // Tier 0: touch (fingerprint head + basis match) and report the
+        // analytic bound before any refinement happens.
+        match sess.session.estimate_now(point, col) {
+            Err(e) => self.queue(&err(ErrorCode::Exec, &e.to_string())),
+            Ok(est) => {
+                self.queue(&Response::Interval {
+                    point,
+                    col,
+                    n_samples: est.n_samples,
+                    lo_bits: est.lo.to_bits(),
+                    hi_bits: est.hi.to_bits(),
+                });
+                if est.width() <= eps {
+                    // Served within ε with zero completion simulations.
+                    self.queue(&estimated(point, col, &est));
+                } else {
+                    let last = (est.n_samples, est.lo.to_bits(), est.hi.to_bits());
+                    self.subscription = Some(Subscription { point, col, eps, last });
+                }
+            }
+        }
+    }
+
+    /// One refine step of the live subscription; closes the stream with
+    /// the final `EST` on convergence, budget exhaustion, or error. The
+    /// bits of that `EST` equal a blocking `ESTIMATE` of the same refined
+    /// state — both read the same running-intersection bound.
+    fn step_subscription(&mut self) {
+        let Some(mut sub) = self.subscription.take() else { return };
+        let Some(sess) = &mut self.session else { return };
+        let before = sess.session.worlds_evaluated;
+        match sess.session.refine_once(sub.point, sub.col) {
+            Err(e) => self.queue(&err(ErrorCode::Exec, &e.to_string())),
+            Ok(est) => {
+                let exhausted = sess.session.worlds_evaluated == before;
+                if est.width() <= sub.eps || exhausted {
+                    self.queue(&estimated(sub.point, sub.col, &est));
+                } else {
+                    let now = (est.n_samples, est.lo.to_bits(), est.hi.to_bits());
+                    if now != sub.last {
+                        sub.last = now;
+                        self.queue(&Response::Interval {
+                            point: sub.point,
+                            col: sub.col,
+                            n_samples: est.n_samples,
+                            lo_bits: est.lo.to_bits(),
+                            hi_bits: est.hi.to_bits(),
+                        });
+                    }
+                    self.subscription = Some(sub);
+                }
+            }
+        }
+    }
+
     /// Execute one request, queueing its response.
     fn handle(&mut self, req: Request, state: &ServerState) {
         let resp = match req {
             Request::Hello { version } => {
-                Response::Welcome { version: version.min(PROTOCOL_VERSION) }
+                self.version = version.min(PROTOCOL_VERSION);
+                Response::Welcome { version: self.version }
+            }
+            Request::Subscribe { point, col, eps_bits } => {
+                self.handle_subscribe(point, col, f64::from_bits(eps_bits));
+                return;
             }
             Request::Quit => {
                 self.queue(&Response::Bye);
@@ -338,7 +481,10 @@ fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Resp
     let space_len = compiled.scenario.space.len();
     let n_cols = compiled.scenario.columns.len();
     match req {
-        Request::Hello { .. } | Request::Quit | Request::Compile { .. } => {
+        Request::Hello { .. }
+        | Request::Quit
+        | Request::Compile { .. }
+        | Request::Subscribe { .. } => {
             unreachable!("handled before session dispatch")
         }
         Request::Sweep => {
@@ -378,14 +524,7 @@ fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Resp
                 err(ErrorCode::State, &format!("column {col} out of range 0..{n_cols}"))
             } else {
                 match session.estimate_now(point, col) {
-                    Ok(est) => Response::Estimated {
-                        point,
-                        col,
-                        n_samples: est.n_samples,
-                        source: est.source,
-                        expectation_bits: est.expectation.to_bits(),
-                        std_dev_bits: est.std_dev.to_bits(),
-                    },
+                    Ok(est) => estimated(point, col, &est),
                     Err(e) => err(ErrorCode::Exec, &e.to_string()),
                 }
             }

@@ -17,6 +17,7 @@
 //! SWEEP                      run the wave executor over the whole space
 //! FOCUS <point>              move the session focus
 //! ESTIMATE <point> <col>     touch a point and return its estimate
+//! SUBSCRIBE <point> <col> <eps>   stream the anytime bound (v2+)
 //! TICK <count>               run <count> event-loop iterations
 //! STATS                      session + shared-store telemetry
 //! SAVE <name>                snapshot the shared store server-side
@@ -24,14 +25,16 @@
 //! QUIT                       close the connection
 //! ```
 //!
-//! Responses (one per request, in order):
+//! Responses (one per request, in order — except `SUBSCRIBE`, which
+//! streams zero or more `INTERVAL` frames before its closing `EST`):
 //!
 //! ```text
 //! WELCOME <version>
 //! COMPILED <points> <n_cols> <col>…
 //! SWEPT <points> <worlds> <full_sims> <reused> <warm_hits> <bases>
 //! FOCUSED <point>
-//! EST <point> <col> <n> <basis|direct> <mean_bits> <sd_bits>
+//! EST <point> <col> <n> <basis|direct> <mean_bits> <sd_bits> <lo_bits> <hi_bits>
+//! INTERVAL <point> <col> <n> <lo_bits> <hi_bits>
 //! TICKED <ticks> <worlds>
 //! STATS <bases> <touched> <warm_hits> <worlds> <generation>
 //! SAVED <name> <bytes>
@@ -43,15 +46,23 @@
 //! The handshake is *optional and stateless*: a client may send `HELLO`
 //! with the highest version it speaks (in any connection state), and the
 //! server answers `WELCOME` with `min(client, server)` — the version both
-//! sides then hold to. Clients that never say `HELLO` get version-1
-//! behavior, so pre-handshake clients keep working; future wire changes
-//! (e.g. a `SUBSCRIBE` verb) gate on the negotiated version instead of
-//! breaking them.
+//! sides then hold to. New *verbs* gate on the negotiated version:
+//! `SUBSCRIBE` (version 2) is answered `ERR unsupported` on a version-1
+//! connection. Version 2 also widened `EST` with the anytime bound's
+//! `<lo_bits> <hi_bits>`; in-repo client and server always move together
+//! (the golden transcripts pin the current shape).
+//!
+//! `SUBSCRIBE <eps>` is a decimal f64 (e.g. `0.05`) — Rust's shortest
+//! round-trippable `Display`/`parse` keeps it bit-exact on the wire; it
+//! must be finite and positive. The stream closes with an `EST` carrying
+//! the exact bit patterns a blocking `ESTIMATE` of the same refined state
+//! returns — the anytime determinism contract.
 //!
 //! `<bases>` is a comma-joined per-column basis count (`-` when empty);
-//! `<mean_bits>`/`<sd_bits>` are the IEEE-754 bit patterns of the estimate
-//! in fixed-width hex, so estimates cross the wire **bit-exactly** — the
-//! server-vs-local identity tests compare them as integers.
+//! `<mean_bits>`/`<sd_bits>`/`<lo_bits>`/`<hi_bits>` are the IEEE-754 bit
+//! patterns of the estimate in fixed-width hex, so estimates cross the
+//! wire **bit-exactly** — the server-vs-local identity tests compare them
+//! as integers.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -64,16 +75,21 @@ use jigsaw_pdb::PdbError;
 pub const MAX_FRAME: usize = 1 << 20;
 
 /// Highest protocol version this build speaks. Version 1 is the original
-/// verb set plus the `HELLO`/`WELCOME` handshake itself.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// verb set plus the `HELLO`/`WELCOME` handshake itself; version 2 adds
+/// the anytime-estimate surface (`SUBSCRIBE`/`INTERVAL`, and the
+/// `lo_bits`/`hi_bits` fields on `EST`).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Why a frame or message could not be read, written, or parsed.
 #[derive(Debug)]
 pub enum ProtocolError {
     /// Underlying socket/file I/O failed.
     Io(std::io::Error),
-    /// A frame declared a payload longer than [`MAX_FRAME`].
-    FrameTooLarge(usize),
+    /// A frame payload longer than [`MAX_FRAME`] — declared by a length
+    /// prefix on read, or composed locally on write. Both directions are
+    /// hard errors: a release build must never truncate the length to
+    /// `u32` and silently desync the stream.
+    Oversized(usize),
     /// The stream ended inside a frame (mid-prefix or mid-payload).
     Truncated,
     /// The payload bytes are not valid UTF-8.
@@ -86,7 +102,7 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::Io(e) => write!(f, "frame I/O: {e}"),
-            ProtocolError::FrameTooLarge(n) => {
+            ProtocolError::Oversized(n) => {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
             }
             ProtocolError::Truncated => write!(f, "frame truncated"),
@@ -125,13 +141,19 @@ impl From<ProtocolError> for PdbError {
 /// ends guards the same latency; see [`crate::Client::connect`]).
 ///
 /// [`TcpStream::set_nodelay`]: std::net::TcpStream::set_nodelay
-pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME, "oversized frame composed locally");
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), ProtocolError> {
+    // A typed error, not a debug_assert: in release builds the assert
+    // would vanish and `payload.len() as u32` would silently truncate the
+    // prefix, desyncing every frame after it.
+    if payload.len() > MAX_FRAME {
+        return Err(ProtocolError::Oversized(payload.len()));
+    }
     let mut frame = Vec::with_capacity(4 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(payload.as_bytes());
     w.write_all(&frame)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Read one frame's payload. `Ok(None)` is a clean end-of-stream (the peer
@@ -150,7 +172,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
     }
     let len = u32::from_le_bytes(prefix) as usize;
     if len > MAX_FRAME {
-        return Err(ProtocolError::FrameTooLarge(len));
+        return Err(ProtocolError::Oversized(len));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| match e.kind() {
@@ -186,6 +208,17 @@ pub enum Request {
         point: usize,
         /// Output-column index.
         col: usize,
+    },
+    /// Stream the anytime bound for one (point, column) until it is at
+    /// most `eps` wide or the sample budget runs out (protocol v2+).
+    Subscribe {
+        /// Parameter-space point index.
+        point: usize,
+        /// Output-column index.
+        col: usize,
+        /// `f64::to_bits` of the target width (bits keep the enum `Eq`;
+        /// the wire carries the decimal form, which round-trips exactly).
+        eps_bits: u64,
     },
     /// Run event-loop iterations.
     Tick {
@@ -226,6 +259,9 @@ impl Request {
             Request::Sweep => "SWEEP".into(),
             Request::Focus { point } => format!("FOCUS {point}"),
             Request::Estimate { point, col } => format!("ESTIMATE {point} {col}"),
+            Request::Subscribe { point, col, eps_bits } => {
+                format!("SUBSCRIBE {point} {col} {}", f64::from_bits(*eps_bits))
+            }
             Request::Tick { count } => format!("TICK {count}"),
             Request::Stats => "STATS".into(),
             Request::Save { name } => format!("SAVE {name}"),
@@ -284,6 +320,23 @@ impl Request {
                 Ok(Request::Estimate {
                     point: parse_num("point", args[0])?,
                     col: parse_num("column", args[1])?,
+                })
+            }
+            "SUBSCRIBE" => {
+                arity(3)?;
+                let eps = args[2].parse::<f64>().map_err(|_| {
+                    ProtocolError::Malformed(format!("eps `{}` is not a number", args[2]))
+                })?;
+                if !(eps.is_finite() && eps > 0.0) {
+                    return Err(ProtocolError::Malformed(format!(
+                        "eps `{}` must be positive and finite",
+                        args[2]
+                    )));
+                }
+                Ok(Request::Subscribe {
+                    point: parse_num("point", args[0])?,
+                    col: parse_num("column", args[1])?,
+                    eps_bits: eps.to_bits(),
                 })
             }
             "TICK" => {
@@ -416,6 +469,23 @@ pub enum Response {
         expectation_bits: u64,
         /// `f64::to_bits` of the standard deviation.
         std_dev_bits: u64,
+        /// `f64::to_bits` of the anytime bound's lower edge (v2+).
+        lo_bits: u64,
+        /// `f64::to_bits` of the anytime bound's upper edge (v2+).
+        hi_bits: u64,
+    },
+    /// One step of a `SUBSCRIBE` stream: the current anytime bound (v2+).
+    Interval {
+        /// Point index.
+        point: usize,
+        /// Column index.
+        col: usize,
+        /// Samples backing the bound so far.
+        n_samples: usize,
+        /// `f64::to_bits` of the bound's lower edge.
+        lo_bits: u64,
+        /// `f64::to_bits` of the bound's upper edge.
+        hi_bits: u64,
     },
     /// Event-loop iterations ran.
     Ticked {
@@ -515,14 +585,19 @@ impl Response {
                 source,
                 expectation_bits,
                 std_dev_bits,
+                lo_bits,
+                hi_bits,
             } => {
                 let src = match source {
                     EstimateSource::MappedBasis => "basis",
                     EstimateSource::Direct => "direct",
                 };
                 format!(
-                    "EST {point} {col} {n_samples} {src} {expectation_bits:016x} {std_dev_bits:016x}"
+                    "EST {point} {col} {n_samples} {src} {expectation_bits:016x} {std_dev_bits:016x} {lo_bits:016x} {hi_bits:016x}"
                 )
+            }
+            Response::Interval { point, col, n_samples, lo_bits, hi_bits } => {
+                format!("INTERVAL {point} {col} {n_samples} {lo_bits:016x} {hi_bits:016x}")
             }
             Response::Ticked { ticks, worlds } => format!("TICKED {ticks} {worlds}"),
             Response::Stats { bases, touched, warm_hits, worlds, generation } => format!(
@@ -601,7 +676,7 @@ impl Response {
                 Ok(Response::Focused { point: num("point", args[0])? as usize })
             }
             "EST" => {
-                arity(6)?;
+                arity(8)?;
                 let source = match args[3] {
                     "basis" => EstimateSource::MappedBasis,
                     "direct" => EstimateSource::Direct,
@@ -618,6 +693,18 @@ impl Response {
                     source,
                     expectation_bits: decode_bits(args[4])?,
                     std_dev_bits: decode_bits(args[5])?,
+                    lo_bits: decode_bits(args[6])?,
+                    hi_bits: decode_bits(args[7])?,
+                })
+            }
+            "INTERVAL" => {
+                arity(5)?;
+                Ok(Response::Interval {
+                    point: num("point", args[0])? as usize,
+                    col: num("column", args[1])? as usize,
+                    n_samples: num("n_samples", args[2])? as usize,
+                    lo_bits: decode_bits(args[3])?,
+                    hi_bits: decode_bits(args[4])?,
                 })
             }
             "TICKED" => {
@@ -670,12 +757,12 @@ impl Response {
 }
 
 /// Send a request as one frame.
-pub fn send_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
+pub fn send_request(w: &mut impl Write, req: &Request) -> Result<(), ProtocolError> {
     write_frame(w, &req.encode())
 }
 
 /// Send a response as one frame.
-pub fn send_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+pub fn send_response(w: &mut impl Write, resp: &Response) -> Result<(), ProtocolError> {
     write_frame(w, &resp.encode())
 }
 
@@ -715,7 +802,24 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         let r = read_frame(&mut std::io::Cursor::new(buf));
-        assert!(matches!(r, Err(ProtocolError::FrameTooLarge(_))));
+        assert!(matches!(r, Err(ProtocolError::Oversized(_))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write_too() {
+        // A payload one byte past MAX_FRAME must be a typed error, not a
+        // truncated length prefix: nothing may reach the writer.
+        let payload = "x".repeat(MAX_FRAME + 1);
+        let mut buf = Vec::new();
+        match write_frame(&mut buf, &payload) {
+            Err(ProtocolError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "no bytes may leak before the size check");
+        // At the limit exactly, the frame goes through.
+        let fits = "x".repeat(MAX_FRAME);
+        write_frame(&mut buf, &fits).unwrap();
+        assert_eq!(read_frame(&mut std::io::Cursor::new(buf)).unwrap().as_deref(), Some(&*fits));
     }
 
     #[test]
@@ -747,8 +851,8 @@ mod tests {
     #[test]
     fn hello_welcome_wire_forms() {
         let hello = Request::Hello { version: PROTOCOL_VERSION };
-        assert_eq!(hello.encode(), "HELLO 1");
-        assert_eq!(Request::decode("HELLO 1").unwrap(), hello);
+        assert_eq!(hello.encode(), "HELLO 2");
+        assert_eq!(Request::decode("HELLO 2").unwrap(), hello);
         assert!(Request::decode("HELLO").is_err());
         assert!(Request::decode("HELLO one").is_err());
         assert!(Request::decode("HELLO 1 2").is_err());
@@ -777,6 +881,8 @@ mod tests {
             source: EstimateSource::MappedBasis,
             expectation_bits: 10.03f64.to_bits(),
             std_dev_bits: 1.5f64.to_bits(),
+            lo_bits: 9.7f64.to_bits(),
+            hi_bits: 10.4f64.to_bits(),
         };
         let wire = est.encode();
         assert!(wire.starts_with("EST 9 0 210 basis "), "{wire}");
@@ -784,9 +890,57 @@ mod tests {
         let err =
             Response::Error { code: ErrorCode::State, message: "compile a scenario first".into() };
         assert_eq!(Response::decode(&err.encode()).unwrap(), err);
-        assert!(Response::decode("EST 9 0 210 basis xyz 0").is_err());
+        assert!(Response::decode("EST 9 0 210 basis xyz 0 0 0").is_err());
+        assert!(
+            Response::decode("EST 9 0 210 basis 4024000000000000 3ff8000000000000").is_err(),
+            "the v1 six-field EST is no longer a valid frame"
+        );
         assert!(Response::decode("COMPILED 10 2 one").is_err(), "column count must match");
         assert!(Response::decode("BONKERS").is_err());
+    }
+
+    #[test]
+    fn subscribe_wire_forms() {
+        let sub = Request::Subscribe { point: 9, col: 0, eps_bits: 0.05f64.to_bits() };
+        assert_eq!(sub.encode(), "SUBSCRIBE 9 0 0.05");
+        assert_eq!(Request::decode("SUBSCRIBE 9 0 0.05").unwrap(), sub);
+        // eps must be a positive finite number.
+        assert!(Request::decode("SUBSCRIBE 9 0").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 zero").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 0").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 -0.5").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 NaN").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 inf").is_err());
+        assert!(Request::decode("SUBSCRIBE 9 0 0.05 extra").is_err());
+        // An awkward decimal survives encode→decode bit-exactly (shortest
+        // round-trippable Display).
+        let fussy = Request::Subscribe { point: 1, col: 1, eps_bits: 0.1f64.to_bits() };
+        assert_eq!(Request::decode(&fussy.encode()).unwrap(), fussy);
+    }
+
+    #[test]
+    fn interval_wire_forms() {
+        let iv = Response::Interval {
+            point: 9,
+            col: 0,
+            n_samples: 40,
+            lo_bits: 9.5f64.to_bits(),
+            hi_bits: 10.5f64.to_bits(),
+        };
+        let wire = iv.encode();
+        assert!(wire.starts_with("INTERVAL 9 0 40 "), "{wire}");
+        assert_eq!(Response::decode(&wire).unwrap(), iv);
+        assert!(Response::decode("INTERVAL 9 0 40").is_err());
+        assert!(Response::decode("INTERVAL 9 0 40 xyz 0").is_err());
+        // ±∞ edges (the one-sample bound) are legitimate bit patterns.
+        let open = Response::Interval {
+            point: 0,
+            col: 0,
+            n_samples: 1,
+            lo_bits: f64::NEG_INFINITY.to_bits(),
+            hi_bits: f64::INFINITY.to_bits(),
+        };
+        assert_eq!(Response::decode(&open.encode()).unwrap(), open);
     }
 
     #[test]

@@ -46,6 +46,16 @@ fn ident() -> impl Strategy<Value = String> {
     vec(0usize..CS.len(), 1..10).prop_map(|ix| ix.into_iter().map(|i| CS[i] as char).collect())
 }
 
+/// Valid `SUBSCRIBE` widths: any positive finite f64, as bits. The wire
+/// carries the decimal `Display` form, whose shortest-round-trip contract
+/// is exactly what the roundtrip property checks.
+fn eps_bits() -> impl Strategy<Value = u64> {
+    any::<u64>()
+        .prop_map(|b| f64::from_bits(b >> 1)) // clear the sign bit
+        .prop_filter("positive finite", |x| x.is_finite() && *x > 0.0)
+        .prop_map(|x| x.to_bits())
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         any::<u32>().prop_map(|version| Request::Hello { version }),
@@ -53,6 +63,8 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Sweep),
         (0usize..10_000).prop_map(|point| Request::Focus { point }),
         (0usize..10_000, 0usize..8).prop_map(|(point, col)| Request::Estimate { point, col }),
+        (0usize..10_000, 0usize..8, eps_bits())
+            .prop_map(|(point, col, eps_bits)| Request::Subscribe { point, col, eps_bits }),
         (0u32..100_000).prop_map(|count| Request::Tick { count }),
         Just(Request::Stats),
         name().prop_map(|name| Request::Save { name }),
@@ -97,17 +109,36 @@ fn response() -> impl Strategy<Value = Response> {
                 Response::Swept { points, worlds, full_sims, reused, warm_hits, bases }
             }),
         (0usize..10_000).prop_map(|point| Response::Focused { point }),
-        (0usize..10_000, 0usize..8, 0usize..100_000, source(), any::<u64>(), any::<u64>())
-            .prop_map(|(point, col, n_samples, source, expectation_bits, std_dev_bits)| {
-                Response::Estimated {
-                    point,
-                    col,
-                    n_samples,
-                    source,
-                    expectation_bits,
-                    std_dev_bits,
+        (
+            (0usize..10_000, 0usize..8, 0usize..100_000, source()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        )
+            .prop_map(
+                |(
+                    (point, col, n_samples, source),
+                    (expectation_bits, std_dev_bits, lo_bits, hi_bits),
+                )| {
+                    Response::Estimated {
+                        point,
+                        col,
+                        n_samples,
+                        source,
+                        expectation_bits,
+                        std_dev_bits,
+                        lo_bits,
+                        hi_bits,
+                    }
                 }
-            }),
+            ),
+        (0usize..10_000, 0usize..8, 0usize..100_000, any::<u64>(), any::<u64>()).prop_map(
+            |(point, col, n_samples, lo_bits, hi_bits)| Response::Interval {
+                point,
+                col,
+                n_samples,
+                lo_bits,
+                hi_bits
+            }
+        ),
         (0u32..100_000, any::<u64>())
             .prop_map(|(ticks, worlds)| Response::Ticked { ticks, worlds }),
         (counts(), 0usize..10_000, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
@@ -178,6 +209,39 @@ proptest! {
             Ok(resp) => prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp),
             Err(ProtocolError::Malformed(_)) => {}
             Err(e) => panic!("decoding garbage must yield Malformed, got {e}"),
+        }
+    }
+
+    #[test]
+    fn malformed_estimate_and_subscribe_are_rejected_not_panicked(
+        point in 0usize..10_000,
+        col in 0usize..8,
+        junk in line(1..8),
+        bad_eps in prop_oneof![
+            Just("0"), Just("-0"), Just("-1.5"), Just("NaN"), Just("-NaN"),
+            Just("inf"), Just("-inf"), Just("1e999"), Just("eps"), Just("0x1"),
+        ],
+    ) {
+        // Wrong arity, non-numeric indices, and bad eps all come back as
+        // Malformed; none of them panic or slip through as a request.
+        for wire in [
+            format!("ESTIMATE {point}"),
+            format!("ESTIMATE {point} {col} extra"),
+            format!("ESTIMATE {junk} {col}"),
+            format!("SUBSCRIBE {point} {col}"),
+            format!("SUBSCRIBE {point} {col} {bad_eps}"),
+            format!("SUBSCRIBE {point} {junk} 0.5"),
+            format!("SUBSCRIBE {point} {col} 0.5 extra"),
+        ] {
+            match Request::decode(&wire) {
+                Err(ProtocolError::Malformed(_)) => {}
+                Ok(req) => {
+                    // `junk` can be a plain number, making the line valid —
+                    // but then it must round-trip canonically.
+                    prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+                }
+                Err(e) => panic!("`{wire}` must yield Malformed, got {e}"),
+            }
         }
     }
 

@@ -21,12 +21,13 @@ fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
 }
 
-#[test]
-fn scripted_session_matches_golden_transcript() {
+/// Replay `<name>.script` against a default-configuration in-process
+/// server and byte-compare (or re-bless) `<name>.txt`.
+fn replay_against_golden(name: &str) -> String {
     let script =
-        std::fs::read_to_string(golden_path("server_session.script")).expect("script exists");
+        std::fs::read_to_string(golden_path(&format!("{name}.script"))).expect("script exists");
     let snapshot_dir =
-        std::env::temp_dir().join(format!("jigsaw-transcript-{}", std::process::id()));
+        std::env::temp_dir().join(format!("jigsaw-transcript-{name}-{}", std::process::id()));
     // Default configuration — the binaries replay with defaults too; only
     // the snapshot dir is test-local (SAVE must have somewhere to write).
     let handle = JigsawServer::builder()
@@ -39,11 +40,11 @@ fn scripted_session_matches_golden_transcript() {
     handle.shutdown().expect("shutdown");
     std::fs::remove_dir_all(&snapshot_dir).ok();
 
-    let path = golden_path("server_session.txt");
+    let path = golden_path(&format!("{name}.txt"));
     if std::env::var("JIGSAW_BLESS").as_deref() == Ok("1") {
         std::fs::write(&path, &transcript).unwrap();
         eprintln!("blessed {}", path.display());
-        return;
+        return transcript;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
@@ -58,4 +59,50 @@ fn scripted_session_matches_golden_transcript() {
          `JIGSAW_BLESS=1 cargo test --test server_transcript`",
         path.display()
     );
+    transcript
+}
+
+#[test]
+fn scripted_session_matches_golden_transcript() {
+    replay_against_golden("server_session");
+}
+
+/// The `SUBSCRIBE` golden: the streamed INTERVAL/EST frames are replayed
+/// byte-for-byte, and every stream's closing `EST` is byte-identical to
+/// the blocking `ESTIMATE` issued right after it — the anytime path and
+/// the blocking path read the same refined state and the same
+/// running-intersection bound.
+#[test]
+fn scripted_subscribe_matches_golden_and_blocking_estimate() {
+    let transcript = replay_against_golden("server_subscribe");
+    // Pair each SUBSCRIBE's closing EST with the next blocking ESTIMATE's
+    // EST and demand byte equality.
+    let lines: Vec<&str> = transcript.lines().collect();
+    let mut pairs = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if !line.starts_with("> SUBSCRIBE ") {
+            continue;
+        }
+        // The stream's frames follow until the next `> ` command.
+        let stream_end = lines[i + 1..]
+            .iter()
+            .position(|l| l.starts_with("> "))
+            .map(|off| i + 1 + off)
+            .unwrap_or(lines.len());
+        let closing = lines[stream_end - 1];
+        if !closing.starts_with("< EST ") {
+            continue; // rejected stream (ERR) — no determinism pair
+        }
+        assert!(
+            lines[stream_end].starts_with("> ESTIMATE "),
+            "script must follow a converging SUBSCRIBE with a blocking ESTIMATE"
+        );
+        assert_eq!(
+            lines[stream_end + 1],
+            closing,
+            "blocking ESTIMATE after a SUBSCRIBE stream must reproduce its closing EST bits"
+        );
+        pairs += 1;
+    }
+    assert!(pairs >= 2, "expected at least two SUBSCRIBE/ESTIMATE determinism pairs");
 }
