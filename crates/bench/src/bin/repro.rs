@@ -38,7 +38,7 @@
 
 use std::path::PathBuf;
 
-use jigsaw_bench::experiments::{e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9};
+use jigsaw_bench::experiments::{e1, e10, e11, e12, e13, e14, e2, e3, e4, e5, e6, e7, e8, e9};
 use jigsaw_bench::{Scale, Table};
 
 fn main() {
@@ -187,6 +187,10 @@ fn main() {
     if want("e13") {
         eprintln!("[repro] E13: anytime SUBSCRIBE estimates with error bounds…");
         println!("{}", render(&e13::report(&e13::run(scale))));
+    }
+    if want("e14") {
+        eprintln!("[repro] E14: observability overhead, instruments enabled vs disabled…");
+        println!("{}", render(&e14::report(&e14::run(scale))));
     }
     eprintln!("[repro] done.");
 }

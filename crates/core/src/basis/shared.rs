@@ -41,12 +41,47 @@
 //! of dereferencing stale ids.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::basis::snapshot::SnapshotError;
 use crate::basis::ShardedBasisStore;
 use crate::config::JigsawConfig;
 use crate::mapping::MappingFamily;
+
+/// Handles to the shared-store global instruments (see `jigsaw_obs`);
+/// registered once, lock-free to update, purely observational.
+struct StoreObs {
+    replacements: jigsaw_obs::Counter,
+    stores_created: jigsaw_obs::Counter,
+    snapshot_save_us: jigsaw_obs::Histogram,
+    snapshot_save_bytes: jigsaw_obs::Histogram,
+}
+
+fn store_obs() -> &'static StoreObs {
+    static OBS: OnceLock<StoreObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = jigsaw_obs::global();
+        StoreObs {
+            replacements: g.counter("jigsaw_store_replacements_total", &[]),
+            stores_created: g.counter("jigsaw_store_created_total", &[]),
+            snapshot_save_us: g.histogram("jigsaw_store_snapshot_save_us", &[]),
+            snapshot_save_bytes: g.histogram("jigsaw_store_snapshot_save_bytes", &[]),
+        }
+    })
+}
+
+/// Refresh the per-column committed-basis gauges from `store`. Called on
+/// the tail of every mutating access; aggregated over all shared stores in
+/// the process (per-scenario splits live in the `STATS`/`SWEPT` frames).
+fn publish_bases(store: &ShardedBasisStore) {
+    if !jigsaw_obs::enabled() {
+        return;
+    }
+    let g = jigsaw_obs::global();
+    for (c, n) in store.bases_per_column().into_iter().enumerate() {
+        g.gauge("jigsaw_store_bases", &[("col", &c.to_string())]).set(n as i64);
+    }
+}
 
 /// Interior of a [`SharedBasisStore`]: the store plus its replacement
 /// generation.
@@ -86,6 +121,7 @@ impl SharedBasisStore {
 
     /// Wrap an existing store (e.g. one loaded from a snapshot) for sharing.
     pub fn from_store(store: ShardedBasisStore) -> Self {
+        store_obs().stores_created.inc();
         SharedBasisStore { inner: Arc::new(RwLock::new(Inner { generation: 0, store })) }
     }
 
@@ -134,7 +170,9 @@ impl SharedBasisStore {
     ) -> R {
         let mut inner = self.write();
         let generation = inner.generation;
-        f(generation, &mut inner.store)
+        let out = f(generation, &mut inner.store);
+        publish_bases(&inner.store);
+        out
     }
 
     /// Run `f` with exclusive (write-locked) access to the store. Session
@@ -142,7 +180,10 @@ impl SharedBasisStore {
     /// outside the closure; a full sweep deliberately runs inside it — see
     /// the module docs on why that serialization is load-bearing.
     pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut ShardedBasisStore) -> R) -> R {
-        f(&mut self.write().store)
+        let mut inner = self.write();
+        let out = f(&mut inner.store);
+        publish_bases(&inner.store);
+        out
     }
 
     /// Replace the store wholesale (snapshot `LOAD`), returning the previous
@@ -151,7 +192,11 @@ impl SharedBasisStore {
     pub fn replace(&self, store: ShardedBasisStore) -> ShardedBasisStore {
         let mut inner = self.write();
         inner.generation += 1;
-        std::mem::replace(&mut inner.store, store)
+        let old = std::mem::replace(&mut inner.store, store);
+        store_obs().replacements.inc();
+        publish_bases(&inner.store);
+        jigsaw_obs::event!("store.replace", generation = inner.generation);
+        old
     }
 
     /// Serialize the current contents (see
@@ -161,7 +206,12 @@ impl SharedBasisStore {
         cfg: &JigsawConfig,
         family_name: &str,
     ) -> Result<Vec<u8>, SnapshotError> {
-        self.read().store.to_snapshot_bytes(cfg, family_name)
+        let t0 = std::time::Instant::now();
+        let bytes = self.read().store.to_snapshot_bytes(cfg, family_name)?;
+        let obs = store_obs();
+        obs.snapshot_save_us.record_duration(t0.elapsed());
+        obs.snapshot_save_bytes.record(bytes.len() as u64);
+        Ok(bytes)
     }
 
     /// Reclaim exclusive ownership of the store. Fails (returning the

@@ -223,6 +223,28 @@ pub struct InteractiveSession {
     pub warm_hits: u64,
 }
 
+/// Handles to the session-layer global instruments (see `jigsaw_obs`);
+/// registered once, lock-free to update, purely observational.
+struct SessionObs {
+    touches: jigsaw_obs::Counter,
+    warm_hits: jigsaw_obs::Counter,
+    tier0: jigsaw_obs::Counter,
+    refined: jigsaw_obs::Counter,
+}
+
+fn session_obs() -> &'static SessionObs {
+    static OBS: std::sync::OnceLock<SessionObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = jigsaw_obs::global();
+        SessionObs {
+            touches: g.counter("jigsaw_session_touches_total", &[]),
+            warm_hits: g.counter("jigsaw_session_warm_hits_total", &[]),
+            tier0: g.counter("jigsaw_session_estimates_total", &[("tier", "tier0")]),
+            refined: g.counter("jigsaw_session_estimates_total", &[("tier", "refined")]),
+        }
+    })
+}
+
 impl InteractiveSession {
     /// Start a session focused on point 0, with empty (cold) basis stores.
     pub fn new(sim: Arc<dyn Simulation>, cfg: SessionConfig) -> Self {
@@ -441,7 +463,9 @@ impl InteractiveSession {
         });
         if warm {
             self.warm_hits += 1;
+            session_obs().warm_hits.inc();
         }
+        session_obs().touches.inc();
         self.points.insert(point_idx, PointState { cols });
         Ok(())
     }
@@ -628,9 +652,12 @@ impl InteractiveSession {
     /// and return the resulting estimate for `col` — the one-shot what-if
     /// probe the session server's `ESTIMATE` command performs.
     pub fn estimate_now(&mut self, point_idx: usize, col: usize) -> Result<Estimate> {
+        let _span = jigsaw_obs::span!("session.estimate", point = point_idx, col = col);
         self.check_range(point_idx, col)?;
         self.touch(point_idx)?;
-        Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))
+        let est = Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))?;
+        self.count_tier(point_idx, col);
+        Ok(est)
     }
 
     /// One anytime refinement step for `(point_idx, col)`. First contact
@@ -642,13 +669,16 @@ impl InteractiveSession {
     /// results are bit-identical to a blocking session reaching the same
     /// sample count.
     pub fn refine_once(&mut self, point_idx: usize, col: usize) -> Result<Estimate> {
+        let _span = jigsaw_obs::span!("session.refine", point = point_idx, col = col);
         self.check_range(point_idx, col)?;
         if self.points.contains_key(&point_idx) {
             self.generate_batch(point_idx)?;
         } else {
             self.touch(point_idx)?;
         }
-        Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))
+        let est = Self::wire_safe(self.estimate(point_idx, col).expect("point touched above"))?;
+        self.count_tier(point_idx, col);
+        Ok(est)
     }
 
     /// The blocking form of the anytime contract: refine `(point_idx,
@@ -683,6 +713,18 @@ impl InteractiveSession {
             est = Self::wire_safe(self.estimate(point_idx, col).expect("touched"))?;
         }
         Ok(BoundedEstimate { estimate: est, converged: true, steps })
+    }
+
+    /// Count a served estimate as tier-0 (answered from the fingerprint
+    /// head / mapped basis alone — no refinement batches folded into the
+    /// column yet) or refined, for the `jigsaw_session_estimates_total`
+    /// instrument. Purely observational.
+    fn count_tier(&self, point_idx: usize, col: usize) {
+        let obs = session_obs();
+        match self.points.get(&point_idx) {
+            Some(state) if state.cols[col].n_direct <= self.cfg.fingerprint_len => obs.tier0.inc(),
+            _ => obs.refined.inc(),
+        }
     }
 
     /// Number of basis distributions per column.

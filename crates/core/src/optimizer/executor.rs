@@ -58,6 +58,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use jigsaw_obs::span;
 use jigsaw_pdb::{OutputMetrics, Result, Simulation, WorldBatch};
 
 use crate::basis::{BasisId, ShardedBasisStore};
@@ -114,6 +115,36 @@ impl WorkerPool for ScopedPool {
             }
         });
     }
+}
+
+/// Handles to the executor's global instruments, registered once; every
+/// update afterwards is lock-free (see `jigsaw_obs`). Purely
+/// observational: nothing here feeds back into scheduling or results.
+struct ExecObs {
+    waves: jigsaw_obs::Counter,
+    points: jigsaw_obs::Counter,
+    worlds: jigsaw_obs::Counter,
+    fingerprint_us: jigsaw_obs::Histogram,
+    resolve_us: jigsaw_obs::Histogram,
+    completion_us: jigsaw_obs::Histogram,
+    commit_us: jigsaw_obs::Histogram,
+}
+
+fn exec_obs() -> &'static ExecObs {
+    static OBS: OnceLock<ExecObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = jigsaw_obs::global();
+        let phase = |p| g.histogram("jigsaw_exec_phase_us", &[("phase", p)]);
+        ExecObs {
+            waves: g.counter("jigsaw_exec_waves_total", &[]),
+            points: g.counter("jigsaw_exec_points_total", &[]),
+            worlds: g.counter("jigsaw_exec_worlds_total", &[]),
+            fingerprint_us: phase("fingerprint"),
+            resolve_us: phase("resolve"),
+            completion_us: phase("completion"),
+            commit_us: phase("commit"),
+        }
+    })
 }
 
 /// How one column of one wave slot obtains its metrics at commit time.
@@ -221,6 +252,7 @@ fn execute_pass(
             &owned_order
         }
     };
+    let obs = exec_obs();
     let preloaded = stores.bases_per_column();
     let total = order.len();
     let mut points: Vec<PointResult> = Vec::with_capacity(total);
@@ -236,6 +268,7 @@ fn execute_pass(
         // evaluation: worlds are seed-addressed, so the cached bytes are
         // exactly what re-running worlds `0..m` would produce.
         let t0 = Instant::now();
+        let span_fp = span!("wave.fingerprint", wave = stats.waves, points = wave_len);
         let wave_idx = &order[wave_start..wave_start + wave_len];
         let wave_points: Vec<Vec<f64>> = wave_idx.iter().map(|&i| space.point_at(i)).collect();
         let mut heads: Vec<Option<JobOutput>> = Vec::with_capacity(wave_len);
@@ -264,10 +297,14 @@ fn execute_pass(
                 }
             }
         }
-        stats.phase.fingerprint += t0.elapsed();
+        drop(span_fp);
+        let dt_fp = t0.elapsed();
+        obs.fingerprint_us.record_duration(dt_fp);
+        stats.phase.fingerprint += dt_fp;
 
         // Phase 2 — sequential resolve/stage in enumeration order.
         let t1 = Instant::now();
+        let span_rs = span!("wave.resolve", wave = stats.waves);
         let mut slots: Vec<Slot> = Vec::with_capacity(wave_len);
         for (offset, (point, head)) in wave_points.into_iter().zip(heads).enumerate() {
             let head = head.expect("phase 1 filled every head")?;
@@ -293,10 +330,14 @@ fn execute_pass(
             }
             slots.push(Slot { point_idx: wave_idx[offset], point, cols, needs_tail });
         }
-        stats.phase.resolve += t1.elapsed();
+        drop(span_rs);
+        let dt_rs = t1.elapsed();
+        obs.resolve_us.record_duration(dt_rs);
+        stats.phase.resolve += dt_rs;
 
         // Phase 3 — completion simulations for the misses, in parallel.
         let t2 = Instant::now();
+        let span_cp = span!("wave.completion", wave = stats.waves);
         let tail_count = n - m;
         let miss_slots: Vec<usize> =
             slots.iter().enumerate().filter(|(_, s)| s.needs_tail).map(|(i, _)| i).collect();
@@ -311,10 +352,14 @@ fn execute_pass(
         for (&slot_i, tail) in miss_slots.iter().zip(tails) {
             tails_by_slot[slot_i] = Some(tail);
         }
-        stats.phase.completion += t2.elapsed();
+        drop(span_cp);
+        let dt_cp = t2.elapsed();
+        obs.completion_us.record_duration(dt_cp);
+        stats.phase.completion += dt_cp;
 
         // Phase 4 — commit in enumeration order at the wave barrier.
         let t3 = Instant::now();
+        let span_cm = span!("wave.commit", wave = stats.waves);
         let mut wave_reuse = WaveReuse { points: wave_len, ..Default::default() };
         for (slot_i, slot) in slots.into_iter().enumerate() {
             let Slot { point_idx, point, cols, needs_tail } = slot;
@@ -377,7 +422,11 @@ fn execute_pass(
         }
         debug_assert_eq!(stores.staged_total(), 0, "wave barrier left staged bases behind");
         stats.wave_reuse.push(wave_reuse);
-        stats.phase.commit += t3.elapsed();
+        drop(span_cm);
+        let dt_cm = t3.elapsed();
+        obs.commit_us.record_duration(dt_cm);
+        stats.phase.commit += dt_cm;
+        obs.waves.inc();
         wave_start += wave_len;
     }
 
@@ -385,6 +434,8 @@ fn execute_pass(
     stats.bases_per_column = stores.bases_per_column();
     stats.pairings_tested = stores.pairings_total();
     stats.elapsed = start.elapsed();
+    obs.points.add(total as u64);
+    obs.worlds.add(stats.worlds_evaluated);
     Ok(SweepResult { points, stats })
 }
 

@@ -128,6 +128,7 @@ impl PersistentPool {
             st = shared.done.wait(st).expect("pool state poisoned");
         }
         drop(st);
+        pool_obs().workers.add(n_workers as i64);
         PersistentPool { shared, gate: Mutex::new(()), workers, spawn_count: n_workers }
     }
 
@@ -143,6 +144,30 @@ impl std::fmt::Debug for PersistentPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistentPool").field("workers", &self.workers.len()).finish()
     }
+}
+
+/// Handles to the pool's global instruments (see `jigsaw_obs`);
+/// registered once, lock-free to update, purely observational.
+struct PoolObs {
+    parks: jigsaw_obs::Counter,
+    wakes: jigsaw_obs::Counter,
+    scatters: jigsaw_obs::Counter,
+    tasks: jigsaw_obs::Histogram,
+    workers: jigsaw_obs::Gauge,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: std::sync::OnceLock<PoolObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = jigsaw_obs::global();
+        PoolObs {
+            parks: g.counter("jigsaw_pool_parks_total", &[]),
+            wakes: g.counter("jigsaw_pool_wakes_total", &[]),
+            scatters: g.counter("jigsaw_pool_scatters_total", &[]),
+            tasks: g.histogram("jigsaw_pool_tasks_per_scatter", &[]),
+            workers: g.gauge("jigsaw_pool_workers", &[]),
+        }
+    })
 }
 
 fn worker_loop(shared: &Shared) {
@@ -165,9 +190,11 @@ fn worker_loop(shared: &Shared) {
                     // The job may already be retired (scatter finished
                     // before this worker woke); then just park again.
                     if let Some(job) = st.job.clone() {
+                        pool_obs().wakes.inc();
                         break job;
                     }
                 }
+                pool_obs().parks.inc();
                 st = shared.work.wait(st).expect("pool state poisoned");
             }
         };
@@ -210,6 +237,9 @@ impl WorkerPool for PersistentPool {
             return;
         }
         let _gate = self.gate.lock().expect("pool gate poisoned");
+        let obs = pool_obs();
+        obs.scatters.inc();
+        obs.tasks.record(n_tasks as u64);
         // SAFETY: pure lifetime erasure (`&'a dyn …` → `&'static dyn …`) so
         // the borrow can ride in the `'static` job slot. The pointer is
         // retired from that slot before this function — and with it the real
@@ -244,6 +274,7 @@ impl WorkerPool for PersistentPool {
 
 impl Drop for PersistentPool {
     fn drop(&mut self) {
+        pool_obs().workers.add(-(self.spawn_count as i64));
         self.shared.state.lock().expect("pool state poisoned").shutdown = true;
         self.shared.work.notify_all();
         for w in self.workers.drain(..) {

@@ -282,4 +282,29 @@ mod tests {
             MarkovStats { steps: 100, elapsed: Duration::from_millis(250), ..Default::default() };
         assert!((m.ms_per_step() - 2.5).abs() < 1e-12);
     }
+
+    /// The divide-by-zero family: zero points/steps must answer an exact
+    /// 0.0, never NaN or infinity — these ratios flow into rendered bench
+    /// tables and NDJSON traces where a NaN would poison downstream math
+    /// and diffing.
+    #[test]
+    fn zero_denominators_answer_zero_not_nan() {
+        // Zero points, with and without elapsed time on the clock.
+        let idle = SweepStats { elapsed: Duration::from_secs(3), ..Default::default() };
+        assert_eq!(idle.seconds_per_point(), 0.0);
+        assert_eq!(SweepStats::default().seconds_per_point(), 0.0);
+        // Zero points: reuse rate of an empty sweep is 0.0 even though
+        // 0/0 would be NaN.
+        assert_eq!(idle.reuse_rate(), 0.0);
+        let no_points = SweepStats { reused: 0, warm_hits: 0, points: 0, ..Default::default() };
+        assert_eq!(no_points.reuse_rate(), 0.0);
+        // Zero Markov steps, again with time on the clock.
+        let m = MarkovStats { elapsed: Duration::from_millis(9), ..Default::default() };
+        assert_eq!(m.ms_per_step(), 0.0);
+        assert_eq!(MarkovStats::default().ms_per_step(), 0.0);
+        // All three must be finite (the property the guards exist for).
+        assert!(idle.seconds_per_point().is_finite());
+        assert!(idle.reuse_rate().is_finite());
+        assert!(m.ms_per_step().is_finite());
+    }
 }

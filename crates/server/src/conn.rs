@@ -18,11 +18,13 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use jigsaw_core::basis::{config_fingerprint, SharedBasisStore, StoreKey};
 use jigsaw_core::interactive::{InteractiveSession, SessionConfig};
 use jigsaw_core::{AffineFamily, ShardedBasisStore, SweepRunner};
+use jigsaw_obs::{Counter, Gauge, Histogram};
 use jigsaw_pdb::{DirectEngine, PlanSim};
 use jigsaw_prng::SeedSet;
 use jigsaw_sql::{compile, Scenario};
@@ -33,6 +35,70 @@ use crate::server::{fnv64, snapshot_family, snapshot_filename, ServerState, FAMI
 /// Upper bound on `TICK` counts per request, so one client cannot pin a
 /// connection loop indefinitely with a single command.
 pub const MAX_TICKS_PER_REQUEST: u32 = 10_000;
+
+/// Every wire verb, in grammar order — the label space of the per-verb
+/// request instruments.
+const VERBS: [&str; 12] = [
+    "HELLO",
+    "COMPILE",
+    "SWEEP",
+    "FOCUS",
+    "ESTIMATE",
+    "SUBSCRIBE",
+    "TICK",
+    "STATS",
+    "SAVE",
+    "LOAD",
+    "METRICS",
+    "QUIT",
+];
+
+/// Cached handles for the connection layer's instruments (registered once,
+/// updated lock-free). The per-verb counter and latency histogram are
+/// bumped together at a single site, so
+/// `jigsaw_requests_total{verb=V} == jigsaw_request_us_count{verb=V}`
+/// holds by construction — a CI-checked invariant.
+struct ConnObs {
+    /// `(verb, jigsaw_requests_total{verb=}, jigsaw_request_us{verb=})`.
+    verbs: Vec<(&'static str, Counter, Histogram)>,
+    /// Framed-but-unparseable requests (answered `ERR malformed`, so they
+    /// appear in no per-verb series).
+    malformed: Counter,
+    /// Live `SUBSCRIBE` streams across all connections and loops.
+    subs_live: Gauge,
+    /// Cumulative points / warm hits / worlds over every server-side sweep.
+    sweep_points: Counter,
+    sweep_warm_hits: Counter,
+    sweep_worlds: Counter,
+    /// Snapshot parse+index time on `LOAD` (the save-side twin lives in
+    /// the store layer as `jigsaw_store_snapshot_save_us`).
+    snapshot_load_us: Histogram,
+}
+
+fn conn_obs() -> &'static ConnObs {
+    static OBS: OnceLock<ConnObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = jigsaw_obs::global();
+        ConnObs {
+            verbs: VERBS
+                .iter()
+                .map(|v| {
+                    (
+                        *v,
+                        g.counter("jigsaw_requests_total", &[("verb", v)]),
+                        g.histogram("jigsaw_request_us", &[("verb", v)]),
+                    )
+                })
+                .collect(),
+            malformed: g.counter("jigsaw_requests_malformed_total", &[]),
+            subs_live: g.gauge("jigsaw_subscriptions_live", &[]),
+            sweep_points: g.counter("jigsaw_sweep_points_total", &[]),
+            sweep_warm_hits: g.counter("jigsaw_sweep_warm_hits_total", &[]),
+            sweep_worlds: g.counter("jigsaw_sweep_worlds_total", &[]),
+            snapshot_load_us: g.histogram("jigsaw_store_snapshot_load_us", &[]),
+        }
+    })
+}
 
 /// A compiled scenario and everything hanging off it.
 struct Compiled {
@@ -170,7 +236,8 @@ pub(crate) struct Conn {
     wpos: usize,
     session: Option<Session>,
     /// Negotiated protocol version (1 until the client says `HELLO`).
-    /// Version-gated verbs (`SUBSCRIBE`) check it before executing.
+    /// Version-gated verbs (`SUBSCRIBE` v2+, `METRICS` v3+) check it
+    /// before executing.
     version: u32,
     /// Active `SUBSCRIBE` stream, if any. While one is in flight, buffered
     /// request frames are *not* executed — their responses would interleave
@@ -303,10 +370,25 @@ impl Conn {
                     FrameStep::Frame(payload) => {
                         progressed = true;
                         match Request::decode(&payload) {
-                            Ok(req) => self.handle(req, state),
+                            Ok(req) => {
+                                let verb = req.verb();
+                                let span = jigsaw_obs::span!("conn.request", verb = verb);
+                                let t0 = Instant::now();
+                                self.handle(req, state);
+                                drop(span);
+                                // Counter and histogram move together so the
+                                // per-verb count invariant holds exactly.
+                                if let Some((_, reqs, lat)) =
+                                    conn_obs().verbs.iter().find(|(v, _, _)| *v == verb)
+                                {
+                                    reqs.inc();
+                                    lat.record_duration(t0.elapsed());
+                                }
+                            }
                             Err(ProtocolError::Malformed(m)) => {
                                 // Malformed-but-framed: answer and carry on;
                                 // the connection stays usable.
+                                conn_obs().malformed.inc();
                                 self.queue(&err(ErrorCode::Malformed, &m));
                             }
                             Err(_) => self.closing = true,
@@ -325,7 +407,7 @@ impl Conn {
         }
         if self.closing {
             // Nobody is listening for the stream anymore.
-            self.subscription = None;
+            self.set_subscription(None);
         } else if self.subscription.is_some() {
             // Advance the live stream one refine step per pass. Each step
             // counts as progress, which resets the loop's 50µs→5ms idle
@@ -343,6 +425,19 @@ impl Conn {
             return ConnStatus { progressed: true, open: false };
         }
         ConnStatus { progressed, open: true }
+    }
+
+    /// Install or clear the live subscription, keeping the
+    /// `jigsaw_subscriptions_live` gauge in step with every Some↔None
+    /// transition (the remaining leak path — a connection dying with a
+    /// stream open — is covered by [`Conn`]'s `Drop`).
+    fn set_subscription(&mut self, sub: Option<Subscription>) {
+        match (&self.subscription, &sub) {
+            (None, Some(_)) => conn_obs().subs_live.add(1),
+            (Some(_), None) => conn_obs().subs_live.add(-1),
+            _ => {}
+        }
+        self.subscription = sub;
     }
 
     /// Open a `SUBSCRIBE` stream: validate, answer the tier-0 interval
@@ -391,7 +486,7 @@ impl Conn {
                     self.queue(&estimated(point, col, &est));
                 } else {
                     let last = (est.n_samples, est.lo.to_bits(), est.hi.to_bits());
-                    self.subscription = Some(Subscription { point, col, eps, last });
+                    self.set_subscription(Some(Subscription { point, col, eps, last }));
                 }
             }
         }
@@ -402,14 +497,21 @@ impl Conn {
     /// bits of that `EST` equal a blocking `ESTIMATE` of the same refined
     /// state — both read the same running-intersection bound.
     fn step_subscription(&mut self) {
-        let Some(mut sub) = self.subscription.take() else { return };
-        let Some(sess) = &mut self.session else { return };
+        let Some(mut sub) = self.subscription else { return };
+        let Some(sess) = &mut self.session else {
+            self.set_subscription(None);
+            return;
+        };
         let before = sess.session.worlds_evaluated;
         match sess.session.refine_once(sub.point, sub.col) {
-            Err(e) => self.queue(&err(ErrorCode::Exec, &e.to_string())),
+            Err(e) => {
+                self.set_subscription(None);
+                self.queue(&err(ErrorCode::Exec, &e.to_string()));
+            }
             Ok(est) => {
                 let exhausted = sess.session.worlds_evaluated == before;
                 if est.width() <= sub.eps || exhausted {
+                    self.set_subscription(None);
                     self.queue(&estimated(sub.point, sub.col, &est));
                 } else {
                     let now = (est.n_samples, est.lo.to_bits(), est.hi.to_bits());
@@ -445,6 +547,23 @@ impl Conn {
                 self.closing = true;
                 return;
             }
+            // Session-independent (no COMPILE needed): the snapshot is
+            // process-wide, not per-scenario. An oversized rendering is
+            // handled like any other response — `queue` substitutes a
+            // typed `ERR exec` frame.
+            Request::Metrics => {
+                if self.version < 3 {
+                    err(
+                        ErrorCode::Unsupported,
+                        &format!(
+                            "METRICS requires protocol version 3 (negotiated {})",
+                            self.version
+                        ),
+                    )
+                } else {
+                    Response::Metrics { text: jigsaw_obs::global().snapshot().render_prometheus() }
+                }
+            }
             Request::Compile { src } => match Compiled::build(state, &src) {
                 Err(e) => e,
                 Ok(compiled) => {
@@ -474,6 +593,16 @@ impl Conn {
     }
 }
 
+impl Drop for Conn {
+    fn drop(&mut self) {
+        // A connection can die mid-stream (socket error, shutdown): keep
+        // the live-subscription gauge honest.
+        if self.subscription.is_some() {
+            conn_obs().subs_live.add(-1);
+        }
+    }
+}
+
 /// Execute a session-scoped request (everything after `COMPILE`).
 fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Response {
     let compiled = &sess.compiled;
@@ -484,7 +613,8 @@ fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Resp
         Request::Hello { .. }
         | Request::Quit
         | Request::Compile { .. }
-        | Request::Subscribe { .. } => {
+        | Request::Subscribe { .. }
+        | Request::Metrics => {
             unreachable!("handled before session dispatch")
         }
         Request::Sweep => {
@@ -498,14 +628,20 @@ fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Resp
             match compiled.shared.with_store_mut(move |stores| {
                 SweepRunner::new(cfg).pool(pool).store(stores).run(&*sim)
             }) {
-                Ok(result) => Response::Swept {
-                    points: result.stats.points,
-                    worlds: result.stats.worlds_evaluated,
-                    full_sims: result.stats.full_simulations,
-                    reused: result.stats.reused,
-                    warm_hits: result.stats.warm_hits,
-                    bases: result.stats.bases_per_column.clone(),
-                },
+                Ok(result) => {
+                    let obs = conn_obs();
+                    obs.sweep_points.add(result.stats.points as u64);
+                    obs.sweep_warm_hits.add(result.stats.warm_hits as u64);
+                    obs.sweep_worlds.add(result.stats.worlds_evaluated);
+                    Response::Swept {
+                        points: result.stats.points,
+                        worlds: result.stats.worlds_evaluated,
+                        full_sims: result.stats.full_simulations,
+                        reused: result.stats.reused,
+                        warm_hits: result.stats.warm_hits,
+                        bases: result.stats.bases_per_column.clone(),
+                    }
+                }
                 Err(e) => err(ErrorCode::Exec, &e.to_string()),
             }
         }
@@ -578,23 +714,28 @@ fn handle_session(sess: &mut Session, req: Request, state: &ServerState) -> Resp
                 let path = dir.join(snapshot_filename(&name, &compiled.key));
                 match std::fs::read(&path) {
                     Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                    Ok(bytes) => match ShardedBasisStore::from_snapshot_bytes(
-                        &bytes,
-                        &state.cfg,
-                        Arc::new(ScopedAffine(snapshot_family(&compiled.key))),
-                        n_cols,
-                    ) {
-                        Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
-                        Ok(store) => {
-                            let bases = store.bases_per_column();
-                            // Bumps the store generation: every attached
-                            // session drops its stale basis links at its
-                            // next touch/tick.
-                            compiled.shared.replace(store);
-                            state.mark_persisted(compiled.key.clone(), path);
-                            Response::Loaded { name, bases }
+                    Ok(bytes) => {
+                        let t0 = Instant::now();
+                        let parsed = ShardedBasisStore::from_snapshot_bytes(
+                            &bytes,
+                            &state.cfg,
+                            Arc::new(ScopedAffine(snapshot_family(&compiled.key))),
+                            n_cols,
+                        );
+                        conn_obs().snapshot_load_us.record_duration(t0.elapsed());
+                        match parsed {
+                            Err(e) => err(ErrorCode::Snapshot, &e.to_string()),
+                            Ok(store) => {
+                                let bases = store.bases_per_column();
+                                // Bumps the store generation: every attached
+                                // session drops its stale basis links at its
+                                // next touch/tick.
+                                compiled.shared.replace(store);
+                                state.mark_persisted(compiled.key.clone(), path);
+                                Response::Loaded { name, bases }
+                            }
                         }
-                    },
+                    }
                 }
             }
         },

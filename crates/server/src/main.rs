@@ -5,6 +5,7 @@
 //!               [--fingerprint-len M] [--seed N] [--snapshot-dir DIR]
 //!               [--pool scoped|persistent] [--conn-threads N]
 //!               [--sketch-budget S] [--refine-top-k K]
+//!               [--trace] [--metrics-dump SECS]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, i.e. an ephemeral loopback port), prints
@@ -82,6 +83,30 @@ fn main() {
     }
     if let Some(n) = parse_num("--conn-threads") {
         builder = builder.conn_threads(n);
+    }
+    // `--trace` is the flag form of JIGSAW_TRACE=1: NDJSON span records on
+    // stderr. Purely observational — the golden-transcript byte diff holds
+    // with it on.
+    if args.iter().any(|a| a == "--trace") {
+        jigsaw_obs::set_trace(true);
+    }
+    // `--metrics-dump SECS`: a detached thread writes the full Prometheus
+    // snapshot to stderr every SECS seconds, bracketed by marker lines so
+    // scrapers (and humans) can split the stream.
+    if let Some(secs) = parse_num("--metrics-dump") {
+        let period = std::time::Duration::from_secs(secs.max(1) as u64);
+        std::thread::Builder::new()
+            .name("jigsaw-metrics-dump".into())
+            .spawn(move || loop {
+                std::thread::sleep(period);
+                let text = jigsaw_obs::global().snapshot().render_prometheus();
+                let mut stderr = std::io::stderr().lock();
+                use std::io::Write as _;
+                let _ = writeln!(stderr, "# ---- jigsaw metrics dump ----");
+                let _ = stderr.write_all(text.as_bytes());
+                let _ = writeln!(stderr, "# ---- end dump ----");
+            })
+            .expect("spawn metrics dump thread");
     }
 
     let server = builder.bind(&addr).unwrap_or_else(|e| {

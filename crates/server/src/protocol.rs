@@ -39,6 +39,7 @@
 //! STATS <bases> <touched> <warm_hits> <worlds> <generation>
 //! SAVED <name> <bytes>
 //! LOADED <name> <bases>
+//! METRICS\n<prometheus-text>
 //! BYE
 //! ERR <code> <message>
 //! ```
@@ -47,10 +48,20 @@
 //! with the highest version it speaks (in any connection state), and the
 //! server answers `WELCOME` with `min(client, server)` — the version both
 //! sides then hold to. New *verbs* gate on the negotiated version:
-//! `SUBSCRIBE` (version 2) is answered `ERR unsupported` on a version-1
-//! connection. Version 2 also widened `EST` with the anytime bound's
+//! `SUBSCRIBE` (version 2) and `METRICS` (version 3) are answered
+//! `ERR unsupported` on a connection negotiated below their version.
+//! Version 2 also widened `EST` with the anytime bound's
 //! `<lo_bits> <hi_bits>`; in-repo client and server always move together
 //! (the golden transcripts pin the current shape).
+//!
+//! `METRICS` is the one response besides `COMPILE`'s request that carries
+//! a body: the verb line, a newline, then the process-wide metrics
+//! snapshot in Prometheus text exposition format (`jigsaw_obs`). The
+//! snapshot is wall-clock telemetry — unlike every other response it is
+//! **not** deterministic, so golden-transcript scripts must not use it
+//! (CI scrapes it with invariant assertions instead). A snapshot larger
+//! than [`MAX_FRAME`] is answered with `ERR exec` through the normal
+//! oversized-response substitution.
 //!
 //! `SUBSCRIBE <eps>` is a decimal f64 (e.g. `0.05`) — Rust's shortest
 //! round-trippable `Display`/`parse` keeps it bit-exact on the wire; it
@@ -77,8 +88,9 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Highest protocol version this build speaks. Version 1 is the original
 /// verb set plus the `HELLO`/`WELCOME` handshake itself; version 2 adds
 /// the anytime-estimate surface (`SUBSCRIBE`/`INTERVAL`, and the
-/// `lo_bits`/`hi_bits` fields on `EST`).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `lo_bits`/`hi_bits` fields on `EST`); version 3 adds the `METRICS`
+/// observability verb.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Why a frame or message could not be read, written, or parsed.
 #[derive(Debug)]
@@ -237,6 +249,8 @@ pub enum Request {
         /// Snapshot name (restricted charset; no paths).
         name: String,
     },
+    /// Process-wide metrics snapshot in Prometheus text format (v3+).
+    Metrics,
     /// Close the connection.
     Quit,
 }
@@ -251,6 +265,25 @@ pub fn valid_snapshot_name(name: &str) -> bool {
 }
 
 impl Request {
+    /// The wire verb, as a static string usable as a metric label
+    /// (`jigsaw_requests_total{verb="ESTIMATE"}`).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "HELLO",
+            Request::Compile { .. } => "COMPILE",
+            Request::Sweep => "SWEEP",
+            Request::Focus { .. } => "FOCUS",
+            Request::Estimate { .. } => "ESTIMATE",
+            Request::Subscribe { .. } => "SUBSCRIBE",
+            Request::Tick { .. } => "TICK",
+            Request::Stats => "STATS",
+            Request::Save { .. } => "SAVE",
+            Request::Load { .. } => "LOAD",
+            Request::Metrics => "METRICS",
+            Request::Quit => "QUIT",
+        }
+    }
+
     /// Serialize to a frame payload.
     pub fn encode(&self) -> String {
         match self {
@@ -266,6 +299,7 @@ impl Request {
             Request::Stats => "STATS".into(),
             Request::Save { name } => format!("SAVE {name}"),
             Request::Load { name } => format!("LOAD {name}"),
+            Request::Metrics => "METRICS".into(),
             Request::Quit => "QUIT".into(),
         }
     }
@@ -357,6 +391,7 @@ impl Request {
                 }
                 Ok(if verb == "SAVE" { Request::Save { name } } else { Request::Load { name } })
             }
+            "METRICS" => arity(0).map(|()| Request::Metrics),
             "QUIT" => arity(0).map(|()| Request::Quit),
             other => Err(ProtocolError::Malformed(format!("unknown request verb `{other}`"))),
         }
@@ -522,6 +557,13 @@ pub enum Response {
         /// Basis count per column after the load.
         bases: Vec<usize>,
     },
+    /// Process-wide metrics snapshot (v3+). The one non-deterministic
+    /// response: wall-clock latency histograms and traffic counters.
+    Metrics {
+        /// The snapshot in Prometheus text exposition format (the body
+        /// after the verb line's newline).
+        text: String,
+    },
     /// Connection closing.
     Bye,
     /// The request failed; the connection stays usable.
@@ -608,6 +650,7 @@ impl Response {
             Response::Loaded { name, bases } => {
                 format!("LOADED {name} {}", encode_counts(bases))
             }
+            Response::Metrics { text } => format!("METRICS\n{text}"),
             Response::Bye => "BYE".into(),
             Response::Error { code, message } => {
                 format!("ERR {} {}", code.as_str(), message.replace('\n', " "))
@@ -617,7 +660,11 @@ impl Response {
 
     /// Parse a frame payload.
     pub fn decode(payload: &str) -> Result<Response, ProtocolError> {
-        let mut words = payload.split(' ');
+        let (line, body) = match payload.split_once('\n') {
+            Some((line, body)) => (line, Some(body)),
+            None => (payload, None),
+        };
+        let mut words = line.split(' ');
         let verb = words.next().unwrap_or("");
         let args: Vec<&str> = match verb {
             // ERR keeps its trailing message verbatim (it may contain spaces).
@@ -637,6 +684,9 @@ impl Response {
         let num = |what: &str, s: &str| -> Result<u64, ProtocolError> {
             s.parse().map_err(|_| ProtocolError::Malformed(format!("{what} `{s}` is not a number")))
         };
+        if body.is_some() && verb != "METRICS" {
+            return Err(ProtocolError::Malformed(format!("{verb} does not take a body")));
+        }
         match verb {
             "WELCOME" => {
                 arity(1)?;
@@ -734,6 +784,13 @@ impl Response {
             "LOADED" => {
                 arity(2)?;
                 Ok(Response::Loaded { name: args[0].to_string(), bases: decode_counts(args[1])? })
+            }
+            "METRICS" => {
+                arity(0)?;
+                match body {
+                    Some(text) => Ok(Response::Metrics { text: text.to_string() }),
+                    None => Err(ProtocolError::Malformed("METRICS requires a text body".into())),
+                }
             }
             "BYE" => {
                 arity(0)?;
@@ -851,8 +908,8 @@ mod tests {
     #[test]
     fn hello_welcome_wire_forms() {
         let hello = Request::Hello { version: PROTOCOL_VERSION };
-        assert_eq!(hello.encode(), "HELLO 2");
-        assert_eq!(Request::decode("HELLO 2").unwrap(), hello);
+        assert_eq!(hello.encode(), "HELLO 3");
+        assert_eq!(Request::decode("HELLO 3").unwrap(), hello);
         assert!(Request::decode("HELLO").is_err());
         assert!(Request::decode("HELLO one").is_err());
         assert!(Request::decode("HELLO 1 2").is_err());
@@ -863,6 +920,21 @@ mod tests {
         // A far-future client still roundtrips (the server clamps later).
         let eager = Request::Hello { version: u32::MAX };
         assert_eq!(Request::decode(&eager.encode()).unwrap(), eager);
+    }
+
+    #[test]
+    fn metrics_wire_forms() {
+        assert_eq!(Request::decode("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(Request::Metrics.encode(), "METRICS");
+        assert!(Request::decode("METRICS 1").is_err());
+        let resp = Response::Metrics { text: "# TYPE a counter\na 1\n".into() };
+        assert_eq!(resp.encode(), "METRICS\n# TYPE a counter\na 1\n");
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // The body survives verbatim, newlines and all.
+        let round = Response::Metrics { text: "x\n\ny 2".into() };
+        assert_eq!(Response::decode(&round.encode()).unwrap(), round);
+        assert!(Response::decode("METRICS").is_err(), "the text body is mandatory");
+        assert!(Response::decode("WELCOME 1\nbody").is_err(), "only METRICS takes a body");
     }
 
     #[test]

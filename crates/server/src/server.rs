@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use jigsaw_core::basis::{StoreKey, StoreRegistry};
 use jigsaw_core::{JigsawConfig, PersistentPool, WorkerPool};
+use jigsaw_obs::event;
 use jigsaw_pdb::Catalog;
 
 use crate::conn::Conn;
@@ -258,7 +259,7 @@ impl JigsawServer {
             loops.push(
                 std::thread::Builder::new()
                     .name(format!("jigsaw-conn-{i}"))
-                    .spawn(move || event_loop(None, Vec::new(), Some(rx), &st))?,
+                    .spawn(move || event_loop(i, None, Vec::new(), Some(rx), &st))?,
             );
         }
         let st = Arc::clone(&state);
@@ -267,7 +268,7 @@ impl JigsawServer {
             0,
             std::thread::Builder::new()
                 .name("jigsaw-conn-0".into())
-                .spawn(move || event_loop(Some(listener), peers, None, &st))?,
+                .spawn(move || event_loop(0, Some(listener), peers, None, &st))?,
         );
         Ok(ServerHandle { addr, state, loops })
     }
@@ -276,11 +277,21 @@ impl JigsawServer {
 /// One readiness loop: accept (loop 0 only), adopt handed-over connections,
 /// pump everything, park briefly when idle.
 fn event_loop(
+    loop_ix: usize,
     listener: Option<TcpListener>,
     peers: Vec<Sender<Conn>>,
     rx: Option<Receiver<Conn>>,
     state: &ServerState,
 ) {
+    // Loop-layer instruments: accept rate (loop 0 only in practice), the
+    // process-wide live-connection gauge, pump-pass latency over non-empty
+    // connection lists, and this loop's current idle backoff.
+    let g = jigsaw_obs::global();
+    let accepts = g.counter("jigsaw_accepts_total", &[]);
+    let live = g.gauge("jigsaw_conns_live", &[]);
+    let pump_us = g.histogram("jigsaw_pump_pass_us", &[]);
+    let backoff = g.gauge("jigsaw_idle_backoff_us", &[("loop", &loop_ix.to_string())]);
+    event!("server.loop_start", loop_ix = loop_ix);
     let mut conns: Vec<Conn> = Vec::new();
     // Round-robin seat for the next accepted connection: 0 is this loop,
     // 1..=peers.len() the other loops.
@@ -300,7 +311,13 @@ fn event_loop(
                 match listener.accept() {
                     Ok((stream, _)) => {
                         progress = true;
-                        let Ok(conn) = Conn::new(stream) else { continue };
+                        accepts.inc();
+                        live.add(1);
+                        event!("server.accept", seat = next_seat);
+                        let Ok(conn) = Conn::new(stream) else {
+                            live.add(-1);
+                            continue;
+                        };
                         if next_seat == 0 {
                             conns.push(conn);
                         } else if let Err(back) = peers[next_seat - 1].send(conn) {
@@ -320,11 +337,20 @@ fn event_loop(
                 progress = true;
             }
         }
-        conns.retain_mut(|conn| {
-            let status = conn.pump(state);
-            progress |= status.progressed;
-            status.open
-        });
+        if !conns.is_empty() {
+            // Time only non-empty passes: an idle loop's empty sweeps
+            // would otherwise bury the latency signal in zeros.
+            let t0 = std::time::Instant::now();
+            conns.retain_mut(|conn| {
+                let status = conn.pump(state);
+                progress |= status.progressed;
+                if !status.open {
+                    live.add(-1);
+                }
+                status.open
+            });
+            pump_us.record_duration(t0.elapsed());
+        }
         if !progress {
             // Nothing moved on any connection: park, backing off while the
             // quiet spell lasts.
@@ -333,7 +359,11 @@ fn event_loop(
         } else {
             idle_park = IDLE_FLOOR;
         }
+        backoff.set(if progress { 0 } else { idle_park.as_micros() as i64 });
     }
+    // Shutdown drops whatever connections this loop still held.
+    live.add(-(conns.len() as i64));
+    event!("server.loop_stop", loop_ix = loop_ix, conns = conns.len());
 }
 
 /// A handle to a running server (see [`JigsawServer::serve`]).
@@ -359,6 +389,7 @@ impl ServerHandle {
     /// re-snapshot every store with an on-disk home (`SAVE`d or `LOAD`ed)
     /// so a restart resumes warm.
     pub fn shutdown(mut self) -> std::io::Result<()> {
+        event!("server.shutdown");
         self.state.shutdown.store(true, Ordering::SeqCst);
         for handle in self.loops.drain(..) {
             let _ = handle.join();

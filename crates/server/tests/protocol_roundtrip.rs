@@ -69,6 +69,7 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         name().prop_map(|name| Request::Save { name }),
         name().prop_map(|name| Request::Load { name }),
+        Just(Request::Metrics),
         Just(Request::Quit),
     ]
 }
@@ -152,6 +153,9 @@ fn response() -> impl Strategy<Value = Response> {
         ),
         (name(), 0usize..1_000_000).prop_map(|(name, bytes)| Response::Saved { name, bytes }),
         (name(), counts()).prop_map(|(name, bases)| Response::Loaded { name, bases }),
+        // METRICS is the one response with a body: arbitrary multi-line
+        // exposition text (non-empty — a bare verb line has no body).
+        text(1..120).prop_map(|text| Response::Metrics { text }),
         Just(Response::Bye),
         (code(), line(0..30)).prop_map(|(code, message)| Response::Error { code, message }),
     ]

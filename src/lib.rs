@@ -17,7 +17,9 @@
 //!   optimizer, Markov jumps, and the interactive what-if session;
 //! * [`sql`] — the `DECLARE PARAMETER` / `OPTIMIZE` / `GRAPH` dialect;
 //! * [`server`] — the session server: sweeps and what-if sessions over a
-//!   framed TCP protocol, every client sharing one warm basis store.
+//!   framed TCP protocol, every client sharing one warm basis store;
+//! * [`obs`] — the observability substrate: lock-free metrics, structured
+//!   tracing spans, and the Prometheus exposition behind `METRICS`.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 
 pub use jigsaw_blackbox as blackbox;
 pub use jigsaw_core as core;
+pub use jigsaw_obs as obs;
 pub use jigsaw_pdb as pdb;
 pub use jigsaw_prng as prng;
 pub use jigsaw_server as server;

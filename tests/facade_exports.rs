@@ -1,4 +1,4 @@
-//! The facade contract: `jigsaw::{prng, blackbox, pdb, core, sql, server}`
+//! The facade contract: `jigsaw::{prng, blackbox, pdb, core, sql, server, obs}`
 //! must all resolve and interoperate. Compile-time resolution is most of
 //! the test; the body exercises one value from each re-exported crate end
 //! to end. (The `src/lib.rs` quickstart runs separately as a doctest.)
@@ -69,8 +69,12 @@ fn facade_aliases_are_the_underlying_crates() {
     fn via_server(payload: &str) -> Result<jigsaw::server::Request, jigsaw_server::ProtocolError> {
         jigsaw_server::Request::decode(payload)
     }
+    fn via_obs() -> jigsaw::obs::MetricsSnapshot {
+        jigsaw_obs::MetricsSnapshot::default()
+    }
 
     assert_eq!(via_prng(3), jigsaw::prng::SeedSet::new(3));
+    assert!(via_obs().counters.is_empty());
     assert_eq!(via_blackbox(0, 4).len(), 5);
     assert!(via_pdb().function_names().is_empty());
     assert_eq!(via_core(), jigsaw::core::JigsawConfig::paper());

@@ -1,0 +1,208 @@
+//! Acceptance for the protocol-v3 `METRICS` surface (ISSUE 10): after a
+//! warm two-sweep session, a `METRICS` scrape returns valid Prometheus
+//! text whose counters line up with the traffic that produced it — every
+//! per-verb latency histogram's `_count` equals its request counter, the
+//! sweep warm-hit counters are non-zero, and session warm hits never
+//! exceed touches. A v2 client asking for `METRICS` draws a typed
+//! `ERR unsupported` and keeps its connection; re-negotiating to v3 on the
+//! same connection unlocks the verb.
+//!
+//! The servers here run in-process, so the scrape sees this process's
+//! global registry. Tests serialize on one lock: metrics are process-wide
+//! and the per-verb equality invariant is only exact while no other
+//! connection is mid-request.
+
+use std::sync::Mutex;
+
+use jigsaw::server::{
+    Client, ErrorCode, JigsawServer, Request, Response, ServerHandle, PROTOCOL_VERSION,
+};
+
+const SRC: &str = "DECLARE PARAMETER @week AS RANGE 0 TO 29 STEP BY 1; \
+     DECLARE PARAMETER @feature AS SET (5, 12); \
+     SELECT Demand(@week, @feature) AS demand INTO results;";
+
+/// One lock for every test in this binary (see module docs).
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn serve() -> ServerHandle {
+    JigsawServer::builder()
+        .config(jigsaw::core::JigsawConfig::paper().with_n_samples(60))
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .serve()
+        .expect("start server")
+}
+
+/// The integer value of an exposition series, matched on the full
+/// `name{labels}` prefix (exact, not substring — `foo` must not match
+/// `foo_total`).
+fn series(text: &str, series: &str) -> Option<i128> {
+    text.lines().find_map(|line| {
+        let (name, value) = line.rsplit_once(' ')?;
+        (name == series).then(|| value.parse().expect("series value parses"))
+    })
+}
+
+/// Scrape the server through `client`, asserting the response shape.
+fn scrape(client: &mut Client) -> String {
+    match client.request(&Request::Metrics).expect("METRICS answers") {
+        Response::Metrics { text } => text,
+        other => panic!("expected a METRICS payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn warm_session_scrape_reports_consistent_counters() {
+    let _g = guard();
+    let handle = serve();
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    assert_eq!(c.negotiated_version(), PROTOCOL_VERSION);
+
+    // METRICS needs no COMPILE: it is process-scoped, not session-scoped.
+    // Counters are process-global and other tests in this binary may have
+    // run first, so exact-count assertions below use deltas from this
+    // baseline scrape.
+    let cold = scrape(&mut c);
+    assert!(cold.contains("# TYPE jigsaw_requests_total counter"), "{cold}");
+    let baseline = |s: &str| series(&cold, s).unwrap_or(0);
+    let est_before = baseline("jigsaw_requests_total{verb=\"ESTIMATE\"}");
+    let sweep_points_before = baseline("jigsaw_sweep_points_total");
+    let sweep_warm_before = baseline("jigsaw_sweep_warm_hits_total");
+
+    // A warm session: cold sweep, warm sweep, a few estimates.
+    match c.request(&Request::Compile { src: SRC.into() }).expect("compile") {
+        Response::Compiled { points, .. } => assert_eq!(points, 60),
+        other => panic!("unexpected {other:?}"),
+    }
+    for expect_warm in [false, true] {
+        match c.request(&Request::Sweep).expect("sweep") {
+            Response::Swept { warm_hits, .. } => {
+                assert_eq!(warm_hits > 0, expect_warm);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let n_estimates = 5;
+    for point in 0..n_estimates {
+        match c.request(&Request::Estimate { point, col: 0 }).expect("estimate") {
+            Response::Estimated { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let text = scrape(&mut c);
+
+    // Exposition shape: every line is a `# TYPE` comment or
+    // `name{labels} <integer>` (all instruments here are integral).
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        value.parse::<i128>().unwrap_or_else(|_| panic!("non-numeric sample: {line}"));
+    }
+
+    // Per-verb invariant: the latency histogram and the request counter
+    // move together, so `_count` equals the counter for every verb seen.
+    // (The scrape itself snapshots *before* its own METRICS bump lands.)
+    let mut verbs_seen = 0;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("jigsaw_requests_total{verb=\"") else { continue };
+        let verb = rest.split('"').next().expect("closing quote");
+        let requests = series(&text, &format!("jigsaw_requests_total{{verb=\"{verb}\"}}"))
+            .expect("counter parses");
+        let lat_count = series(&text, &format!("jigsaw_request_us_count{{verb=\"{verb}\"}}"))
+            .unwrap_or_else(|| panic!("no latency histogram for {verb}"));
+        assert_eq!(requests, lat_count, "count invariant for {verb}");
+        let lat_inf =
+            series(&text, &format!("jigsaw_request_us_bucket{{verb=\"{verb}\",le=\"+Inf\"}}"))
+                .unwrap_or_else(|| panic!("no +Inf bucket for {verb}"));
+        assert_eq!(lat_inf, lat_count, "+Inf bucket covers everything for {verb}");
+        verbs_seen += 1;
+    }
+    assert!(verbs_seen >= 4, "HELLO, METRICS, COMPILE, SWEEP, ESTIMATE all ran");
+    assert_eq!(
+        series(&text, "jigsaw_requests_total{verb=\"ESTIMATE\"}"),
+        Some(est_before + n_estimates as i128),
+        "exactly the estimates this test issued"
+    );
+
+    // Sweep counters: two sweeps of 60 points, the second one warm.
+    let sweep_points = series(&text, "jigsaw_sweep_points_total").expect("points counter");
+    assert_eq!(sweep_points - sweep_points_before, 120);
+    let sweep_warm = series(&text, "jigsaw_sweep_warm_hits_total").expect("warm counter");
+    assert!(sweep_warm > sweep_warm_before, "second sweep rode the first one's bases");
+    assert!(sweep_warm <= sweep_points, "warm hits cannot exceed swept points");
+
+    // Session telemetry: warm hits never exceed touches, and the estimates
+    // above all rode sweep-built bases.
+    let touches = series(&text, "jigsaw_session_touches_total").expect("touch counter");
+    let warm = series(&text, "jigsaw_session_warm_hits_total").expect("warm counter");
+    assert!(warm > 0, "estimates after a sweep are warm");
+    assert!(warm <= touches, "a warm hit is a kind of touch");
+
+    // Executor instruments fired during the sweeps.
+    assert!(series(&text, "jigsaw_exec_waves_total").expect("wave counter") > 0);
+    assert!(
+        series(&text, "jigsaw_exec_phase_us_count{phase=\"fingerprint\"}").expect("phase hist") > 0
+    );
+
+    assert_eq!(c.request(&Request::Quit).expect("quit"), Response::Bye);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn metrics_is_version_gated_and_renegotiable() {
+    let _g = guard();
+    let handle = serve();
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    // Drop back to v2 on the same connection (HELLO is stateless).
+    match c.request(&Request::Hello { version: 2 }).expect("renegotiate down") {
+        Response::Welcome { version } => assert_eq!(version, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    match c.request(&Request::Metrics).expect("v2 METRICS answers") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Unsupported);
+            assert!(message.contains("version 3"), "{message}");
+        }
+        other => panic!("v2 METRICS must be refused, got {other:?}"),
+    }
+    // The connection survived the refusal; renegotiating to v3 unlocks it.
+    match c.request(&Request::Hello { version: PROTOCOL_VERSION }).expect("renegotiate up") {
+        Response::Welcome { version } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("unexpected {other:?}"),
+    }
+    let text = scrape(&mut c);
+    assert!(text.contains("jigsaw_requests_total{verb=\"METRICS\"}"), "{text}");
+    assert_eq!(c.request(&Request::Quit).expect("quit"), Response::Bye);
+    handle.shutdown().expect("shutdown");
+}
+
+/// Tracing fully on (ring-only, so the test log stays readable) must not
+/// change a transcript: the observability layer is observational by
+/// contract. The CI twin-run diff enforces the same property end to end
+/// with `JIGSAW_TRACE=1` on the real binaries.
+#[test]
+fn transcripts_are_identical_with_tracing_enabled() {
+    let _g = guard();
+    let script = "COMPILE DECLARE PARAMETER @week AS RANGE 0 TO 9 STEP BY 1; \
+         SELECT Demand(@week, 5) AS demand INTO results;\nSWEEP\nESTIMATE 3 0\nSTATS\nQUIT";
+    let run = || {
+        let handle = serve();
+        let transcript =
+            jigsaw::server::client::run_script(handle.local_addr(), script).expect("scripted run");
+        handle.shutdown().expect("shutdown");
+        transcript
+    };
+    let quiet = run();
+    jigsaw::obs::set_trace_ring_only(true);
+    let traced = run();
+    jigsaw::obs::set_trace(false);
+    assert!(!jigsaw::obs::recent_spans().is_empty(), "spans were recorded");
+    assert_eq!(quiet, traced, "tracing must never perturb the wire transcript");
+}
